@@ -1,0 +1,228 @@
+package mccmesh
+
+// Benchmarks regenerating every figure and evaluation table of the paper, one
+// benchmark per artifact of the DESIGN.md §4 index. The table benchmarks
+// (BenchmarkTableE*) run reduced sweeps; cmd/mccbench runs the full ones.
+
+import (
+	"testing"
+
+	"mccmesh/internal/block"
+	"mccmesh/internal/experiments"
+	"mccmesh/internal/fault"
+	"mccmesh/internal/feasibility"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/protocol"
+	"mccmesh/internal/region"
+	"mccmesh/internal/rng"
+	"mccmesh/internal/routing"
+)
+
+func bench2DMesh(seed uint64, k, faults int) *mesh.Mesh {
+	m := mesh.New2D(k, k)
+	fault.Uniform{Count: faults, Protected: []grid.Point{{}, {X: k - 1, Y: k - 1}}}.Inject(m, rng.New(seed))
+	return m
+}
+
+func bench3DMesh(seed uint64, k, faults int) *mesh.Mesh {
+	m := mesh.New3D(k, k, k)
+	fault.Uniform{Count: faults, Protected: []grid.Point{{}, {X: k - 1, Y: k - 1, Z: k - 1}}}.Inject(m, rng.New(seed))
+	return m
+}
+
+// --- Figure benchmarks -------------------------------------------------------
+
+// BenchmarkFigure1Labeling2D: the 2-D labelling procedure of Algorithm 1
+// (Figure 1's useless / can't-reach definitions) on a 32x32 mesh with 5% faults.
+func BenchmarkFigure1Labeling2D(b *testing.B) {
+	m := bench2DMesh(1, 32, 51)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		labeling.Compute(m, grid.PositiveOrientation)
+	}
+}
+
+// BenchmarkFigure2Identification2D: the identification process of Figure 2 as
+// messages over the simulator.
+func BenchmarkFigure2Identification2D(b *testing.B) {
+	m := bench2DMesh(2, 24, 30)
+	l := labeling.Compute(m, grid.PositiveOrientation)
+	cs := region.FindMCCs(l)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		protocol.RunInformationModel(m, l, cs)
+	}
+}
+
+// BenchmarkFigure3Boundary2D: boundary construction plus forbidden-region
+// merging (Figure 3) — geometric part only.
+func BenchmarkFigure3Boundary2D(b *testing.B) {
+	m := bench2DMesh(3, 24, 30)
+	l := labeling.Compute(m, grid.PositiveOrientation)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cs := region.FindMCCs(l)
+		for _, c := range cs.Components {
+			cs.Corners2D(c)
+			cs.EdgeNodes(c)
+		}
+	}
+}
+
+// BenchmarkFigure4Feasibility2D: the two-detection-message feasibility check
+// of Figure 4.
+func BenchmarkFigure4Feasibility2D(b *testing.B) {
+	m := bench2DMesh(4, 32, 80)
+	s, d := grid.Point{}, grid.Point{X: 31, Y: 31}
+	l := labeling.Compute(m, grid.OrientationOf(s, d))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		feasibility.Detect2D(l, s, d)
+	}
+}
+
+// BenchmarkFigure5Regions3D: labelling plus MCC extraction on the 3-D mesh
+// scale of Figure 5.
+func BenchmarkFigure5Regions3D(b *testing.B) {
+	m := bench3DMesh(5, 10, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := labeling.Compute(m, grid.PositiveOrientation)
+		region.FindMCCs(l)
+	}
+}
+
+// BenchmarkFigure6Sections3D: section, corner and edge extraction of the 3-D
+// identification process (Figure 6).
+func BenchmarkFigure6Sections3D(b *testing.B) {
+	m := bench3DMesh(6, 10, 60)
+	l := labeling.Compute(m, grid.PositiveOrientation)
+	cs := region.FindMCCs(l)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cs.Components {
+			cs.Edges(c)
+		}
+	}
+}
+
+// BenchmarkFigure7Feasibility3D: the three RMP-surface sweeps of Figure 7.
+func BenchmarkFigure7Feasibility3D(b *testing.B) {
+	m := bench3DMesh(7, 10, 60)
+	s, d := grid.Point{}, grid.Point{X: 9, Y: 9, Z: 9}
+	l := labeling.Compute(m, grid.OrientationOf(s, d))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		feasibility.Detect3D(l, s, d)
+	}
+}
+
+// BenchmarkFigure8Routing3D: fully adaptive minimal routing under the MCC
+// model (Figure 8).
+func BenchmarkFigure8Routing3D(b *testing.B) {
+	m := bench3DMesh(8, 10, 60)
+	s, d := grid.Point{}, grid.Point{X: 9, Y: 9, Z: 9}
+	l := labeling.Compute(m, grid.OrientationOf(s, d))
+	cs := region.FindMCCs(l)
+	if !feasibility.Theorem(cs, s, d) {
+		b.Skip("benchmark fault pattern blocks the corner pair")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		provider := &routing.MCC{Set: cs}
+		tr := routing.New(m, provider, nil).Route(s, d)
+		if !tr.Succeeded() {
+			b.Fatal("routing failed")
+		}
+	}
+}
+
+// BenchmarkDistributedLabeling3D measures the message-passing labelling
+// protocol (the practical implementation stressed in the introduction).
+func BenchmarkDistributedLabeling3D(b *testing.B) {
+	m := bench3DMesh(9, 8, 40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		protocol.RunLabeling(m, grid.PositiveOrientation)
+	}
+}
+
+// BenchmarkBlockBaseline3D measures the rectangular-faulty-block construction
+// used as the comparison point.
+func BenchmarkBlockBaseline3D(b *testing.B) {
+	m := bench3DMesh(10, 10, 60)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		block.Build(m, block.BoundingBox)
+		block.Build(m, block.ConvexityRule)
+	}
+}
+
+// --- Evaluation-table benchmarks ---------------------------------------------
+
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Dim = 8
+	cfg.FaultCounts = []int{10, 30}
+	cfg.Trials = 3
+	cfg.Pairs = 3
+	return cfg
+}
+
+// BenchmarkTableE1 regenerates table E1 (healthy nodes absorbed by fault
+// regions, MCC vs RFB) on a reduced sweep.
+func BenchmarkTableE1(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E1NonFaultyInclusion(cfg)
+	}
+}
+
+// BenchmarkTableE2 regenerates table E2 (minimal-routing success rate per
+// information model) on a reduced sweep.
+func BenchmarkTableE2(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E2SuccessRate(cfg)
+	}
+}
+
+// BenchmarkTableE3 regenerates table E3 (success rate vs distance).
+func BenchmarkTableE3(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E3SuccessByDistance(cfg, 30)
+	}
+}
+
+// BenchmarkTableE4 regenerates table E4 (information-model message overhead).
+func BenchmarkTableE4(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E4MessageOverhead(cfg)
+	}
+}
+
+// BenchmarkTableE5 regenerates table E5 (region-size ablation).
+func BenchmarkTableE5(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E5RegionAblation(cfg)
+	}
+}
+
+// BenchmarkTableE6 regenerates table E6 (routing adaptivity).
+func BenchmarkTableE6(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E6Adaptivity(cfg, 30)
+	}
+}

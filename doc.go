@@ -1,0 +1,26 @@
+// Package mccmesh is a from-scratch reproduction of "A New Fault Information
+// Model for Fault-Tolerant Adaptive and Minimal Routing in 3-D Meshes"
+// (Jiang, Wu, Wang; ICPP 2005).
+//
+// It provides, for 2-D and 3-D mesh-connected multicomputers with faulty
+// nodes:
+//
+//   - the Minimal-Connected-Component (MCC) fault-information model: the
+//     useless / can't-reach labelling, the extraction of fault regions, their
+//     2-D sections, corners, edges and boundary information;
+//   - the sufficient and necessary condition for the existence of a minimal
+//     (shortest) path between a source and a destination, both as a geometric
+//     check and as the paper's distributed detection procedure;
+//   - fully adaptive minimal routing driven by pluggable fault-information
+//     providers (MCC, rectangular faulty blocks, labels only, local greedy,
+//     omniscient oracle);
+//   - a discrete-event simulator and the distributed protocols (labelling,
+//     identification, boundary construction, detection, routing) that realise
+//     the information model with neighbour-to-neighbour messages only; and
+//   - an experiment harness that regenerates the paper's evaluation (fault
+//     region size and minimal-routing success rate versus the rectangular
+//     faulty-block baselines) plus supporting ablations.
+//
+// The root package is a thin facade over the implementation packages in
+// internal/; see README.md for a tour and examples/ for runnable programs.
+package mccmesh

@@ -1,0 +1,21 @@
+// sweep runs a miniature version of the paper's evaluation: the two headline
+// tables (healthy-node absorption and minimal-routing success rate) on a small
+// mesh so it finishes in a few seconds. cmd/mccbench runs the full sweeps.
+package main
+
+import (
+	"fmt"
+
+	"mccmesh/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	cfg.Dim = 8
+	cfg.FaultCounts = []int{5, 15, 30, 50}
+	cfg.Trials = 10
+	cfg.Pairs = 6
+
+	fmt.Println(experiments.E1NonFaultyInclusion(cfg).Render())
+	fmt.Println(experiments.E2SuccessRate(cfg).Render())
+}

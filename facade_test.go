@@ -1,0 +1,74 @@
+package mccmesh
+
+import "testing"
+
+// The facade tests exercise the public API exactly as the examples do.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	m := NewCube(8)
+	r := NewRand(11)
+	s, d := At(0, 0, 0), At(7, 7, 7)
+	placed := InjectUniform(m, r, 20, s, d)
+	if len(placed) != 20 || m.FaultCount() != 20 {
+		t.Fatalf("injection placed %d faults", len(placed))
+	}
+
+	model := NewModel(m)
+	if model.Feasible(s, d) != MinimalPathExists(m, s, d) {
+		t.Error("facade feasibility disagrees with ground truth")
+	}
+	if !model.Feasible(s, d) {
+		t.Skip("fault pattern blocks the corner pair for this seed")
+	}
+	tr, err := model.Route(s, d)
+	if err != nil || !tr.Succeeded() {
+		t.Fatalf("route failed: %v %v", err, tr)
+	}
+	if tr.Hops() != Distance(s, d) {
+		t.Errorf("path length %d, want %d", tr.Hops(), Distance(s, d))
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	m := New2D(6, 6)
+	m.AddFaults(At(2, 2, 0))
+	if !Feasible(m, At(0, 0, 0), At(5, 5, 0)) {
+		t.Error("single fault cannot block a 6x6 corner pair")
+	}
+	path := FindMinimalPath(m, At(0, 0, 0), At(5, 5, 0))
+	if len(path) != Distance(At(0, 0, 0), At(5, 5, 0))+1 {
+		t.Errorf("path length %d", len(path))
+	}
+	if !GroundTruthFeasible(m, At(0, 0, 0), At(5, 5, 0)) {
+		t.Error("ground truth wrong")
+	}
+	ok, hops := Detect(m, At(0, 0, 0), At(5, 5, 0))
+	if !ok || hops <= 0 {
+		t.Errorf("detection wrong: %v %d", ok, hops)
+	}
+	if AbsorbedHealthyNodes(m, At(0, 0, 0), At(5, 5, 0)) != 0 {
+		t.Error("one isolated fault absorbs nothing")
+	}
+	if OrientationOf(At(3, 3, 0), At(0, 5, 0)).SX != -1 {
+		t.Error("orientation wrong")
+	}
+}
+
+func TestFacadeRouteHelper(t *testing.T) {
+	m := New3D(6, 6, 6)
+	r := NewRand(3)
+	InjectClustered(m, r, 2, 4, At(0, 0, 0), At(5, 5, 5))
+	tr, err := Route(m, At(0, 0, 0), At(5, 5, 5))
+	if err != nil {
+		t.Skipf("pair infeasible for this seed: %v", err)
+	}
+	if !tr.Succeeded() {
+		t.Fatalf("route failed: %v", tr.Err)
+	}
+}
+
+func TestFacadeStatusConstants(t *testing.T) {
+	if Safe.Unsafe() || !Faulty.Unsafe() || !Useless.Unsafe() || !CantReach.Unsafe() {
+		t.Error("status constants wired incorrectly")
+	}
+}

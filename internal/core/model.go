@@ -1,0 +1,206 @@
+// Package core ties the pieces of the MCC fault-information model together
+// behind one orchestrating type, Model: it owns a mesh, computes and caches
+// the per-orientation labellings and fault regions, answers feasibility
+// queries and routes messages with any of the supported information providers.
+// The public facade package (the repository root) re-exports this API.
+package core
+
+import (
+	"fmt"
+
+	"mccmesh/internal/block"
+	"mccmesh/internal/feasibility"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/minimal"
+	"mccmesh/internal/protocol"
+	"mccmesh/internal/region"
+	"mccmesh/internal/routing"
+)
+
+// Provider names accepted by Model.RouteWith.
+const (
+	ProviderMCC      = "mcc"
+	ProviderOracle   = "oracle"
+	ProviderRFB      = "rfb"
+	ProviderFBRule   = "fb-rule"
+	ProviderLabels   = "labels"
+	ProviderLocal    = "local"
+	ProviderBoundary = "boundary"
+)
+
+// Model is the MCC fault-information model over one mesh. It is not safe for
+// concurrent use; clone the mesh and build separate models for parallel
+// workloads.
+type Model struct {
+	m    *mesh.Mesh
+	opts labeling.Options
+
+	labelings [8]*labeling.Labeling
+	regions   [8]*region.ComponentSet
+	blocks    map[block.Model]*block.Regions
+	info      [8]*protocol.InfoResult
+}
+
+// NewModel wraps a mesh in a Model. Later fault changes on the mesh must be
+// followed by Invalidate.
+func NewModel(m *mesh.Mesh, opts ...labeling.Options) *Model {
+	var o labeling.Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &Model{m: m, opts: o, blocks: make(map[block.Model]*block.Regions)}
+}
+
+// Mesh returns the underlying mesh.
+func (mo *Model) Mesh() *mesh.Mesh { return mo.m }
+
+// Invalidate drops every cached labelling and region set; call it after
+// changing the mesh's fault set.
+func (mo *Model) Invalidate() {
+	mo.labelings = [8]*labeling.Labeling{}
+	mo.regions = [8]*region.ComponentSet{}
+	mo.info = [8]*protocol.InfoResult{}
+	mo.blocks = make(map[block.Model]*block.Regions)
+}
+
+// Labeling returns the (cached) labelling for an orientation.
+func (mo *Model) Labeling(orient grid.Orientation) *labeling.Labeling {
+	idx := orient.Index()
+	if mo.labelings[idx] == nil {
+		mo.labelings[idx] = labeling.Compute(mo.m, orient, mo.opts)
+	}
+	return mo.labelings[idx]
+}
+
+// Regions returns the (cached) MCCs for an orientation.
+func (mo *Model) Regions(orient grid.Orientation) *region.ComponentSet {
+	idx := orient.Index()
+	if mo.regions[idx] == nil {
+		mo.regions[idx] = region.FindMCCs(mo.Labeling(orient))
+	}
+	return mo.regions[idx]
+}
+
+// Blocks returns the (cached) rectangular faulty blocks of the requested
+// variant.
+func (mo *Model) Blocks(variant block.Model) *block.Regions {
+	if mo.blocks[variant] == nil {
+		mo.blocks[variant] = block.Build(mo.m, variant)
+	}
+	return mo.blocks[variant]
+}
+
+// BoundaryInformation runs (and caches) the distributed information model for
+// an orientation, returning the per-node record placement and message counts.
+func (mo *Model) BoundaryInformation(orient grid.Orientation) *protocol.InfoResult {
+	idx := orient.Index()
+	if mo.info[idx] == nil {
+		mo.info[idx] = protocol.RunInformationModel(mo.m, mo.Labeling(orient), mo.Regions(orient))
+	}
+	return mo.info[idx]
+}
+
+// Feasible reports whether a minimal path from s to d exists under the MCC
+// model (Theorem 1 / Theorem 2). Both endpoints must be healthy.
+func (mo *Model) Feasible(s, d grid.Point) bool {
+	if mo.m.IsFaulty(s) || mo.m.IsFaulty(d) {
+		return false
+	}
+	return feasibility.Theorem(mo.Regions(grid.OrientationOf(s, d)), s, d)
+}
+
+// FeasibleByDetection runs the distributed detection procedure instead of the
+// geometric theorem and returns its verdict plus the number of message hops.
+func (mo *Model) FeasibleByDetection(s, d grid.Point) (bool, int) {
+	lab := mo.Labeling(grid.OrientationOf(s, d))
+	if mo.m.Is2D() {
+		res := protocol.RunDetection2D(mo.m, lab, s, d)
+		return res.Feasible, res.ForwardHops + res.ReplyHops
+	}
+	res := protocol.RunDetection3D(mo.m, lab, s, d)
+	return res.Feasible, res.ForwardHops + res.ReplyHops
+}
+
+// Route routes from s to d with the MCC information provider and the default
+// policy, after checking feasibility at the source exactly as Algorithm 3/6
+// prescribe.
+func (mo *Model) Route(s, d grid.Point) (*routing.Trace, error) {
+	return mo.RouteWith(ProviderMCC, s, d)
+}
+
+// RouteWith routes from s to d using the named information provider.
+func (mo *Model) RouteWith(provider string, s, d grid.Point) (*routing.Trace, error) {
+	orient := grid.OrientationOf(s, d)
+	var p routing.Provider
+	switch provider {
+	case ProviderMCC:
+		if !mo.Feasible(s, d) {
+			return nil, fmt.Errorf("core: no minimal path from %v to %v under the MCC model", s, d)
+		}
+		p = &routing.MCC{Set: mo.Regions(orient)}
+	case ProviderOracle:
+		p = &routing.Oracle{Mesh: mo.m}
+	case ProviderRFB:
+		p = &routing.Block{Regions: mo.Blocks(block.BoundingBox)}
+	case ProviderFBRule:
+		p = &routing.Block{Regions: mo.Blocks(block.ConvexityRule)}
+	case ProviderLabels:
+		p = &routing.Labeled{Labeling: mo.Labeling(orient)}
+	case ProviderLocal:
+		p = routing.LocalGreedy{}
+	case ProviderBoundary:
+		info := mo.BoundaryInformation(orient)
+		p = &routing.Records{Set: mo.Regions(orient), PerNode: info.Records, CarryAlong: true}
+	default:
+		return nil, fmt.Errorf("core: unknown provider %q", provider)
+	}
+	return routing.New(mo.m, p, nil).Route(s, d), nil
+}
+
+// RouteDistributed forwards a routing message hop by hop over the simulated
+// network using only node-local records (the paper's full distributed mode).
+func (mo *Model) RouteDistributed(s, d grid.Point) *protocol.RouteResult {
+	orient := grid.OrientationOf(s, d)
+	info := mo.BoundaryInformation(orient)
+	return protocol.RunRouting(mo.m, mo.Labeling(orient), mo.Regions(orient), info.Records, s, d)
+}
+
+// MinimalPathExists is the ground-truth check (any minimal path avoiding the
+// faulty nodes), independent of the information model.
+func (mo *Model) MinimalPathExists(s, d grid.Point) bool {
+	return minimal.Exists(mo.m, minimal.AvoidFaulty(mo.m), s, d)
+}
+
+// AbsorbedHealthyNodes returns the number of healthy nodes the MCC model
+// absorbs for the given orientation (the paper's first evaluation metric).
+func (mo *Model) AbsorbedHealthyNodes(orient grid.Orientation) int {
+	return mo.Labeling(orient).NonFaultyUnsafeCount()
+}
+
+// Summary describes the model state for one orientation.
+type Summary struct {
+	Orientation     grid.Orientation
+	Faults          int
+	Regions         int
+	AbsorbedHealthy int
+	LargestRegion   int
+	RFBAbsorbed     int
+}
+
+// Summarize returns the headline numbers for one orientation.
+func (mo *Model) Summarize(orient grid.Orientation) Summary {
+	cs := mo.Regions(orient)
+	s := Summary{
+		Orientation:     orient,
+		Faults:          mo.m.FaultCount(),
+		Regions:         cs.Len(),
+		AbsorbedHealthy: cs.TotalNonFaulty(),
+		RFBAbsorbed:     mo.Blocks(block.BoundingBox).TotalNonFaulty(),
+	}
+	if largest := cs.Largest(); largest != nil {
+		s.LargestRegion = largest.Size()
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"mccmesh/internal/block"
+	"mccmesh/internal/fault"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/rng"
+)
+
+func figure5Model() *Model {
+	m := mesh.New3D(10, 10, 10)
+	m.AddFaults(
+		grid.Point{X: 5, Y: 5, Z: 6}, grid.Point{X: 6, Y: 5, Z: 5}, grid.Point{X: 5, Y: 6, Z: 5},
+		grid.Point{X: 6, Y: 7, Z: 5}, grid.Point{X: 7, Y: 6, Z: 5}, grid.Point{X: 5, Y: 4, Z: 7},
+		grid.Point{X: 4, Y: 5, Z: 7}, grid.Point{X: 7, Y: 8, Z: 4},
+	)
+	return NewModel(m)
+}
+
+func TestModelSummarizeFigure5(t *testing.T) {
+	mo := figure5Model()
+	sum := mo.Summarize(grid.PositiveOrientation)
+	if sum.Faults != 8 || sum.Regions != 2 || sum.AbsorbedHealthy != 2 || sum.LargestRegion != 9 {
+		t.Errorf("summary wrong: %+v", sum)
+	}
+	if sum.RFBAbsorbed != 72 {
+		t.Errorf("RFB absorbed %d healthy nodes, want 72", sum.RFBAbsorbed)
+	}
+}
+
+func TestModelCachingAndInvalidate(t *testing.T) {
+	mo := figure5Model()
+	l1 := mo.Labeling(grid.PositiveOrientation)
+	l2 := mo.Labeling(grid.PositiveOrientation)
+	if l1 != l2 {
+		t.Error("labelling should be cached")
+	}
+	r1 := mo.Regions(grid.PositiveOrientation)
+	if r1 != mo.Regions(grid.PositiveOrientation) {
+		t.Error("regions should be cached")
+	}
+	mo.Mesh().AddFaults(grid.Point{X: 1, Y: 1, Z: 1})
+	mo.Invalidate()
+	if mo.Labeling(grid.PositiveOrientation) == l1 {
+		t.Error("Invalidate should drop the cache")
+	}
+	if mo.Labeling(grid.PositiveOrientation).Count(0 /* Safe */) == l1.Count(0) {
+		// counts may coincide; just ensure the new fault is seen
+	}
+	if !mo.Mesh().IsFaulty(grid.Point{X: 1, Y: 1, Z: 1}) {
+		t.Error("fault not recorded")
+	}
+}
+
+func TestModelFeasibleAndRoute(t *testing.T) {
+	mo := figure5Model()
+	s, d := grid.Point{}, grid.Point{X: 9, Y: 9, Z: 9}
+	if !mo.Feasible(s, d) {
+		t.Fatal("Figure 5 faults cannot block the corner pair")
+	}
+	tr, err := mo.Route(s, d)
+	if err != nil || !tr.Succeeded() {
+		t.Fatalf("route failed: %v %v", err, tr)
+	}
+	if tr.Hops() != grid.Manhattan(s, d) {
+		t.Errorf("hops = %d, want %d", tr.Hops(), grid.Manhattan(s, d))
+	}
+	if mo.Feasible(grid.Point{X: 5, Y: 5, Z: 6}, d) {
+		t.Error("a faulty source can never be feasible")
+	}
+}
+
+func TestModelRouteWithProviders(t *testing.T) {
+	mo := figure5Model()
+	s, d := grid.Point{X: 2, Y: 2, Z: 2}, grid.Point{X: 9, Y: 9, Z: 9}
+	for _, provider := range []string{ProviderMCC, ProviderOracle, ProviderRFB, ProviderFBRule, ProviderLabels, ProviderLocal, ProviderBoundary} {
+		tr, err := mo.RouteWith(provider, s, d)
+		if err != nil {
+			// The RFB provider may legitimately refuse if the coarse blocks
+			// block the pair; every other provider must attempt the route.
+			t.Errorf("provider %s returned error: %v", provider, err)
+			continue
+		}
+		if !tr.Succeeded() && provider != ProviderLocal && provider != ProviderRFB && provider != ProviderFBRule {
+			t.Errorf("provider %s failed: %v", provider, tr.Err)
+		}
+	}
+	if _, err := mo.RouteWith("nonsense", s, d); err == nil {
+		t.Error("unknown provider should be rejected")
+	}
+}
+
+func TestModelRouteInfeasible(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	// Wall across the whole routing box of (0,0)->(3,7).
+	for x := 0; x <= 3; x++ {
+		m.SetFaulty(grid.Point{X: x, Y: 4}, true)
+	}
+	mo := NewModel(m)
+	if mo.Feasible(grid.Point{}, grid.Point{X: 3, Y: 7}) {
+		t.Fatal("pair should be infeasible")
+	}
+	if _, err := mo.Route(grid.Point{}, grid.Point{X: 3, Y: 7}); err == nil {
+		t.Error("Route must refuse infeasible pairs (the paper stops the routing at the source)")
+	}
+}
+
+func TestModelDetectionAndDistributed(t *testing.T) {
+	mo := figure5Model()
+	s, d := grid.Point{}, grid.Point{X: 9, Y: 9, Z: 9}
+	ok, hops := mo.FeasibleByDetection(s, d)
+	if !ok || hops <= 0 {
+		t.Errorf("detection: ok=%v hops=%d", ok, hops)
+	}
+	res := mo.RouteDistributed(s, d)
+	if !res.Delivered || !res.Minimal {
+		t.Errorf("distributed routing: %+v", res)
+	}
+	info := mo.BoundaryInformation(grid.PositiveOrientation)
+	if info != mo.BoundaryInformation(grid.PositiveOrientation) {
+		t.Error("boundary information should be cached")
+	}
+}
+
+func TestModelMatchesGroundTruthOnRandomMeshes(t *testing.T) {
+	r := rng.New(123)
+	for trial := 0; trial < 15; trial++ {
+		m := mesh.New3D(7, 7, 7)
+		fault.Uniform{Count: 25, Protected: []grid.Point{{}, {X: 6, Y: 6, Z: 6}}}.Inject(m, r)
+		mo := NewModel(m)
+		s, d := grid.Point{}, grid.Point{X: 6, Y: 6, Z: 6}
+		if mo.Labeling(grid.OrientationOf(s, d)).Unsafe(s) || mo.Labeling(grid.OrientationOf(s, d)).Unsafe(d) {
+			continue
+		}
+		if mo.Feasible(s, d) != mo.MinimalPathExists(s, d) {
+			t.Fatalf("trial %d: model feasibility disagrees with ground truth", trial)
+		}
+	}
+}
+
+func TestModelBlocksCaching(t *testing.T) {
+	mo := figure5Model()
+	if mo.Blocks(block.BoundingBox) != mo.Blocks(block.BoundingBox) {
+		t.Error("blocks should be cached per variant")
+	}
+	if mo.Blocks(block.BoundingBox) == nil || mo.Blocks(block.ConvexityRule) == nil {
+		t.Error("blocks missing")
+	}
+}

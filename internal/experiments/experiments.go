@@ -1,0 +1,421 @@
+// Package experiments implements the simulation study described (but not
+// tabulated) in the paper plus the supporting ablations, mapping one function
+// to each experiment of DESIGN.md §4:
+//
+//	E1  NonFaultyInclusion  – healthy nodes absorbed by fault regions, MCC vs RFB
+//	E2  SuccessRate         – minimal-routing success rate per information model
+//	E3  SuccessByDistance   – success rate vs source–destination distance
+//	E4  MessageOverhead     – messages used by the distributed information model
+//	E5  RegionAblation      – region sizes per model variant and border policy
+//	E6  Adaptivity          – routing flexibility left by each information model
+//
+// Every experiment consumes a Config, runs a deterministic seeded sweep and
+// returns a stats.Table ready for printing or CSV export.
+package experiments
+
+import (
+	"fmt"
+
+	"mccmesh/internal/block"
+	"mccmesh/internal/fault"
+	"mccmesh/internal/feasibility"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/minimal"
+	"mccmesh/internal/protocol"
+	"mccmesh/internal/region"
+	"mccmesh/internal/rng"
+	"mccmesh/internal/routing"
+	"mccmesh/internal/stats"
+)
+
+// Config parameterises an experiment sweep.
+type Config struct {
+	// Dim is the mesh edge length (Dim³ nodes in 3-D, Dim² in 2-D).
+	Dim int
+	// TwoD selects 2-D meshes instead of 3-D.
+	TwoD bool
+	// FaultCounts is the sweep over the number of injected faults.
+	FaultCounts []int
+	// Trials is the number of random fault configurations per fault count.
+	Trials int
+	// Pairs is the number of source/destination pairs sampled per
+	// configuration (routing experiments).
+	Pairs int
+	// MinDistance is the minimum Manhattan distance between sampled pairs.
+	MinDistance int
+	// Seed makes the sweep reproducible.
+	Seed uint64
+	// Clustered switches the workload from uniform random faults to clusters
+	// of ClusterSize adjacent faults (spatially correlated failures), which is
+	// the regime where fault regions actually form.
+	Clustered   bool
+	ClusterSize int
+}
+
+// injector returns the fault workload for n faults under this configuration.
+func (c Config) injector(n int) fault.Injector {
+	if c.Clustered {
+		size := c.ClusterSize
+		if size <= 0 {
+			size = 5
+		}
+		clusters := (n + size - 1) / size
+		return fault.Clustered{Clusters: clusters, Size: size}
+	}
+	return fault.Uniform{Count: n}
+}
+
+func (c Config) workloadName() string {
+	if c.Clustered {
+		return "clustered"
+	}
+	return "uniform"
+}
+
+// DefaultConfig returns the configuration used for the tables in
+// EXPERIMENTS.md: a 10×10×10 mesh, fault counts sweeping 1–15 % of the nodes.
+func DefaultConfig() Config {
+	return Config{
+		Dim:         10,
+		FaultCounts: []int{10, 25, 50, 75, 100, 150},
+		Trials:      30,
+		Pairs:       10,
+		MinDistance: 10,
+		Seed:        20050500, // ICPP 2005, paper #500
+	}
+}
+
+func (c Config) newMesh() *mesh.Mesh {
+	if c.TwoD {
+		return mesh.New2D(c.Dim, c.Dim)
+	}
+	return mesh.New3D(c.Dim, c.Dim, c.Dim)
+}
+
+func (c Config) meshName() string {
+	if c.TwoD {
+		return fmt.Sprintf("%dx%d", c.Dim, c.Dim)
+	}
+	return fmt.Sprintf("%dx%dx%d", c.Dim, c.Dim, c.Dim)
+}
+
+// samplePair draws a healthy source/destination pair with the configured
+// minimum distance whose endpoints are safe under the pair's labelling.
+func samplePair(r *rng.Rand, m *mesh.Mesh, minDist int) (grid.Point, grid.Point, *labeling.Labeling, bool) {
+	for attempt := 0; attempt < 500; attempt++ {
+		s := m.Point(r.Intn(m.NodeCount()))
+		d := m.Point(r.Intn(m.NodeCount()))
+		if grid.Manhattan(s, d) < minDist || m.IsFaulty(s) || m.IsFaulty(d) {
+			continue
+		}
+		l := labeling.Compute(m, grid.OrientationOf(s, d))
+		if l.Safe(s) && l.Safe(d) {
+			return s, d, l, true
+		}
+	}
+	return grid.Point{}, grid.Point{}, nil, false
+}
+
+// E1 NonFaultyInclusion reproduces the paper's first metric: the average
+// number of non-faulty nodes included in fault regions, comparing the MCC
+// model against the two rectangular-faulty-block baselines.
+func E1NonFaultyInclusion(cfg Config) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("E1: healthy nodes absorbed by fault regions (%s mesh, %s faults, %d trials)", cfg.meshName(), cfg.workloadName(), cfg.Trials),
+		Columns: []string{"faults", "fault %", "MCC", "MCC regions", "RFB (bbox)", "FB (rule)", "MCC/RFB ratio"},
+	}
+	r := rng.New(cfg.Seed)
+	for _, n := range cfg.FaultCounts {
+		var mcc, mccRegions, rfb, rule stats.Summary
+		for trial := 0; trial < cfg.Trials; trial++ {
+			m := cfg.newMesh()
+			cfg.injector(n).Inject(m, r)
+			l := labeling.Compute(m, grid.PositiveOrientation)
+			cs := region.FindMCCs(l)
+			mcc.Add(float64(cs.TotalNonFaulty()))
+			mccRegions.Add(float64(cs.Len()))
+			rfb.Add(float64(block.Build(m, block.BoundingBox).TotalNonFaulty()))
+			rule.Add(float64(block.Build(m, block.ConvexityRule).TotalNonFaulty()))
+		}
+		ratio := 0.0
+		if rfb.Mean() > 0 {
+			ratio = mcc.Mean() / rfb.Mean()
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			stats.Pct(float64(n)/float64(cfg.newMesh().NodeCount())),
+			stats.F(mcc.Mean()),
+			stats.F(mccRegions.Mean()),
+			stats.F(rfb.Mean()),
+			stats.F(rule.Mean()),
+			stats.F(ratio),
+		)
+	}
+	t.AddNote("MCC counts useless + can't-reach nodes for the (+X,+Y,+Z) orientation; the paper's claim is MCC ≪ RFB.")
+	return t
+}
+
+// E2 SuccessRate reproduces the paper's second metric: the percentage of
+// source/destination pairs for which a minimal path can be routed, per
+// information model.
+func E2SuccessRate(cfg Config) *stats.Table {
+	t := &stats.Table{
+		Title: fmt.Sprintf("E2: minimal-routing success rate (%s mesh, %s faults, %d trials x %d pairs)",
+			cfg.meshName(), cfg.workloadName(), cfg.Trials, cfg.Pairs),
+		Columns: []string{"faults", "MCC model", "RFB (bbox)", "FB (rule)", "labels only", "local greedy", "optimal"},
+	}
+	r := rng.New(cfg.Seed + 1)
+	for _, n := range cfg.FaultCounts {
+		var mcc, rfb, rule, labelsOnly, greedy, optimal stats.Summary
+		for trial := 0; trial < cfg.Trials; trial++ {
+			m := cfg.newMesh()
+			cfg.injector(n).Inject(m, r)
+			bb := block.Build(m, block.BoundingBox)
+			cr := block.Build(m, block.ConvexityRule)
+			for pair := 0; pair < cfg.Pairs; pair++ {
+				s, d, l, ok := samplePair(r, m, cfg.MinDistance)
+				if !ok {
+					continue
+				}
+				cs := region.FindMCCs(l)
+				feasible := feasibility.GroundTruth(cs, s, d)
+				optimal.AddBool(feasible)
+
+				// MCC model: feasibility check + routing (Algorithm 6).
+				if feasibility.Theorem(cs, s, d) {
+					tr := routing.New(m, &routing.MCC{Set: cs}, nil).Route(s, d)
+					mcc.AddBool(tr.Succeeded())
+				} else {
+					mcc.AddBool(false)
+				}
+
+				// Rectangular faulty-block baselines: succeed when the block
+				// regions leave a monotone path open.
+				rfb.AddBool(!bb.Contains(s) && !bb.Contains(d) && !bb.BlockedByUnion(s, d))
+				rule.AddBool(!cr.Contains(s) && !cr.Contains(d) && !cr.BlockedByUnion(s, d))
+
+				// Labels only: avoid unsafe nodes with no region reasoning.
+				labelsOnly.AddBool(routing.New(m, &routing.Labeled{Labeling: l}, nil).Route(s, d).Succeeded())
+
+				// Local greedy floor baseline.
+				greedy.AddBool(routing.New(m, routing.LocalGreedy{}, nil).Route(s, d).Succeeded())
+			}
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			stats.Pct(mcc.Mean()),
+			stats.Pct(rfb.Mean()),
+			stats.Pct(rule.Mean()),
+			stats.Pct(labelsOnly.Mean()),
+			stats.Pct(greedy.Mean()),
+			stats.Pct(optimal.Mean()),
+		)
+	}
+	t.AddNote("'optimal' is the fraction of pairs with any minimal fault-free path; the MCC model is expected to match it.")
+	return t
+}
+
+// E3 SuccessByDistance measures how the success rate degrades with the
+// source/destination distance at a fixed fault count.
+func E3SuccessByDistance(cfg Config, faults int) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("E3: success rate vs distance (%s mesh, %d faults)", cfg.meshName(), faults),
+		Columns: []string{"distance bucket", "pairs", "MCC model", "RFB (bbox)", "local greedy"},
+	}
+	r := rng.New(cfg.Seed + 2)
+	diameter := cfg.newMesh().Diameter()
+	buckets := 4
+	type acc struct{ mcc, rfb, greedy stats.Summary }
+	accs := make([]acc, buckets)
+	for trial := 0; trial < cfg.Trials*cfg.Pairs; trial++ {
+		m := cfg.newMesh()
+		cfg.injector(faults).Inject(m, r)
+		bb := block.Build(m, block.BoundingBox)
+		s, d, l, ok := samplePair(r, m, 2)
+		if !ok {
+			continue
+		}
+		dist := grid.Manhattan(s, d)
+		bucket := (dist - 1) * buckets / diameter
+		if bucket >= buckets {
+			bucket = buckets - 1
+		}
+		cs := region.FindMCCs(l)
+		accs[bucket].mcc.AddBool(feasibility.Theorem(cs, s, d))
+		accs[bucket].rfb.AddBool(!bb.Contains(s) && !bb.Contains(d) && !bb.BlockedByUnion(s, d))
+		accs[bucket].greedy.AddBool(routing.New(m, routing.LocalGreedy{}, nil).Route(s, d).Succeeded())
+	}
+	for i := range accs {
+		lo := i*diameter/buckets + 1
+		hi := (i + 1) * diameter / buckets
+		cell := func(s *stats.Summary) string {
+			if s.N() == 0 {
+				return "n/a"
+			}
+			return stats.Pct(s.Mean())
+		}
+		t.AddRow(
+			fmt.Sprintf("%d-%d", lo, hi),
+			fmt.Sprintf("%d", accs[i].mcc.N()),
+			cell(&accs[i].mcc),
+			cell(&accs[i].rfb),
+			cell(&accs[i].greedy),
+		)
+	}
+	return t
+}
+
+// E4 MessageOverhead measures the number of messages the distributed
+// information model exchanges: labelling announcements, identification
+// messages, boundary messages and the per-pair detection messages.
+func E4MessageOverhead(cfg Config) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("E4: information-model message overhead (%s mesh, %d trials)", cfg.meshName(), cfg.Trials),
+		Columns: []string{"faults", "label msgs", "identify msgs", "boundary msgs", "detect msgs/pair", "info nodes"},
+	}
+	r := rng.New(cfg.Seed + 3)
+	for _, n := range cfg.FaultCounts {
+		var label, ident, bound, detect, coverage stats.Summary
+		for trial := 0; trial < cfg.Trials; trial++ {
+			m := cfg.newMesh()
+			cfg.injector(n).Inject(m, r)
+			orient := grid.PositiveOrientation
+			lr := protocol.RunLabeling(m, orient)
+			label.Add(float64(lr.Stats.ByKind[protocol.KindLabel]))
+
+			l := labeling.Compute(m, orient)
+			cs := region.FindMCCs(l)
+			info := protocol.RunInformationModel(m, l, cs)
+			ident.Add(float64(info.IdentifyMessages))
+			bound.Add(float64(info.BoundaryMessages))
+			coverage.Add(float64(len(info.Records)))
+
+			s, d, lab, ok := samplePair(r, m, cfg.MinDistance)
+			if !ok {
+				continue
+			}
+			var det *protocol.DetectionResult
+			if m.Is2D() {
+				det = protocol.RunDetection2D(m, lab, s, d)
+			} else {
+				det = protocol.RunDetection3D(m, lab, s, d)
+			}
+			detect.Add(float64(det.ForwardHops + det.ReplyHops))
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			stats.F(label.Mean()),
+			stats.F(ident.Mean()),
+			stats.F(bound.Mean()),
+			stats.F(detect.Mean()),
+			stats.F(coverage.Mean()),
+		)
+	}
+	t.AddNote("'info nodes' is the number of nodes holding at least one MCC record after boundary construction.")
+	return t
+}
+
+// E5 RegionAblation compares design choices: border policy, block model
+// variants and how often a single MCC explains an infeasible pair.
+func E5RegionAblation(cfg Config) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("E5: region-size ablation (%s mesh, %d trials)", cfg.meshName(), cfg.Trials),
+		Columns: []string{"faults", "MCC border-safe", "MCC border-blocked", "RFB (bbox)", "FB (rule)", "single-MCC infeasibility"},
+	}
+	r := rng.New(cfg.Seed + 4)
+	for _, n := range cfg.FaultCounts {
+		var safe, blocked, rfb, rule, single stats.Summary
+		for trial := 0; trial < cfg.Trials; trial++ {
+			m := cfg.newMesh()
+			cfg.injector(n).Inject(m, r)
+			lSafe := labeling.Compute(m, grid.PositiveOrientation)
+			lBlocked := labeling.Compute(m, grid.PositiveOrientation, labeling.Options{Border: labeling.BorderBlocked})
+			safe.Add(float64(lSafe.NonFaultyUnsafeCount()))
+			blocked.Add(float64(lBlocked.NonFaultyUnsafeCount()))
+			rfb.Add(float64(block.Build(m, block.BoundingBox).TotalNonFaulty()))
+			rule.Add(float64(block.Build(m, block.ConvexityRule).TotalNonFaulty()))
+
+			s, d, l, ok := samplePair(r, m, cfg.MinDistance)
+			if !ok {
+				continue
+			}
+			cs := region.FindMCCs(l)
+			if !feasibility.GroundTruth(cs, s, d) {
+				single.AddBool(feasibility.SingleMCCExplains(cs, s, d))
+			}
+		}
+		singleCell := "n/a"
+		if single.N() > 0 {
+			singleCell = stats.Pct(single.Mean())
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			stats.F(safe.Mean()),
+			stats.F(blocked.Mean()),
+			stats.F(rfb.Mean()),
+			stats.F(rule.Mean()),
+			singleCell,
+		)
+	}
+	t.AddNote("'single-MCC infeasibility' = among infeasible pairs, how often one MCC alone blocks (the rest need merged boundary information); n/a when no infeasible pair was sampled.")
+	t.AddNote("border-blocked treats missing neighbours as faults; the far corner then satisfies the useless rule vacuously and the labels cascade across the mesh, which is exactly why the paper's definition (border-safe) is used everywhere else.")
+	return t
+}
+
+// E6 Adaptivity measures the routing flexibility each information model
+// preserves: the number of distinct minimal paths that avoid the model's
+// fault regions, and the minimum number of allowed forwarding directions seen
+// along an MCC route.
+func E6Adaptivity(cfg Config, faults int) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("E6: routing adaptivity (%s mesh, %d faults)", cfg.meshName(), faults),
+		Columns: []string{"metric", "fault-free", "MCC model", "RFB (bbox)"},
+	}
+	r := rng.New(cfg.Seed + 5)
+	const pathCap = 1_000_000
+	var freePaths, mccPaths, rfbPaths, mccMinCand stats.Summary
+	for trial := 0; trial < cfg.Trials*cfg.Pairs; trial++ {
+		m := cfg.newMesh()
+		cfg.injector(faults).Inject(m, r)
+		s, d, l, ok := samplePair(r, m, cfg.MinDistance)
+		if !ok {
+			continue
+		}
+		cs := region.FindMCCs(l)
+		if !feasibility.Theorem(cs, s, d) {
+			continue
+		}
+		bb := block.Build(m, block.BoundingBox)
+		freePaths.Add(float64(minimal.CountPaths(m, minimal.AvoidNone, s, d, pathCap)))
+		mccPaths.Add(float64(minimal.CountPaths(m, func(p grid.Point) bool { return l.Unsafe(p) }, s, d, pathCap)))
+		rfbPaths.Add(float64(minimal.CountPaths(m, bb.Avoid(), s, d, pathCap)))
+		tr := routing.New(m, &routing.MCC{Set: cs}, nil).Route(s, d)
+		if tr.Succeeded() {
+			mccMinCand.Add(float64(tr.MinAdaptivity()))
+		}
+	}
+	t.AddRow("distinct minimal paths (mean, capped)", stats.F(freePaths.Mean()), stats.F(mccPaths.Mean()), stats.F(rfbPaths.Mean()))
+	t.AddRow("pairs measured", fmt.Sprintf("%d", freePaths.N()), fmt.Sprintf("%d", mccPaths.N()), fmt.Sprintf("%d", rfbPaths.N()))
+	t.AddRow("min forwarding candidates on MCC route", "-", stats.F(mccMinCand.Mean()), "-")
+	t.AddNote("path counts are capped at 1e6; the MCC column keeps more minimal paths alive than the RFB column.")
+	return t
+}
+
+// RunAll executes every experiment with the given configuration and returns
+// the tables in DESIGN.md order.
+func RunAll(cfg Config) []*stats.Table {
+	midFaults := 50
+	if len(cfg.FaultCounts) > 0 {
+		midFaults = cfg.FaultCounts[len(cfg.FaultCounts)/2]
+	}
+	return []*stats.Table{
+		E1NonFaultyInclusion(cfg),
+		E2SuccessRate(cfg),
+		E3SuccessByDistance(cfg, midFaults),
+		E4MessageOverhead(cfg),
+		E5RegionAblation(cfg),
+		E6Adaptivity(cfg, midFaults),
+	}
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the sweeps fast enough for the unit-test suite while still
+// exercising every code path.
+func tinyConfig() Config {
+	return Config{
+		Dim:         7,
+		FaultCounts: []int{5, 20},
+		Trials:      4,
+		Pairs:       4,
+		MinDistance: 6,
+		Seed:        99,
+	}
+}
+
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a percentage", cell)
+	}
+	return v
+}
+
+func parseF(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a number", cell)
+	}
+	return v
+}
+
+func TestE1ShapeAndClaim(t *testing.T) {
+	tab := E1NonFaultyInclusion(tinyConfig())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("expected one row per fault count, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		mcc := parseF(t, row[2])
+		rfb := parseF(t, row[4])
+		rule := parseF(t, row[5])
+		// The paper's headline claim: the MCC model absorbs no more healthy
+		// nodes than either rectangular-block baseline.
+		if mcc > rfb+1e-9 {
+			t.Errorf("MCC (%v) absorbed more than RFB (%v)", mcc, rfb)
+		}
+		if mcc > rule+1e-9 {
+			t.Errorf("MCC (%v) absorbed more than the rule-based blocks (%v)", mcc, rule)
+		}
+	}
+}
+
+func TestE2ShapeAndClaim(t *testing.T) {
+	tab := E2SuccessRate(tinyConfig())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		mcc := parsePct(t, row[1])
+		rfb := parsePct(t, row[2])
+		optimal := parsePct(t, row[6])
+		if mcc < rfb-1e-9 {
+			t.Errorf("MCC success (%v%%) below RFB success (%v%%)", mcc, rfb)
+		}
+		if mcc > optimal+1e-9 {
+			t.Errorf("MCC success (%v%%) above the optimum (%v%%)", mcc, optimal)
+		}
+		// The MCC model is exactly optimal (ultimacy); allow a tiny slack for
+		// the percentage formatting.
+		if optimal-mcc > 0.11 {
+			t.Errorf("MCC success (%v%%) should match the optimum (%v%%)", mcc, optimal)
+		}
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tab := E3SuccessByDistance(tinyConfig(), 15)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 distance buckets, got %d", len(tab.Rows))
+	}
+}
+
+func TestE4MessageOverhead(t *testing.T) {
+	tab := E4MessageOverhead(tinyConfig())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(tab.Rows))
+	}
+	// More faults must not need fewer boundary messages on average... this is
+	// stochastic, so only check the cells parse and the heavier row has some
+	// traffic.
+	heavy := tab.Rows[1]
+	if parseF(t, heavy[2]) <= 0 {
+		t.Error("identification messages should be positive with 20 faults")
+	}
+	if parseF(t, heavy[3]) <= 0 {
+		t.Error("boundary messages should be positive with 20 faults")
+	}
+	if parseF(t, heavy[5]) <= 0 {
+		t.Error("some nodes should hold records with 20 faults")
+	}
+}
+
+func TestE5Ablation(t *testing.T) {
+	tab := E5RegionAblation(tinyConfig())
+	for _, row := range tab.Rows {
+		safe := parseF(t, row[1])
+		blocked := parseF(t, row[2])
+		if safe > blocked+1e-9 {
+			t.Errorf("border-safe labelling (%v) absorbed more than border-blocked (%v)", safe, blocked)
+		}
+	}
+}
+
+func TestE6Adaptivity(t *testing.T) {
+	tab := E6Adaptivity(tinyConfig(), 15)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("expected 3 metric rows, got %d", len(tab.Rows))
+	}
+	free := parseF(t, tab.Rows[0][1])
+	mcc := parseF(t, tab.Rows[0][2])
+	rfb := parseF(t, tab.Rows[0][3])
+	if mcc > free+1e-9 {
+		t.Errorf("MCC path count (%v) exceeds the fault-free count (%v)", mcc, free)
+	}
+	if rfb > mcc+1e-9 {
+		t.Errorf("RFB path count (%v) exceeds the MCC count (%v); the coarser model cannot preserve more paths", rfb, mcc)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Trials = 2
+	cfg.Pairs = 2
+	tables := RunAll(cfg)
+	if len(tables) != 6 {
+		t.Fatalf("RunAll returned %d tables, want 6", len(tables))
+	}
+	for _, tab := range tables {
+		if tab.Title == "" || len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+			t.Errorf("table %q looks empty", tab.Title)
+		}
+		if !strings.Contains(tab.Render(), tab.Columns[0]) {
+			t.Errorf("table %q render missing its header", tab.Title)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Dim <= 0 || len(cfg.FaultCounts) == 0 || cfg.Trials <= 0 {
+		t.Error("default config incomplete")
+	}
+	if cfg.TwoD {
+		t.Error("the paper's evaluation is on 3-D meshes")
+	}
+}
+
+func TestClusteredWorkload(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Clustered = true
+	cfg.ClusterSize = 4
+	cfg.FaultCounts = []int{16}
+	cfg.Trials = 3
+	tab := E1NonFaultyInclusion(cfg)
+	if !strings.Contains(tab.Title, "clustered") {
+		t.Errorf("title should mention the clustered workload: %q", tab.Title)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatal("expected one row")
+	}
+	// Clustered faults form larger regions; the MCC column must still not
+	// exceed the RFB column.
+	if parseF(t, tab.Rows[0][2]) > parseF(t, tab.Rows[0][4])+1e-9 {
+		t.Error("MCC absorbed more than RFB under clustered faults")
+	}
+}
+
+func TestConfig2D(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.TwoD = true
+	cfg.FaultCounts = []int{4}
+	cfg.Trials = 2
+	cfg.Pairs = 2
+	tab := E1NonFaultyInclusion(cfg)
+	if len(tab.Rows) != 1 {
+		t.Fatal("2-D sweep should produce one row")
+	}
+	if !strings.Contains(tab.Title, "7x7 ") {
+		t.Errorf("2-D title should mention the 7x7 mesh: %q", tab.Title)
+	}
+}

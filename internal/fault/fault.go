@@ -1,0 +1,234 @@
+// Package fault provides the fault-injection workloads used by the
+// experiments: uniformly random node faults, clustered faults, solid block
+// faults and link faults (mapped to node faults by disabling both endpoints,
+// as the paper prescribes).
+package fault
+
+import (
+	"fmt"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/rng"
+)
+
+// Injector mutates a mesh by marking nodes faulty.
+type Injector interface {
+	// Inject marks nodes of m faulty and returns the points it marked.
+	Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point
+	// Name identifies the workload in tables and traces.
+	Name() string
+}
+
+// Uniform injects exactly Count uniformly random distinct node faults,
+// optionally keeping a set of protected nodes healthy.
+type Uniform struct {
+	Count     int
+	Protected []grid.Point
+}
+
+// Name implements Injector.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(%d)", u.Count) }
+
+// Inject implements Injector.
+func (u Uniform) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
+	protected := make(map[grid.Point]bool, len(u.Protected))
+	for _, p := range u.Protected {
+		protected[p] = true
+	}
+	total := m.NodeCount()
+	if u.Count < 0 || u.Count > total-len(protected) {
+		panic(fmt.Sprintf("fault: cannot place %d faults in %d eligible nodes", u.Count, total-len(protected)))
+	}
+	placed := make([]grid.Point, 0, u.Count)
+	for len(placed) < u.Count {
+		p := m.Point(r.Intn(total))
+		if protected[p] || m.IsFaulty(p) {
+			continue
+		}
+		m.SetFaulty(p, true)
+		placed = append(placed, p)
+	}
+	return placed
+}
+
+// Rate injects faults independently at each node with probability P,
+// optionally keeping protected nodes healthy.
+type Rate struct {
+	P         float64
+	Protected []grid.Point
+}
+
+// Name implements Injector.
+func (w Rate) Name() string { return fmt.Sprintf("rate(%.3f)", w.P) }
+
+// Inject implements Injector.
+func (w Rate) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
+	protected := make(map[grid.Point]bool, len(w.Protected))
+	for _, p := range w.Protected {
+		protected[p] = true
+	}
+	var placed []grid.Point
+	m.ForEach(func(p grid.Point) {
+		if protected[p] || m.IsFaulty(p) {
+			return
+		}
+		if r.Float64() < w.P {
+			m.SetFaulty(p, true)
+			placed = append(placed, p)
+		}
+	})
+	return placed
+}
+
+// Clustered injects Clusters cluster seeds uniformly at random and grows each
+// cluster to Size nodes by repeatedly marking a random healthy neighbour of
+// the cluster faulty. It models spatially correlated failures (e.g. a failed
+// board taking several routers with it).
+type Clustered struct {
+	Clusters  int
+	Size      int
+	Protected []grid.Point
+}
+
+// Name implements Injector.
+func (c Clustered) Name() string { return fmt.Sprintf("clustered(%dx%d)", c.Clusters, c.Size) }
+
+// Inject implements Injector.
+func (c Clustered) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
+	protected := make(map[grid.Point]bool, len(c.Protected))
+	for _, p := range c.Protected {
+		protected[p] = true
+	}
+	var placed []grid.Point
+	var scratch []grid.Point
+	for i := 0; i < c.Clusters; i++ {
+		// Seed.
+		var seed grid.Point
+		found := false
+		for attempt := 0; attempt < 64*m.NodeCount(); attempt++ {
+			p := m.Point(r.Intn(m.NodeCount()))
+			if !protected[p] && !m.IsFaulty(p) {
+				seed, found = p, true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		m.SetFaulty(seed, true)
+		cluster := []grid.Point{seed}
+		placed = append(placed, seed)
+		for len(cluster) < c.Size {
+			// Collect the healthy frontier of the cluster.
+			scratch = scratch[:0]
+			for _, q := range cluster {
+				for _, d := range m.Directions() {
+					n, ok := m.Neighbor(q, d)
+					if ok && !m.IsFaulty(n) && !protected[n] {
+						scratch = append(scratch, n)
+					}
+				}
+			}
+			if len(scratch) == 0 {
+				break
+			}
+			pick := scratch[r.Intn(len(scratch))]
+			m.SetFaulty(pick, true)
+			cluster = append(cluster, pick)
+			placed = append(placed, pick)
+		}
+	}
+	return placed
+}
+
+// Block marks every node inside Box faulty, clipped to the mesh bounds.
+type Block struct {
+	Box grid.Box
+}
+
+// Name implements Injector.
+func (b Block) Name() string { return fmt.Sprintf("block%v", b.Box) }
+
+// Inject implements Injector.
+func (b Block) Inject(m *mesh.Mesh, _ *rng.Rand) []grid.Point {
+	var placed []grid.Point
+	b.Box.ForEach(func(p grid.Point) {
+		if m.InBounds(p) && !m.IsFaulty(p) {
+			m.SetFaulty(p, true)
+			placed = append(placed, p)
+		}
+	})
+	return placed
+}
+
+// Links injects Count random link faults. As in the paper, a link fault is
+// modelled by disabling both adjacent nodes, so each link fault marks up to
+// two nodes faulty.
+type Links struct {
+	Count     int
+	Protected []grid.Point
+}
+
+// Name implements Injector.
+func (l Links) Name() string { return fmt.Sprintf("links(%d)", l.Count) }
+
+// Inject implements Injector.
+func (l Links) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
+	protected := make(map[grid.Point]bool, len(l.Protected))
+	for _, p := range l.Protected {
+		protected[p] = true
+	}
+	dirs := m.Directions()
+	var placed []grid.Point
+	for i := 0; i < l.Count; i++ {
+		for attempt := 0; ; attempt++ {
+			if attempt > 64*m.NodeCount() {
+				return placed
+			}
+			p := m.Point(r.Intn(m.NodeCount()))
+			d := dirs[r.Intn(len(dirs))]
+			q, ok := m.Neighbor(p, d)
+			if !ok || protected[p] || protected[q] {
+				continue
+			}
+			if !m.IsFaulty(p) {
+				m.SetFaulty(p, true)
+				placed = append(placed, p)
+			}
+			if !m.IsFaulty(q) {
+				m.SetFaulty(q, true)
+				placed = append(placed, q)
+			}
+			break
+		}
+	}
+	return placed
+}
+
+// Exact marks exactly the listed nodes faulty; used to reproduce the paper's
+// hand-built figures.
+type Exact struct {
+	Nodes []grid.Point
+	Label string
+}
+
+// Name implements Injector.
+func (e Exact) Name() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return fmt.Sprintf("exact(%d)", len(e.Nodes))
+}
+
+// Inject implements Injector.
+func (e Exact) Inject(m *mesh.Mesh, _ *rng.Rand) []grid.Point {
+	placed := make([]grid.Point, 0, len(e.Nodes))
+	for _, p := range e.Nodes {
+		if m.InBounds(p) && !m.IsFaulty(p) {
+			m.SetFaulty(p, true)
+			placed = append(placed, p)
+		}
+	}
+	return placed
+}

@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"testing"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/rng"
+)
+
+func TestUniformExactCount(t *testing.T) {
+	m := mesh.New3D(8, 8, 8)
+	r := rng.New(1)
+	placed := Uniform{Count: 25}.Inject(m, r)
+	if len(placed) != 25 || m.FaultCount() != 25 {
+		t.Fatalf("placed %d faults, mesh has %d, want 25", len(placed), m.FaultCount())
+	}
+	seen := map[grid.Point]bool{}
+	for _, p := range placed {
+		if seen[p] {
+			t.Fatalf("duplicate fault %v", p)
+		}
+		seen[p] = true
+		if !m.IsFaulty(p) {
+			t.Fatalf("placed point %v not faulty", p)
+		}
+	}
+}
+
+func TestUniformRespectsProtected(t *testing.T) {
+	m := mesh.New2D(4, 4)
+	protect := []grid.Point{{X: 0, Y: 0}, {X: 3, Y: 3}}
+	r := rng.New(9)
+	Uniform{Count: 14, Protected: protect}.Inject(m, r)
+	for _, p := range protect {
+		if m.IsFaulty(p) {
+			t.Errorf("protected node %v was marked faulty", p)
+		}
+	}
+	if m.FaultCount() != 14 {
+		t.Errorf("fault count = %d, want 14", m.FaultCount())
+	}
+}
+
+func TestUniformPanicsWhenImpossible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when asking for more faults than nodes")
+		}
+	}()
+	Uniform{Count: 10}.Inject(mesh.New2D(3, 3), rng.New(1))
+}
+
+func TestRate(t *testing.T) {
+	m := mesh.New3D(10, 10, 10)
+	r := rng.New(77)
+	placed := Rate{P: 0.1}.Inject(m, r)
+	if len(placed) != m.FaultCount() {
+		t.Fatal("returned faults disagree with the mesh")
+	}
+	// With 1000 nodes and p=0.1, expect roughly 100 faults; allow wide slack.
+	if len(placed) < 50 || len(placed) > 170 {
+		t.Errorf("rate injection produced %d faults, far from the expected ~100", len(placed))
+	}
+}
+
+func TestClustered(t *testing.T) {
+	m := mesh.New3D(12, 12, 12)
+	r := rng.New(5)
+	placed := Clustered{Clusters: 3, Size: 6}.Inject(m, r)
+	if len(placed) != 18 || m.FaultCount() != 18 {
+		t.Fatalf("clustered injection placed %d faults, want 18", len(placed))
+	}
+}
+
+func TestBlockInjector(t *testing.T) {
+	m := mesh.New3D(6, 6, 6)
+	box := grid.Box{Min: grid.Point{X: 1, Y: 1, Z: 1}, Max: grid.Point{X: 2, Y: 3, Z: 2}}
+	placed := Block{Box: box}.Inject(m, rng.New(1))
+	if len(placed) != box.Volume() {
+		t.Fatalf("block injection placed %d faults, want %d", len(placed), box.Volume())
+	}
+	box.ForEach(func(p grid.Point) {
+		if !m.IsFaulty(p) {
+			t.Errorf("node %v inside the block is not faulty", p)
+		}
+	})
+}
+
+func TestBlockClipped(t *testing.T) {
+	m := mesh.New2D(4, 4)
+	box := grid.Box{Min: grid.Point{X: 2, Y: 2}, Max: grid.Point{X: 9, Y: 9}}
+	placed := Block{Box: box}.Inject(m, rng.New(1))
+	if len(placed) != 4 {
+		t.Errorf("clipped block placed %d faults, want 4", len(placed))
+	}
+}
+
+func TestLinks(t *testing.T) {
+	m := mesh.New3D(8, 8, 8)
+	placed := Links{Count: 5}.Inject(m, rng.New(3))
+	if len(placed) == 0 || len(placed) > 10 {
+		t.Errorf("link faults disabled %d nodes, want between 1 and 10", len(placed))
+	}
+}
+
+func TestExact(t *testing.T) {
+	m := mesh.New2D(5, 5)
+	pts := []grid.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 9, Y: 9}}
+	placed := Exact{Nodes: pts}.Inject(m, rng.New(1))
+	if len(placed) != 2 {
+		t.Errorf("exact injection placed %d faults, want 2 (one point is out of bounds)", len(placed))
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, inj := range []Injector{
+		Uniform{Count: 3}, Rate{P: 0.5}, Clustered{Clusters: 1, Size: 2},
+		Block{}, Links{Count: 1}, Exact{Label: "fig5"},
+	} {
+		if inj.Name() == "" {
+			t.Errorf("%T has empty name", inj)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package feasibility implements the paper's sufficient and necessary
+// conditions for the existence of a minimal path in the presence of MCCs:
+//
+//   - Theorem 1 (2-D) and Theorem 2 (3-D), evaluated geometrically through the
+//     per-MCC blocking relation of package region, and
+//   - the operational detection procedures run by the source node: the two
+//     detection-message walkers of Algorithm 3 step 1 in 2-D and the three
+//     RMP-surface sweeps of Algorithm 6 step 1 in 3-D.
+//
+// The geometric check is the reference; the walkers are the distributed
+// implementation (package protocol re-runs them hop by hop as real messages).
+// Both are cross-checked against the ground-truth monotone-path existence of
+// package minimal in the test suite.
+package feasibility
+
+import (
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/minimal"
+	"mccmesh/internal/region"
+)
+
+// Result is the outcome of a feasibility check, with enough detail for the
+// figures and for debugging disagreements between methods.
+type Result struct {
+	// Feasible reports whether a minimal path from the source to the
+	// destination exists.
+	Feasible bool
+	// Traces holds, per detection message (2 in 2-D, 3 in 3-D), the nodes the
+	// message visited. Empty for the geometric checks.
+	Traces [][]grid.Point
+	// Hops is the total number of hops taken by all detection messages.
+	Hops int
+}
+
+// GroundTruth reports whether a minimal path from s to d avoiding all faulty
+// nodes exists. By the MCC "ultimate fault region" property this coincides
+// with the MCC-model feasibility whenever s and d are safe.
+func GroundTruth(cs *region.ComponentSet, s, d grid.Point) bool {
+	return minimal.Exists(cs.Mesh, minimal.AvoidFaulty(cs.Mesh), s, d)
+}
+
+// Theorem evaluates the paper's sufficient and necessary condition
+// (Theorem 1 in 2-D, Theorem 2 in 3-D) geometrically: a minimal path exists
+// exactly when the union of the fault regions — the information carried by the
+// merged boundary records — leaves some monotone s→d path open. (Boundary
+// construction merges the forbidden regions of MCCs whose boundaries touch,
+// which is why the union, not any single MCC, is the right obstacle set.)
+func Theorem(cs *region.ComponentSet, s, d grid.Point) bool {
+	return !cs.BlockedByUnion(s, d)
+}
+
+// SingleMCCExplains reports whether a single MCC alone accounts for the
+// infeasibility of the pair (used by the E5 analysis: how often the merged
+// information is actually needed).
+func SingleMCCExplains(cs *region.ComponentSet, s, d grid.Point) bool {
+	return cs.BlockedByAny(s, d)
+}
+
+// UnsafeAvoidable reports whether a monotone path avoiding every unsafe node
+// exists; it is the union-based restatement of the theorem and is used to
+// cross-check the per-MCC formulation.
+func UnsafeAvoidable(cs *region.ComponentSet, s, d grid.Point) bool {
+	return !cs.BlockedByUnion(s, d)
+}
+
+// Detect2D runs the two detection-message walkers of Algorithm 3 step 1 over
+// a 2-D labelling. The first walker prefers the forward Y direction and turns
+// forward X around MCCs; it must reach the segment [0:xd, yd:yd]. The second
+// prefers forward X and must reach [xd:xd, 0:yd]. Both must succeed for the
+// routing to be feasible.
+func Detect2D(l *labeling.Labeling, s, d grid.Point) Result {
+	orient := grid.OrientationOf(s, d)
+	res := Result{Feasible: true}
+	for _, spec := range []struct{ prefer, detour grid.Axis }{
+		{grid.AxisY, grid.AxisX},
+		{grid.AxisX, grid.AxisY},
+	} {
+		ok, trace := walk2D(l, orient, s, d, spec.prefer, spec.detour)
+		res.Traces = append(res.Traces, trace)
+		res.Hops += len(trace) - 1
+		if !ok {
+			res.Feasible = false
+		}
+	}
+	return res
+}
+
+// walk2D advances from s preferring the forward `prefer` axis, stepping along
+// the forward `detour` axis when the preferred neighbour is unsafe, and never
+// overshooting the destination's detour coordinate. It succeeds when the
+// preferred coordinate reaches the destination's.
+func walk2D(l *labeling.Labeling, orient grid.Orientation, s, d grid.Point, prefer, detour grid.Axis) (bool, []grid.Point) {
+	cur := s
+	trace := []grid.Point{s}
+	dc := orient.Canon(s, d)
+	cc := grid.Point{}
+	maxHops := l.Mesh().NodeCount() + 1
+	for hop := 0; hop < maxHops; hop++ {
+		if cc.Axis(prefer) >= dc.Axis(prefer) {
+			return true, trace
+		}
+		next := orient.Ahead(cur, prefer)
+		if l.Safe(next) {
+			cur = next
+			cc = orient.Canon(s, cur)
+			trace = append(trace, cur)
+			continue
+		}
+		// Preferred direction blocked: detour forward along the other axis.
+		if cc.Axis(detour) >= dc.Axis(detour) {
+			return false, trace // would leave the region of minimal paths
+		}
+		side := orient.Ahead(cur, detour)
+		if !l.Safe(side) {
+			// Cannot happen when s is safe (safe-frontier lemma); treated as
+			// failure for robustness.
+			return false, trace
+		}
+		cur = side
+		cc = orient.Canon(s, cur)
+		trace = append(trace, cur)
+	}
+	return false, trace
+}
+
+// Detect3D runs the three RMP-surface sweeps of Algorithm 6 step 1 over a 3-D
+// labelling. Each sweep floods two forward directions and may take detour
+// steps along the remaining forward direction when blocked; it must reach the
+// prescribed face of the region of minimal paths (RMP). All three must succeed.
+func Detect3D(l *labeling.Labeling, s, d grid.Point) Result {
+	orient := grid.OrientationOf(s, d)
+	res := Result{Feasible: true}
+	// Sweep definitions follow Algorithm 6: the (−X)-surface propagates +Y/+Z
+	// with +X detours and must reach the y = yd face; (−Y) propagates +X/+Z
+	// with +Y detours toward z = zd; (−Z) propagates +X/+Y with +Z detours
+	// toward x = xd.
+	sweeps := []struct {
+		spread [2]grid.Axis
+		detour grid.Axis
+		target grid.Axis
+	}{
+		{[2]grid.Axis{grid.AxisY, grid.AxisZ}, grid.AxisX, grid.AxisY},
+		{[2]grid.Axis{grid.AxisX, grid.AxisZ}, grid.AxisY, grid.AxisZ},
+		{[2]grid.Axis{grid.AxisX, grid.AxisY}, grid.AxisZ, grid.AxisX},
+	}
+	for _, sw := range sweeps {
+		ok, visited, hops := sweep3D(l, orient, s, d, sw.spread, sw.detour, sw.target)
+		res.Traces = append(res.Traces, visited)
+		res.Hops += hops
+		if !ok {
+			res.Feasible = false
+		}
+	}
+	return res
+}
+
+// sweep3D floods from s across safe nodes of the box spanned by s and d.
+// Moves along the two spread axes are always allowed; a move along the detour
+// axis is allowed only from nodes whose spread-axis progress is blocked by an
+// unsafe node (the "+X turn" of the paper). The sweep succeeds when it reaches
+// a node whose coordinate along the target axis equals the destination's.
+func sweep3D(l *labeling.Labeling, orient grid.Orientation, s, d grid.Point, spread [2]grid.Axis, detour, target grid.Axis) (bool, []grid.Point, int) {
+	dc := orient.Canon(s, d)
+	box := grid.BoxOf(s, d)
+	visited := map[grid.Point]bool{s: true}
+	queue := []grid.Point{s}
+	var order []grid.Point
+	hops := 0
+	success := false
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		uc := orient.Canon(s, u)
+		if uc.Axis(target) >= dc.Axis(target) {
+			success = true
+			// Keep flooding so the hop count reflects the full detection cost,
+			// but the result is already known; stop early for efficiency.
+			break
+		}
+		tryStep := func(a grid.Axis) {
+			if uc.Axis(a) >= dc.Axis(a) {
+				return
+			}
+			v := orient.Ahead(u, a)
+			if !box.Contains(v) || visited[v] || !l.Safe(v) {
+				return
+			}
+			visited[v] = true
+			hops++
+			queue = append(queue, v)
+		}
+		// Spread moves.
+		blocked := false
+		for _, a := range spread {
+			if uc.Axis(a) < dc.Axis(a) {
+				v := orient.Ahead(u, a)
+				if !l.Safe(v) {
+					blocked = true
+				}
+			}
+			tryStep(a)
+		}
+		// Detour move only when a spread direction is blocked by an MCC.
+		if blocked {
+			tryStep(detour)
+		}
+	}
+	return success, order, hops
+}
+
+// Check runs the appropriate feasibility procedure for the mesh
+// dimensionality: the geometric Theorem check, which is exact. Use Detect2D /
+// Detect3D for the operational (message-based) variants.
+func Check(cs *region.ComponentSet, s, d grid.Point) bool {
+	return Theorem(cs, s, d)
+}

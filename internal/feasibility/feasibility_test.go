@@ -1,0 +1,204 @@
+package feasibility
+
+import (
+	"testing"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/meshtest"
+	"mccmesh/internal/region"
+	"mccmesh/internal/rng"
+)
+
+func build(m *mesh.Mesh, s, d grid.Point) (*labeling.Labeling, *region.ComponentSet) {
+	l := labeling.Compute(m, grid.OrientationOf(s, d))
+	return l, region.FindMCCs(l)
+}
+
+func TestFaultFreeAlwaysFeasible(t *testing.T) {
+	m := mesh.New3D(6, 6, 6)
+	s, d := grid.Point{}, grid.Point{X: 5, Y: 5, Z: 5}
+	l, cs := build(m, s, d)
+	if !Theorem(cs, s, d) || !GroundTruth(cs, s, d) {
+		t.Error("fault-free mesh must be feasible")
+	}
+	res := Detect3D(l, s, d)
+	if !res.Feasible {
+		t.Error("detection sweeps must succeed on a fault-free mesh")
+	}
+	if len(res.Traces) != 3 {
+		t.Errorf("expected 3 sweep traces, got %d", len(res.Traces))
+	}
+}
+
+// TestFigure4Infeasible reproduces Figure 4(a): an MCC wall cutting across the
+// routing quadrant makes the +Y detection message overshoot x = xd, so the
+// check answers NO.
+func TestFigure4Infeasible(t *testing.T) {
+	m := mesh.New2D(10, 10)
+	// A wall spanning the columns 0..4 at y=5, forcing any route from (0,0)
+	// toward (4,8) to leave the column range 0..4.
+	for x := 0; x <= 4; x++ {
+		m.SetFaulty(grid.Point{X: x, Y: 5}, true)
+	}
+	s, d := grid.Point{}, grid.Point{X: 4, Y: 8}
+	l, cs := build(m, s, d)
+
+	if Theorem(cs, s, d) {
+		t.Error("theorem should report infeasible")
+	}
+	if GroundTruth(cs, s, d) {
+		t.Error("ground truth should report infeasible")
+	}
+	res := Detect2D(l, s, d)
+	if res.Feasible {
+		t.Error("detection should report infeasible")
+	}
+	// The +X walker (second message) still succeeds; only the +Y walker fails.
+	if len(res.Traces) != 2 {
+		t.Fatalf("expected 2 walker traces, got %d", len(res.Traces))
+	}
+}
+
+// TestFigure4Feasible reproduces Figure 4(b): the wall is short enough that
+// both detection messages succeed and a minimal path exists.
+func TestFigure4Feasible(t *testing.T) {
+	m := mesh.New2D(10, 10)
+	for x := 2; x <= 4; x++ {
+		m.SetFaulty(grid.Point{X: x, Y: 5}, true)
+	}
+	s, d := grid.Point{}, grid.Point{X: 8, Y: 8}
+	l, cs := build(m, s, d)
+	if !Theorem(cs, s, d) || !GroundTruth(cs, s, d) {
+		t.Error("pair should be feasible")
+	}
+	res := Detect2D(l, s, d)
+	if !res.Feasible {
+		t.Error("detection should report feasible")
+	}
+	if res.Hops == 0 {
+		t.Error("detection hops should be counted")
+	}
+}
+
+// TestFigure7DegenerateStrip exercises the narrow-strip case where two distant
+// MCCs jointly block the route: the merged information (Theorem) and the
+// detection walkers must both report infeasible.
+func TestFigure7DegenerateStrip(t *testing.T) {
+	m := mesh.New3D(8, 8, 8)
+	// Route confined to the plane z=3 and the rows y∈{2,3}.
+	s := grid.Point{X: 0, Y: 3, Z: 3}
+	d := grid.Point{X: 6, Y: 2, Z: 3}
+	m.AddFaults(grid.Point{X: 2, Y: 3, Z: 3}, grid.Point{X: 5, Y: 2, Z: 3})
+	l, cs := build(m, s, d)
+	if GroundTruth(cs, s, d) {
+		t.Fatal("strip should be blocked")
+	}
+	if Theorem(cs, s, d) {
+		t.Error("theorem must report infeasible for the jointly blocked strip")
+	}
+	if SingleMCCExplains(cs, s, d) {
+		t.Error("no single MCC blocks this pair; only the merged information does")
+	}
+	if res := Detect3D(l, s, d); res.Feasible {
+		t.Error("detection sweeps must report infeasible")
+	}
+}
+
+// TestTheoremMatchesGroundTruth2D: property I5 in 2-D.
+func TestTheoremMatchesGroundTruth2D(t *testing.T) {
+	r := rng.New(42)
+	checked := 0
+	for trial := 0; trial < 150; trial++ {
+		m := meshtest.Random2D(r, 10, 4+r.Intn(20))
+		s, d, ok := meshtest.SafePair(r, m, 3)
+		if !ok {
+			continue
+		}
+		checked++
+		_, cs := build(m, s, d)
+		if Theorem(cs, s, d) != GroundTruth(cs, s, d) {
+			t.Fatalf("trial %d: theorem != ground truth for %v -> %v", trial, s, d)
+		}
+	}
+	if checked < 60 {
+		t.Fatalf("only %d pairs checked", checked)
+	}
+}
+
+// TestDetect2DMatchesGroundTruth: the distributed detection walkers implement
+// Theorem 1 exactly.
+func TestDetect2DMatchesGroundTruth(t *testing.T) {
+	r := rng.New(7)
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		m := meshtest.Random2D(r, 10, 4+r.Intn(22))
+		s, d, ok := meshtest.SafePair(r, m, 3)
+		if !ok {
+			continue
+		}
+		checked++
+		l, cs := build(m, s, d)
+		want := GroundTruth(cs, s, d)
+		got := Detect2D(l, s, d).Feasible
+		if got != want {
+			t.Fatalf("trial %d: detection=%v ground truth=%v for %v -> %v (faults %v)",
+				trial, got, want, s, d, m.Faults())
+		}
+	}
+	if checked < 80 {
+		t.Fatalf("only %d pairs checked", checked)
+	}
+}
+
+// TestDetect3DMatchesGroundTruth: the three-surface sweep implements
+// Theorem 2 exactly.
+func TestDetect3DMatchesGroundTruth(t *testing.T) {
+	r := rng.New(13)
+	checked := 0
+	for trial := 0; trial < 150; trial++ {
+		m := meshtest.Random3D(r, 7, 5+r.Intn(45))
+		s, d, ok := meshtest.SafePair(r, m, 4)
+		if !ok {
+			continue
+		}
+		checked++
+		l, cs := build(m, s, d)
+		want := GroundTruth(cs, s, d)
+		got := Detect3D(l, s, d).Feasible
+		if got != want {
+			t.Fatalf("trial %d: detection=%v ground truth=%v for %v -> %v (faults %v)",
+				trial, got, want, s, d, m.Faults())
+		}
+	}
+	if checked < 60 {
+		t.Fatalf("only %d pairs checked", checked)
+	}
+}
+
+// TestUnsafeAvoidableEqualsTheorem cross-checks the two formulations.
+func TestUnsafeAvoidableEqualsTheorem(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		m := meshtest.Random3D(r, 6, 4+r.Intn(25))
+		s, d, ok := meshtest.SafePair(r, m, 3)
+		if !ok {
+			continue
+		}
+		_, cs := build(m, s, d)
+		if Theorem(cs, s, d) != UnsafeAvoidable(cs, s, d) {
+			t.Fatalf("trial %d: Theorem and UnsafeAvoidable disagree", trial)
+		}
+	}
+}
+
+func TestCheckDelegatesToTheorem(t *testing.T) {
+	m := mesh.New2D(6, 6)
+	m.AddFaults(grid.Point{X: 2, Y: 2})
+	s, d := grid.Point{}, grid.Point{X: 5, Y: 5}
+	_, cs := build(m, s, d)
+	if Check(cs, s, d) != Theorem(cs, s, d) {
+		t.Error("Check must agree with Theorem")
+	}
+}

@@ -1,0 +1,158 @@
+package grid
+
+import "fmt"
+
+// Axis identifies one of the three mesh dimensions.
+type Axis int
+
+// The three axes of a 3-D mesh. 2-D meshes use AxisX and AxisY only.
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+// Axes3D lists all axes of a 3-D mesh in canonical order.
+var Axes3D = []Axis{AxisX, AxisY, AxisZ}
+
+// Axes2D lists the axes of a 2-D mesh in canonical order.
+var Axes2D = []Axis{AxisX, AxisY}
+
+// String implements fmt.Stringer.
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "X"
+	case AxisY:
+		return "Y"
+	case AxisZ:
+		return "Z"
+	default:
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+}
+
+// Direction is a signed axis: one of the (up to) six neighbouring directions
+// of a mesh node.
+type Direction int
+
+// The six directions of a 3-D mesh, named after the paper's +X, -X, ... form.
+const (
+	XPos Direction = iota
+	XNeg
+	YPos
+	YNeg
+	ZPos
+	ZNeg
+	numDirections
+)
+
+// NumDirections is the number of distinct directions in a 3-D mesh.
+const NumDirections = int(numDirections)
+
+// Directions3D lists all six directions of a 3-D mesh.
+var Directions3D = []Direction{XPos, XNeg, YPos, YNeg, ZPos, ZNeg}
+
+// Directions2D lists the four directions of a 2-D mesh.
+var Directions2D = []Direction{XPos, XNeg, YPos, YNeg}
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case XPos:
+		return "+X"
+	case XNeg:
+		return "-X"
+	case YPos:
+		return "+Y"
+	case YNeg:
+		return "-Y"
+	case ZPos:
+		return "+Z"
+	case ZNeg:
+		return "-Z"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Axis returns the axis the direction moves along.
+func (d Direction) Axis() Axis {
+	switch d {
+	case XPos, XNeg:
+		return AxisX
+	case YPos, YNeg:
+		return AxisY
+	default:
+		return AxisZ
+	}
+}
+
+// Positive reports whether the direction increases its axis coordinate.
+func (d Direction) Positive() bool {
+	return d == XPos || d == YPos || d == ZPos
+}
+
+// Opposite returns the direction pointing the other way along the same axis.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case XPos:
+		return XNeg
+	case XNeg:
+		return XPos
+	case YPos:
+		return YNeg
+	case YNeg:
+		return YPos
+	case ZPos:
+		return ZNeg
+	default:
+		return ZPos
+	}
+}
+
+// Delta returns the unit step vector of the direction.
+func (d Direction) Delta() Point {
+	switch d {
+	case XPos:
+		return Point{1, 0, 0}
+	case XNeg:
+		return Point{-1, 0, 0}
+	case YPos:
+		return Point{0, 1, 0}
+	case YNeg:
+		return Point{0, -1, 0}
+	case ZPos:
+		return Point{0, 0, 1}
+	default:
+		return Point{0, 0, -1}
+	}
+}
+
+// DirectionOf returns the direction along axis a with the given sign.
+// sign must be +1 or -1.
+func DirectionOf(a Axis, sign int) Direction {
+	pos := sign > 0
+	switch a {
+	case AxisX:
+		if pos {
+			return XPos
+		}
+		return XNeg
+	case AxisY:
+		if pos {
+			return YPos
+		}
+		return YNeg
+	default:
+		if pos {
+			return ZPos
+		}
+		return ZNeg
+	}
+}
+
+// Step returns p moved one hop in direction d.
+func Step(p Point, d Direction) Point {
+	return p.Add(d.Delta())
+}

@@ -1,0 +1,150 @@
+package grid
+
+import "fmt"
+
+// Box is an axis-aligned, inclusive box of lattice points: all p with
+// Min ≤ p ≤ Max componentwise. A Box with Min > Max on any axis is empty.
+type Box struct {
+	Min, Max Point
+}
+
+// BoxOf returns the smallest box containing both p and q.
+func BoxOf(p, q Point) Box {
+	return Box{
+		Min: Point{min2(p.X, q.X), min2(p.Y, q.Y), min2(p.Z, q.Z)},
+		Max: Point{max2(p.X, q.X), max2(p.Y, q.Y), max2(p.Z, q.Z)},
+	}
+}
+
+// String implements fmt.Stringer.
+func (b Box) String() string {
+	return fmt.Sprintf("[%d:%d, %d:%d, %d:%d]", b.Min.X, b.Max.X, b.Min.Y, b.Max.Y, b.Min.Z, b.Max.Z)
+}
+
+// Empty reports whether the box contains no points.
+func (b Box) Empty() bool {
+	return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y || b.Min.Z > b.Max.Z
+}
+
+// Contains reports whether p lies inside the box.
+func (b Box) Contains(p Point) bool {
+	return b.Min.X <= p.X && p.X <= b.Max.X &&
+		b.Min.Y <= p.Y && p.Y <= b.Max.Y &&
+		b.Min.Z <= p.Z && p.Z <= b.Max.Z
+}
+
+// Volume returns the number of lattice points in the box.
+func (b Box) Volume() int {
+	if b.Empty() {
+		return 0
+	}
+	return (b.Max.X - b.Min.X + 1) * (b.Max.Y - b.Min.Y + 1) * (b.Max.Z - b.Min.Z + 1)
+}
+
+// Extend returns the smallest box containing b and p.
+func (b Box) Extend(p Point) Box {
+	if b.Empty() {
+		return Box{Min: p, Max: p}
+	}
+	return Box{
+		Min: Point{min2(b.Min.X, p.X), min2(b.Min.Y, p.Y), min2(b.Min.Z, p.Z)},
+		Max: Point{max2(b.Max.X, p.X), max2(b.Max.Y, p.Y), max2(b.Max.Z, p.Z)},
+	}
+}
+
+// Union returns the smallest box containing both boxes.
+func (b Box) Union(o Box) Box {
+	if b.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return b
+	}
+	return Box{
+		Min: Point{min2(b.Min.X, o.Min.X), min2(b.Min.Y, o.Min.Y), min2(b.Min.Z, o.Min.Z)},
+		Max: Point{max2(b.Max.X, o.Max.X), max2(b.Max.Y, o.Max.Y), max2(b.Max.Z, o.Max.Z)},
+	}
+}
+
+// Intersects reports whether the two boxes share at least one point.
+func (b Box) Intersects(o Box) bool {
+	if b.Empty() || o.Empty() {
+		return false
+	}
+	return b.Min.X <= o.Max.X && o.Min.X <= b.Max.X &&
+		b.Min.Y <= o.Max.Y && o.Min.Y <= b.Max.Y &&
+		b.Min.Z <= o.Max.Z && o.Min.Z <= b.Max.Z
+}
+
+// Gap returns the L∞ gap between the two boxes: 0 if they intersect or touch,
+// otherwise the smallest Chebyshev distance between any pair of points.
+func (b Box) Gap(o Box) int {
+	gx := axisGap(b.Min.X, b.Max.X, o.Min.X, o.Max.X)
+	gy := axisGap(b.Min.Y, b.Max.Y, o.Min.Y, o.Max.Y)
+	gz := axisGap(b.Min.Z, b.Max.Z, o.Min.Z, o.Max.Z)
+	return max3(gx, gy, gz)
+}
+
+func axisGap(aMin, aMax, bMin, bMax int) int {
+	if aMax < bMin {
+		return bMin - aMax
+	}
+	if bMax < aMin {
+		return aMin - bMax
+	}
+	return 0
+}
+
+// Clamp returns p clamped into the box.
+func (b Box) Clamp(p Point) Point {
+	return Point{
+		X: clamp(p.X, b.Min.X, b.Max.X),
+		Y: clamp(p.Y, b.Min.Y, b.Max.Y),
+		Z: clamp(p.Z, b.Min.Z, b.Max.Z),
+	}
+}
+
+// ForEach calls fn for every point in the box in x-fastest order.
+func (b Box) ForEach(fn func(Point)) {
+	if b.Empty() {
+		return
+	}
+	for z := b.Min.Z; z <= b.Max.Z; z++ {
+		for y := b.Min.Y; y <= b.Max.Y; y++ {
+			for x := b.Min.X; x <= b.Max.X; x++ {
+				fn(Point{x, y, z})
+			}
+		}
+	}
+}
+
+// Points returns all points of the box in x-fastest order.
+func (b Box) Points() []Point {
+	pts := make([]Point, 0, b.Volume())
+	b.ForEach(func(p Point) { pts = append(pts, p) })
+	return pts
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

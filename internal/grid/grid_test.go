@@ -1,0 +1,228 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattan(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want int
+	}{
+		{Point{0, 0, 0}, Point{0, 0, 0}, 0},
+		{Point{1, 2, 3}, Point{1, 2, 3}, 0},
+		{Point{0, 0, 0}, Point{3, 4, 5}, 12},
+		{Point{5, 0, 2}, Point{0, 7, 2}, 12},
+		{Point{-2, 0, 0}, Point{2, 0, 0}, 4},
+	}
+	for _, c := range cases {
+		if got := Manhattan(c.p, c.q); got != c.want {
+			t.Errorf("Manhattan(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+		}
+		if got := Manhattan(c.q, c.p); got != c.want {
+			t.Errorf("Manhattan(%v,%v) = %d, want %d (symmetry)", c.q, c.p, got, c.want)
+		}
+	}
+}
+
+func TestChebyshev(t *testing.T) {
+	if got := Chebyshev(Point{1, 2, 3}, Point{4, 0, 3}); got != 3 {
+		t.Errorf("Chebyshev = %d, want 3", got)
+	}
+}
+
+func TestPointAxisRoundTrip(t *testing.T) {
+	p := Point{3, -1, 7}
+	for _, a := range Axes3D {
+		q := p.WithAxis(a, 42)
+		if q.Axis(a) != 42 {
+			t.Errorf("WithAxis(%v) not reflected by Axis", a)
+		}
+		for _, b := range Axes3D {
+			if b != a && q.Axis(b) != p.Axis(b) {
+				t.Errorf("WithAxis(%v) modified axis %v", a, b)
+			}
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	if !Dominates(Point{0, 0, 0}, Point{1, 2, 3}) {
+		t.Error("origin should dominate positive point")
+	}
+	if Dominates(Point{1, 0, 0}, Point{0, 5, 5}) {
+		t.Error("should not dominate when one axis decreases")
+	}
+}
+
+func TestDirectionBasics(t *testing.T) {
+	for _, d := range Directions3D {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("%v: opposite of opposite is not identity", d)
+		}
+		if d.Opposite().Axis() != d.Axis() {
+			t.Errorf("%v: opposite changes axis", d)
+		}
+		if d.Positive() == d.Opposite().Positive() {
+			t.Errorf("%v: opposite has same sign", d)
+		}
+		delta := d.Delta()
+		sum := delta.X + delta.Y + delta.Z
+		if sum != 1 && sum != -1 {
+			t.Errorf("%v: delta %v is not a unit step", d, delta)
+		}
+		if DirectionOf(d.Axis(), sign(d)) != d {
+			t.Errorf("DirectionOf(%v, %d) != %v", d.Axis(), sign(d), d)
+		}
+	}
+}
+
+func sign(d Direction) int {
+	if d.Positive() {
+		return 1
+	}
+	return -1
+}
+
+func TestStep(t *testing.T) {
+	p := Point{2, 2, 2}
+	if got := Step(p, XPos); got != (Point{3, 2, 2}) {
+		t.Errorf("Step +X = %v", got)
+	}
+	if got := Step(p, ZNeg); got != (Point{2, 2, 1}) {
+		t.Errorf("Step -Z = %v", got)
+	}
+}
+
+func TestBoxOfContains(t *testing.T) {
+	b := BoxOf(Point{3, 1, 2}, Point{0, 4, 2})
+	if b.Min != (Point{0, 1, 2}) || b.Max != (Point{3, 4, 2}) {
+		t.Fatalf("BoxOf wrong: %v", b)
+	}
+	if !b.Contains(Point{2, 2, 2}) || b.Contains(Point{2, 2, 3}) {
+		t.Error("Contains wrong")
+	}
+	if b.Volume() != 4*4*1 {
+		t.Errorf("Volume = %d", b.Volume())
+	}
+	count := 0
+	b.ForEach(func(Point) { count++ })
+	if count != b.Volume() {
+		t.Errorf("ForEach visited %d points, want %d", count, b.Volume())
+	}
+}
+
+func TestBoxEmpty(t *testing.T) {
+	b := Box{Min: Point{1, 0, 0}, Max: Point{0, 0, 0}}
+	if !b.Empty() || b.Volume() != 0 {
+		t.Error("expected empty box")
+	}
+	ext := b.Extend(Point{5, 5, 5})
+	if ext.Min != (Point{5, 5, 5}) || ext.Max != (Point{5, 5, 5}) {
+		t.Errorf("Extend of empty box = %v", ext)
+	}
+}
+
+func TestBoxGap(t *testing.T) {
+	a := Box{Min: Point{0, 0, 0}, Max: Point{2, 2, 0}}
+	b := Box{Min: Point{3, 0, 0}, Max: Point{5, 2, 0}}
+	if g := a.Gap(b); g != 1 {
+		t.Errorf("abutting boxes gap = %d, want 1", g)
+	}
+	c := Box{Min: Point{2, 2, 0}, Max: Point{4, 4, 0}}
+	if g := a.Gap(c); g != 0 {
+		t.Errorf("overlapping boxes gap = %d, want 0", g)
+	}
+	far := Box{Min: Point{10, 10, 10}, Max: Point{11, 11, 11}}
+	if g := a.Gap(far); g != 10 {
+		t.Errorf("far boxes gap = %d, want 10", g)
+	}
+}
+
+func TestBoxUnionIntersects(t *testing.T) {
+	a := Box{Min: Point{0, 0, 0}, Max: Point{1, 1, 1}}
+	b := Box{Min: Point{3, 3, 3}, Max: Point{4, 4, 4}}
+	u := a.Union(b)
+	if !u.Contains(Point{2, 2, 2}) {
+		t.Error("union should cover the gap")
+	}
+	if a.Intersects(b) {
+		t.Error("disjoint boxes should not intersect")
+	}
+	if !a.Intersects(u) {
+		t.Error("box should intersect its union")
+	}
+}
+
+func TestOrientationOf(t *testing.T) {
+	o := OrientationOf(Point{5, 5, 5}, Point{2, 8, 5})
+	if o.SX != -1 || o.SY != 1 || o.SZ != 1 {
+		t.Errorf("OrientationOf = %+v", o)
+	}
+	if !o.Valid() {
+		t.Error("orientation should be valid")
+	}
+	if o.Forward(AxisX) != XNeg || o.Backward(AxisX) != XPos {
+		t.Error("forward/backward on X wrong")
+	}
+}
+
+func TestOrientationIndexRoundTrip(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		o := OrientationFromIndex(i)
+		if o.Index() != i {
+			t.Errorf("index round trip failed for %d: %+v", i, o)
+		}
+	}
+	if len(AllOrientations3D()) != 8 || len(AllOrientations2D()) != 4 {
+		t.Error("orientation enumeration sizes wrong")
+	}
+}
+
+func TestOrientationCanonRoundTrip(t *testing.T) {
+	f := func(sx, sy, sz bool, srcX, srcY, srcZ, pX, pY, pZ int8) bool {
+		o := PositiveOrientation
+		if sx {
+			o.SX = -1
+		}
+		if sy {
+			o.SY = -1
+		}
+		if sz {
+			o.SZ = -1
+		}
+		src := Point{int(srcX), int(srcY), int(srcZ)}
+		p := Point{int(pX), int(pY), int(pZ)}
+		return o.Uncanon(src, o.Canon(src, p)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientationCanonAhead(t *testing.T) {
+	// Moving "ahead" in mesh coordinates must increase the canonical
+	// coordinate by exactly one on that axis and leave the others unchanged.
+	for _, o := range AllOrientations3D() {
+		src := Point{4, 4, 4}
+		p := Point{6, 2, 5}
+		for _, a := range Axes3D {
+			q := o.Ahead(p, a)
+			cp, cq := o.Canon(src, p), o.Canon(src, q)
+			if cq.Axis(a) != cp.Axis(a)+1 {
+				t.Errorf("orientation %v axis %v: canonical did not advance", o, a)
+			}
+		}
+	}
+}
+
+func TestSignClamp(t *testing.T) {
+	if Sign(-3) != -1 || Sign(0) != 0 || Sign(9) != 1 {
+		t.Error("Sign wrong")
+	}
+	b := Box{Min: Point{0, 0, 0}, Max: Point{5, 5, 5}}
+	if b.Clamp(Point{-3, 9, 2}) != (Point{0, 5, 2}) {
+		t.Error("Clamp wrong")
+	}
+}

@@ -1,0 +1,156 @@
+package grid
+
+import "fmt"
+
+// Orientation is the per-axis sign of travel from a source toward a
+// destination. The paper assumes the destination lies in the all-positive
+// octant relative to the source; Orientation generalises every algorithm to
+// the other octants (quadrants in 2-D) by re-labelling which physical
+// direction counts as "+X", "+Y" and "+Z".
+//
+// The zero value is not valid; use OrientationOf or PositiveOrientation.
+type Orientation struct {
+	// SX, SY, SZ are each +1 or -1.
+	SX, SY, SZ int
+}
+
+// PositiveOrientation is the canonical all-positive orientation used when the
+// destination dominates the source, matching the paper's default setting.
+var PositiveOrientation = Orientation{SX: 1, SY: 1, SZ: 1}
+
+// OrientationOf returns the orientation of travel from s to d. Axes on which
+// s and d agree default to the positive direction (no move is needed on them,
+// so the choice does not affect minimal routing).
+func OrientationOf(s, d Point) Orientation {
+	o := Orientation{SX: Sign(d.X - s.X), SY: Sign(d.Y - s.Y), SZ: Sign(d.Z - s.Z)}
+	if o.SX == 0 {
+		o.SX = 1
+	}
+	if o.SY == 0 {
+		o.SY = 1
+	}
+	if o.SZ == 0 {
+		o.SZ = 1
+	}
+	return o
+}
+
+// Valid reports whether every sign is +1 or -1.
+func (o Orientation) Valid() bool {
+	ok := func(v int) bool { return v == 1 || v == -1 }
+	return ok(o.SX) && ok(o.SY) && ok(o.SZ)
+}
+
+// String implements fmt.Stringer.
+func (o Orientation) String() string {
+	s := func(v int) string {
+		if v >= 0 {
+			return "+"
+		}
+		return "-"
+	}
+	return fmt.Sprintf("(%sX,%sY,%sZ)", s(o.SX), s(o.SY), s(o.SZ))
+}
+
+// Sign returns the orientation's sign along axis a.
+func (o Orientation) Sign(a Axis) int {
+	switch a {
+	case AxisX:
+		return o.SX
+	case AxisY:
+		return o.SY
+	default:
+		return o.SZ
+	}
+}
+
+// Forward returns the "positive" direction of the orientation along axis a,
+// i.e. the direction a minimal route moves on that axis.
+func (o Orientation) Forward(a Axis) Direction {
+	return DirectionOf(a, o.Sign(a))
+}
+
+// Backward returns the "negative" direction of the orientation along axis a.
+func (o Orientation) Backward(a Axis) Direction {
+	return DirectionOf(a, -o.Sign(a))
+}
+
+// Ahead returns p moved one hop forward (toward the destination) on axis a.
+func (o Orientation) Ahead(p Point, a Axis) Point {
+	return Step(p, o.Forward(a))
+}
+
+// Behind returns p moved one hop backward on axis a.
+func (o Orientation) Behind(p Point, a Axis) Point {
+	return Step(p, o.Backward(a))
+}
+
+// Index returns a stable index in [0,8) identifying the orientation
+// (octant number). Useful for caching per-orientation labelings.
+func (o Orientation) Index() int {
+	idx := 0
+	if o.SX < 0 {
+		idx |= 1
+	}
+	if o.SY < 0 {
+		idx |= 2
+	}
+	if o.SZ < 0 {
+		idx |= 4
+	}
+	return idx
+}
+
+// OrientationFromIndex is the inverse of Orientation.Index.
+func OrientationFromIndex(idx int) Orientation {
+	o := PositiveOrientation
+	if idx&1 != 0 {
+		o.SX = -1
+	}
+	if idx&2 != 0 {
+		o.SY = -1
+	}
+	if idx&4 != 0 {
+		o.SZ = -1
+	}
+	return o
+}
+
+// AllOrientations3D lists the eight octant orientations of a 3-D mesh.
+func AllOrientations3D() []Orientation {
+	out := make([]Orientation, 8)
+	for i := range out {
+		out[i] = OrientationFromIndex(i)
+	}
+	return out
+}
+
+// AllOrientations2D lists the four quadrant orientations of a 2-D mesh
+// (SZ fixed to +1).
+func AllOrientations2D() []Orientation {
+	out := make([]Orientation, 4)
+	for i := range out {
+		out[i] = OrientationFromIndex(i)
+	}
+	return out
+}
+
+// Canon maps a mesh point into the orientation's canonical frame anchored at
+// src: the returned point has non-negative coordinates exactly for points in
+// the "ahead" octant of src.
+func (o Orientation) Canon(src, p Point) Point {
+	return Point{
+		X: (p.X - src.X) * o.SX,
+		Y: (p.Y - src.Y) * o.SY,
+		Z: (p.Z - src.Z) * o.SZ,
+	}
+}
+
+// Uncanon maps a canonical-frame point back to mesh coordinates.
+func (o Orientation) Uncanon(src, q Point) Point {
+	return Point{
+		X: src.X + q.X*o.SX,
+		Y: src.Y + q.Y*o.SY,
+		Z: src.Z + q.Z*o.SZ,
+	}
+}

@@ -1,0 +1,102 @@
+// Package grid provides the integer-lattice geometry shared by every other
+// package in the repository: points, boxes, axes, directions, orientations
+// (the per-axis sign of travel from a source toward a destination) and small
+// helpers for Manhattan distance and dominance tests.
+//
+// All algorithms in the paper are stated for a source at the origin and a
+// destination with non-negative coordinates; Orientation generalises them to
+// arbitrary source/destination placements without copying the mesh.
+package grid
+
+import "fmt"
+
+// Point is a node coordinate in a 2-D or 3-D mesh. 2-D meshes use Z == 0.
+type Point struct {
+	X, Y, Z int
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", p.X, p.Y, p.Z)
+}
+
+// Add returns the componentwise sum p+q.
+func (p Point) Add(q Point) Point {
+	return Point{p.X + q.X, p.Y + q.Y, p.Z + q.Z}
+}
+
+// Sub returns the componentwise difference p-q.
+func (p Point) Sub(q Point) Point {
+	return Point{p.X - q.X, p.Y - q.Y, p.Z - q.Z}
+}
+
+// Axis returns the coordinate of p along axis a.
+func (p Point) Axis(a Axis) int {
+	switch a {
+	case AxisX:
+		return p.X
+	case AxisY:
+		return p.Y
+	default:
+		return p.Z
+	}
+}
+
+// WithAxis returns a copy of p with the coordinate along axis a replaced by v.
+func (p Point) WithAxis(a Axis, v int) Point {
+	switch a {
+	case AxisX:
+		p.X = v
+	case AxisY:
+		p.Y = v
+	default:
+		p.Z = v
+	}
+	return p
+}
+
+// Manhattan returns the L1 distance between p and q, the routing distance
+// D(p,q) used throughout the paper.
+func Manhattan(p, q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y) + abs(p.Z-q.Z)
+}
+
+// Chebyshev returns the L∞ distance between p and q.
+func Chebyshev(p, q Point) int {
+	return max3(abs(p.X-q.X), abs(p.Y-q.Y), abs(p.Z-q.Z))
+}
+
+// Dominates reports whether q is reachable from p using only non-negative
+// moves, i.e. p ≤ q componentwise.
+func Dominates(p, q Point) bool {
+	return p.X <= q.X && p.Y <= q.Y && p.Z <= q.Z
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// Sign returns -1, 0 or 1 according to the sign of v.
+func Sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,286 @@
+// Package labeling implements the node labelling procedures at the heart of
+// the MCC fault-information model: Algorithm 1 of the paper for 2-D meshes and
+// Algorithm 4 for 3-D meshes.
+//
+// Given a mesh with faulty nodes and an orientation (the signs of travel from
+// the source toward the destination), every node receives one of four
+// statuses:
+//
+//   - Faulty: the node itself failed.
+//   - Useless: a healthy node all of whose forward neighbours (toward the
+//     destination, on every active axis) are faulty or useless. Entering it
+//     forces a backward move, so it can never appear on a minimal path.
+//   - CantReach: a healthy node all of whose backward neighbours are faulty or
+//     can't-reach. Entering it requires a backward move in the first place.
+//   - Safe: everything else.
+//
+// Faulty, Useless and CantReach nodes are collectively "unsafe"; their
+// connected components are the paper's minimal connected components (MCCs),
+// extracted by package region.
+package labeling
+
+import (
+	"fmt"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+)
+
+// Status is the label of a node under the MCC model.
+type Status uint8
+
+// Node statuses, in the order used by the paper's labelling procedure.
+const (
+	Safe Status = iota
+	Faulty
+	Useless
+	CantReach
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Safe:
+		return "safe"
+	case Faulty:
+		return "faulty"
+	case Useless:
+		return "useless"
+	case CantReach:
+		return "cant-reach"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Unsafe reports whether the status marks a node as part of a fault region.
+func (s Status) Unsafe() bool { return s != Safe }
+
+// BorderPolicy controls how a missing neighbour (a node outside the mesh) is
+// treated by the labelling rules.
+type BorderPolicy uint8
+
+const (
+	// BorderSafe treats missing neighbours as safe. This is the default and
+	// matches the paper's definition: a healthy node is absorbed into a fault
+	// region only if using it would *definitely* force a detour, which a mesh
+	// border alone never does (the destination cannot lie beyond the border).
+	BorderSafe BorderPolicy = iota
+	// BorderBlocked treats missing neighbours like faulty nodes, producing a
+	// more conservative (larger) fault region. Provided for the E5 ablation.
+	BorderBlocked
+)
+
+// String implements fmt.Stringer.
+func (b BorderPolicy) String() string {
+	if b == BorderBlocked {
+		return "border-blocked"
+	}
+	return "border-safe"
+}
+
+// Options configure a labelling run.
+type Options struct {
+	Border BorderPolicy
+}
+
+// Labeling is the result of running the labelling procedure over a mesh for a
+// fixed orientation.
+type Labeling struct {
+	mesh    *mesh.Mesh
+	orient  grid.Orientation
+	opts    Options
+	status  []Status
+	counts  [4]int
+	rounds  int // number of fixpoint sweeps performed (diagnostic)
+	updated int // number of label promotions beyond the initial faulty marking
+}
+
+// Compute runs the labelling procedure (Algorithm 1 in 2-D, Algorithm 4 in
+// 3-D) to its fixpoint and returns the resulting labelling.
+func Compute(m *mesh.Mesh, orient grid.Orientation, opts ...Options) *Labeling {
+	if !orient.Valid() {
+		panic(fmt.Sprintf("labeling: invalid orientation %+v", orient))
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	l := &Labeling{
+		mesh:   m,
+		orient: orient,
+		opts:   o,
+		status: make([]Status, m.NodeCount()),
+	}
+	l.run()
+	return l
+}
+
+func (l *Labeling) run() {
+	m := l.mesh
+	// Step 1: label all faulty nodes faulty, everything else safe.
+	for i := 0; i < m.NodeCount(); i++ {
+		if m.FaultyAt(i) {
+			l.status[i] = Faulty
+		} else {
+			l.status[i] = Safe
+		}
+	}
+
+	axes := m.Axes()
+
+	// blockedForward reports whether, for the purpose of the Useless rule, the
+	// forward neighbour of p on axis a counts as blocked.
+	blockedForward := func(p grid.Point, a grid.Axis) bool {
+		q := l.orient.Ahead(p, a)
+		if !m.InBounds(q) {
+			return l.opts.Border == BorderBlocked
+		}
+		s := l.status[m.Index(q)]
+		return s == Faulty || s == Useless
+	}
+	blockedBackward := func(p grid.Point, a grid.Axis) bool {
+		q := l.orient.Behind(p, a)
+		if !m.InBounds(q) {
+			return l.opts.Border == BorderBlocked
+		}
+		s := l.status[m.Index(q)]
+		return s == Faulty || s == CantReach
+	}
+
+	// Worklist fixpoint: whenever a node's label is promoted, its backward
+	// (resp. forward) neighbours may now satisfy the Useless (resp. CantReach)
+	// rule, so only those need re-examination.
+	queue := make([]grid.Point, 0, m.FaultCount()*2)
+	enqueueAround := func(p grid.Point) {
+		for _, d := range m.Directions() {
+			if q, ok := m.Neighbor(p, d); ok {
+				queue = append(queue, q)
+			}
+		}
+	}
+
+	// Seed: every healthy node must be examined once (a node can be useless
+	// purely because of mesh borders under BorderBlocked, or because of
+	// directly adjacent faults).
+	m.ForEach(func(p grid.Point) { queue = append(queue, p) })
+
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		idx := m.Index(p)
+		if l.status[idx] != Safe {
+			continue
+		}
+		useless := true
+		for _, a := range axes {
+			if !blockedForward(p, a) {
+				useless = false
+				break
+			}
+		}
+		if useless {
+			l.status[idx] = Useless
+			l.updated++
+			enqueueAround(p)
+			continue
+		}
+		cantReach := true
+		for _, a := range axes {
+			if !blockedBackward(p, a) {
+				cantReach = false
+				break
+			}
+		}
+		if cantReach {
+			l.status[idx] = CantReach
+			l.updated++
+			enqueueAround(p)
+		}
+	}
+
+	for _, s := range l.status {
+		l.counts[s]++
+	}
+}
+
+// Mesh returns the mesh the labelling was computed over.
+func (l *Labeling) Mesh() *mesh.Mesh { return l.mesh }
+
+// Orientation returns the orientation the labelling was computed for.
+func (l *Labeling) Orientation() grid.Orientation { return l.orient }
+
+// Options returns the options used to compute the labelling.
+func (l *Labeling) Options() Options { return l.opts }
+
+// Status returns the label of p. Out-of-bounds points are reported Safe,
+// consistent with the BorderSafe policy; callers that need strict bounds
+// checking should consult the mesh first.
+func (l *Labeling) Status(p grid.Point) Status {
+	if !l.mesh.InBounds(p) {
+		return Safe
+	}
+	return l.status[l.mesh.Index(p)]
+}
+
+// StatusAt returns the label by dense node index.
+func (l *Labeling) StatusAt(idx int) Status { return l.status[idx] }
+
+// Unsafe reports whether p is faulty, useless or can't-reach.
+func (l *Labeling) Unsafe(p grid.Point) bool {
+	if !l.mesh.InBounds(p) {
+		return false
+	}
+	return l.status[l.mesh.Index(p)].Unsafe()
+}
+
+// Safe reports whether p is in bounds and labelled safe.
+func (l *Labeling) Safe(p grid.Point) bool {
+	return l.mesh.InBounds(p) && l.status[l.mesh.Index(p)] == Safe
+}
+
+// Count returns the number of nodes carrying the given status.
+func (l *Labeling) Count(s Status) int { return l.counts[s] }
+
+// UnsafeCount returns the total number of unsafe nodes.
+func (l *Labeling) UnsafeCount() int {
+	return l.counts[Faulty] + l.counts[Useless] + l.counts[CantReach]
+}
+
+// NonFaultyUnsafeCount returns the number of healthy nodes absorbed into fault
+// regions (the paper's first evaluation metric).
+func (l *Labeling) NonFaultyUnsafeCount() int {
+	return l.counts[Useless] + l.counts[CantReach]
+}
+
+// UnsafeNodes returns the coordinates of every unsafe node in index order.
+func (l *Labeling) UnsafeNodes() []grid.Point {
+	out := make([]grid.Point, 0, l.UnsafeCount())
+	for i, s := range l.status {
+		if s.Unsafe() {
+			out = append(out, l.mesh.Point(i))
+		}
+	}
+	return out
+}
+
+// Promotions returns how many healthy nodes were promoted to useless or
+// can't-reach (diagnostic, used by the message-overhead experiment to bound
+// the work a distributed implementation must do).
+func (l *Labeling) Promotions() int { return l.updated }
+
+// ComputeAll returns the labelling for every orientation of the mesh (four in
+// 2-D, eight in 3-D), indexed by Orientation.Index.
+func ComputeAll(m *mesh.Mesh, opts ...Options) []*Labeling {
+	var orients []grid.Orientation
+	if m.Is2D() {
+		orients = grid.AllOrientations2D()
+	} else {
+		orients = grid.AllOrientations3D()
+	}
+	out := make([]*Labeling, 8)
+	for _, o := range orients {
+		out[o.Index()] = Compute(m, o, opts...)
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+// Package mesh implements the k-ary 2-D / 3-D mesh-connected topology the
+// paper targets: nodes addressed by integer coordinates, links between nodes
+// whose addresses differ by one in exactly one dimension, and a mutable set of
+// faulty nodes. Link faults are modelled, as in the paper, by disabling the
+// adjacent nodes (see package fault).
+package mesh
+
+import (
+	"fmt"
+
+	"mccmesh/internal/grid"
+)
+
+// Dims describes the extent of a mesh along each axis. A 2-D mesh has Z == 1.
+type Dims struct {
+	X, Y, Z int
+}
+
+// String implements fmt.Stringer.
+func (d Dims) String() string {
+	if d.Z <= 1 {
+		return fmt.Sprintf("%dx%d", d.X, d.Y)
+	}
+	return fmt.Sprintf("%dx%dx%d", d.X, d.Y, d.Z)
+}
+
+// Nodes returns the total number of nodes in a mesh with these dimensions.
+func (d Dims) Nodes() int { return d.X * d.Y * d.Z }
+
+// Is2D reports whether the dimensions describe a 2-D mesh.
+func (d Dims) Is2D() bool { return d.Z <= 1 }
+
+// Valid reports whether every extent is at least 1 (and at least 2 on the
+// first two axes, the minimum for a mesh to have links).
+func (d Dims) Valid() bool { return d.X >= 1 && d.Y >= 1 && d.Z >= 1 }
+
+// Mesh is a k-ary 2-D or 3-D mesh with per-node fault status.
+//
+// The zero value is not usable; construct meshes with New2D or New3D.
+type Mesh struct {
+	dims   Dims
+	faulty []bool
+	nfault int
+}
+
+// New3D returns a fault-free 3-D mesh with the given extents.
+func New3D(x, y, z int) *Mesh {
+	return newMesh(Dims{x, y, z})
+}
+
+// New2D returns a fault-free 2-D mesh with the given extents.
+func New2D(x, y int) *Mesh {
+	return newMesh(Dims{x, y, 1})
+}
+
+// NewCube returns a k × k × k 3-D mesh.
+func NewCube(k int) *Mesh {
+	return New3D(k, k, k)
+}
+
+func newMesh(d Dims) *Mesh {
+	if !d.Valid() {
+		panic(fmt.Sprintf("mesh: invalid dimensions %v", d))
+	}
+	return &Mesh{
+		dims:   d,
+		faulty: make([]bool, d.Nodes()),
+	}
+}
+
+// Dims returns the mesh dimensions.
+func (m *Mesh) Dims() Dims { return m.dims }
+
+// Is2D reports whether the mesh is two-dimensional (Z extent 1).
+func (m *Mesh) Is2D() bool { return m.dims.Is2D() }
+
+// Axes returns the active axes of the mesh: {X,Y} for 2-D, {X,Y,Z} for 3-D.
+func (m *Mesh) Axes() []grid.Axis {
+	if m.Is2D() {
+		return grid.Axes2D
+	}
+	return grid.Axes3D
+}
+
+// Directions returns the neighbouring directions of the mesh: four in 2-D,
+// six in 3-D.
+func (m *Mesh) Directions() []grid.Direction {
+	if m.Is2D() {
+		return grid.Directions2D
+	}
+	return grid.Directions3D
+}
+
+// NodeCount returns the total number of nodes.
+func (m *Mesh) NodeCount() int { return m.dims.Nodes() }
+
+// FaultCount returns the number of faulty nodes.
+func (m *Mesh) FaultCount() int { return m.nfault }
+
+// Bounds returns the inclusive box of valid coordinates.
+func (m *Mesh) Bounds() grid.Box {
+	return grid.Box{Min: grid.Point{}, Max: grid.Point{X: m.dims.X - 1, Y: m.dims.Y - 1, Z: m.dims.Z - 1}}
+}
+
+// InBounds reports whether p is a valid node address.
+func (m *Mesh) InBounds(p grid.Point) bool {
+	return p.X >= 0 && p.X < m.dims.X &&
+		p.Y >= 0 && p.Y < m.dims.Y &&
+		p.Z >= 0 && p.Z < m.dims.Z
+}
+
+// Index returns the dense index of p. It panics if p is out of bounds.
+func (m *Mesh) Index(p grid.Point) int {
+	if !m.InBounds(p) {
+		panic(fmt.Sprintf("mesh: point %v out of bounds for %v", p, m.dims))
+	}
+	return p.X + m.dims.X*(p.Y+m.dims.Y*p.Z)
+}
+
+// Point is the inverse of Index.
+func (m *Mesh) Point(idx int) grid.Point {
+	x := idx % m.dims.X
+	idx /= m.dims.X
+	y := idx % m.dims.Y
+	z := idx / m.dims.Y
+	return grid.Point{X: x, Y: y, Z: z}
+}
+
+// SetFaulty marks p as faulty (true) or healthy (false).
+func (m *Mesh) SetFaulty(p grid.Point, faulty bool) {
+	idx := m.Index(p)
+	if m.faulty[idx] == faulty {
+		return
+	}
+	m.faulty[idx] = faulty
+	if faulty {
+		m.nfault++
+	} else {
+		m.nfault--
+	}
+}
+
+// AddFaults marks every listed point faulty.
+func (m *Mesh) AddFaults(pts ...grid.Point) {
+	for _, p := range pts {
+		m.SetFaulty(p, true)
+	}
+}
+
+// IsFaulty reports whether p is a faulty node. Out-of-bounds points are not
+// faulty (they simply do not exist).
+func (m *Mesh) IsFaulty(p grid.Point) bool {
+	if !m.InBounds(p) {
+		return false
+	}
+	return m.faulty[m.Index(p)]
+}
+
+// IsHealthy reports whether p is an in-bounds, non-faulty node.
+func (m *Mesh) IsHealthy(p grid.Point) bool {
+	return m.InBounds(p) && !m.faulty[m.Index(p)]
+}
+
+// FaultyAt reports the fault flag by dense index.
+func (m *Mesh) FaultyAt(idx int) bool { return m.faulty[idx] }
+
+// Faults returns the coordinates of all faulty nodes in index order.
+func (m *Mesh) Faults() []grid.Point {
+	out := make([]grid.Point, 0, m.nfault)
+	for i, f := range m.faulty {
+		if f {
+			out = append(out, m.Point(i))
+		}
+	}
+	return out
+}
+
+// ClearFaults removes every fault.
+func (m *Mesh) ClearFaults() {
+	for i := range m.faulty {
+		m.faulty[i] = false
+	}
+	m.nfault = 0
+}
+
+// Clone returns a deep copy of the mesh.
+func (m *Mesh) Clone() *Mesh {
+	c := &Mesh{dims: m.dims, faulty: make([]bool, len(m.faulty)), nfault: m.nfault}
+	copy(c.faulty, m.faulty)
+	return c
+}
+
+// Neighbors appends to dst the in-bounds neighbours of p (regardless of fault
+// status) and returns the extended slice. The order follows
+// Directions3D/Directions2D.
+func (m *Mesh) Neighbors(dst []grid.Point, p grid.Point) []grid.Point {
+	for _, d := range m.Directions() {
+		q := grid.Step(p, d)
+		if m.InBounds(q) {
+			dst = append(dst, q)
+		}
+	}
+	return dst
+}
+
+// Neighbor returns the neighbour of p in direction d and whether it exists.
+func (m *Mesh) Neighbor(p grid.Point, d grid.Direction) (grid.Point, bool) {
+	q := grid.Step(p, d)
+	return q, m.InBounds(q)
+}
+
+// Degree returns the number of in-bounds neighbours of p.
+func (m *Mesh) Degree(p grid.Point) int {
+	n := 0
+	for _, d := range m.Directions() {
+		if m.InBounds(grid.Step(p, d)) {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach calls fn for every node of the mesh in index order.
+func (m *Mesh) ForEach(fn func(grid.Point)) {
+	for i := range m.faulty {
+		fn(m.Point(i))
+	}
+}
+
+// HealthyNodes returns all non-faulty node coordinates in index order.
+func (m *Mesh) HealthyNodes() []grid.Point {
+	out := make([]grid.Point, 0, m.NodeCount()-m.nfault)
+	for i, f := range m.faulty {
+		if !f {
+			out = append(out, m.Point(i))
+		}
+	}
+	return out
+}
+
+// Diameter returns the network diameter (k-1)*n of the mesh.
+func (m *Mesh) Diameter() int {
+	d := (m.dims.X - 1) + (m.dims.Y - 1)
+	if !m.Is2D() {
+		d += m.dims.Z - 1
+	}
+	return d
+}

@@ -1,0 +1,73 @@
+// Package meshtest provides shared helpers for randomised tests: small random
+// fault configurations and safe source/destination sampling. It is used only
+// from _test.go files but lives in a normal package so every test suite can
+// share it.
+package meshtest
+
+import (
+	"mccmesh/internal/fault"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/rng"
+)
+
+// Random2D returns a 2-D mesh of the given extent with n uniform random
+// faults, never touching the four mesh corners (so a safe source/destination
+// pair always exists in tests that need one).
+func Random2D(r *rng.Rand, k, n int) *mesh.Mesh {
+	m := mesh.New2D(k, k)
+	inj := fault.Uniform{Count: n, Protected: corners(m)}
+	inj.Inject(m, r)
+	return m
+}
+
+// Random3D returns a 3-D mesh of the given extent with n uniform random
+// faults, never touching the eight mesh corners.
+func Random3D(r *rng.Rand, k, n int) *mesh.Mesh {
+	m := mesh.New3D(k, k, k)
+	inj := fault.Uniform{Count: n, Protected: corners(m)}
+	inj.Inject(m, r)
+	return m
+}
+
+func corners(m *mesh.Mesh) []grid.Point {
+	b := m.Bounds()
+	pts := []grid.Point{
+		b.Min,
+		{X: b.Max.X, Y: b.Min.Y, Z: b.Min.Z},
+		{X: b.Min.X, Y: b.Max.Y, Z: b.Min.Z},
+		{X: b.Max.X, Y: b.Max.Y, Z: b.Min.Z},
+	}
+	if !m.Is2D() {
+		pts = append(pts,
+			grid.Point{X: b.Min.X, Y: b.Min.Y, Z: b.Max.Z},
+			grid.Point{X: b.Max.X, Y: b.Min.Y, Z: b.Max.Z},
+			grid.Point{X: b.Min.X, Y: b.Max.Y, Z: b.Max.Z},
+			b.Max,
+		)
+	}
+	return pts
+}
+
+// SafePair samples a source/destination pair that is safe under the labelling
+// computed for the orientation between them, with Manhattan distance at least
+// minDist. It returns ok == false if no such pair was found within the attempt
+// budget.
+func SafePair(r *rng.Rand, m *mesh.Mesh, minDist int) (s, d grid.Point, ok bool) {
+	for attempt := 0; attempt < 400; attempt++ {
+		s = m.Point(r.Intn(m.NodeCount()))
+		d = m.Point(r.Intn(m.NodeCount()))
+		if grid.Manhattan(s, d) < minDist {
+			continue
+		}
+		if m.IsFaulty(s) || m.IsFaulty(d) {
+			continue
+		}
+		l := labeling.Compute(m, grid.OrientationOf(s, d))
+		if l.Safe(s) && l.Safe(d) {
+			return s, d, true
+		}
+	}
+	return grid.Point{}, grid.Point{}, false
+}

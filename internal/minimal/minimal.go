@@ -1,0 +1,234 @@
+// Package minimal provides ground-truth computations about minimal (shortest,
+// i.e. monotone) paths in a mesh: existence of a monotone path between two
+// nodes that avoids an arbitrary obstacle set, extraction of one such path,
+// and the full reachability field used by the oracle routing provider.
+//
+// A routing path from s to d is minimal exactly when every hop moves toward d,
+// so minimal paths coincide with monotone lattice paths inside the box spanned
+// by s and d. These routines are the reference the MCC model is validated
+// against: by the paper's "ultimate fault region" property, a minimal path
+// avoiding faults exists iff one avoiding all MCC (unsafe) nodes exists.
+package minimal
+
+import (
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+)
+
+// Avoid reports whether a node must not be used by a path. Implementations
+// typically close over a labelling, a fault set or a single fault component.
+type Avoid func(grid.Point) bool
+
+// AvoidNone permits every node.
+func AvoidNone(grid.Point) bool { return false }
+
+// AvoidFaulty returns an Avoid that rejects exactly the faulty nodes of m.
+func AvoidFaulty(m *mesh.Mesh) Avoid {
+	return func(p grid.Point) bool { return m.IsFaulty(p) }
+}
+
+// Exists reports whether a monotone path from s to d exists inside the mesh
+// that avoids every node rejected by avoid. The endpoints themselves must be
+// acceptable to avoid; otherwise Exists returns false (unless s == d and s is
+// acceptable).
+func Exists(m *mesh.Mesh, avoid Avoid, s, d grid.Point) bool {
+	f := Reachability(m, avoid, s, d)
+	return f.CanReach(s)
+}
+
+// Field is the monotone-reachability field toward a fixed destination within
+// the box spanned by a source and destination: for every node p in the box,
+// whether a monotone path p → d avoiding the obstacle set exists.
+type Field struct {
+	m      *mesh.Mesh
+	orient grid.Orientation
+	box    grid.Box
+	d      grid.Point
+	reach  []bool
+	dims   [3]int
+}
+
+// Reachability computes the monotone-reachability field toward d over the box
+// spanned by s and d, treating avoid-rejected nodes as obstacles.
+func Reachability(m *mesh.Mesh, avoid Avoid, s, d grid.Point) *Field {
+	orient := grid.OrientationOf(s, d)
+	box := grid.BoxOf(s, d)
+	f := &Field{
+		m:      m,
+		orient: orient,
+		box:    box,
+		d:      d,
+		dims: [3]int{
+			box.Max.X - box.Min.X + 1,
+			box.Max.Y - box.Min.Y + 1,
+			box.Max.Z - box.Min.Z + 1,
+		},
+	}
+	f.reach = make([]bool, f.dims[0]*f.dims[1]*f.dims[2])
+
+	axes := m.Axes()
+	// Process points in decreasing order of remaining distance to d, so each
+	// node's forward neighbours are already resolved. Iterating the canonical
+	// coordinates from the destination backwards achieves this.
+	dc := orient.Canon(s, d) // componentwise ≥ 0
+	for cz := dc.Z; cz >= 0; cz-- {
+		for cy := dc.Y; cy >= 0; cy-- {
+			for cx := dc.X; cx >= 0; cx-- {
+				c := grid.Point{X: cx, Y: cy, Z: cz}
+				p := orient.Uncanon(s, c)
+				if avoid(p) {
+					continue
+				}
+				if p == d {
+					f.set(p, true)
+					continue
+				}
+				ok := false
+				for _, a := range axes {
+					if c.Axis(a) >= dc.Axis(a) {
+						continue // already aligned with d on this axis
+					}
+					q := orient.Ahead(p, a)
+					if f.at(q) {
+						ok = true
+						break
+					}
+				}
+				f.set(p, ok)
+			}
+		}
+	}
+	return f
+}
+
+func (f *Field) index(p grid.Point) int {
+	x := p.X - f.box.Min.X
+	y := p.Y - f.box.Min.Y
+	z := p.Z - f.box.Min.Z
+	return x + f.dims[0]*(y+f.dims[1]*z)
+}
+
+func (f *Field) at(p grid.Point) bool {
+	if !f.box.Contains(p) {
+		return false
+	}
+	return f.reach[f.index(p)]
+}
+
+func (f *Field) set(p grid.Point, v bool) { f.reach[f.index(p)] = v }
+
+// CanReach reports whether a monotone path from p to the field's destination
+// exists. Points outside the field's box cannot be on any minimal path and
+// report false.
+func (f *Field) CanReach(p grid.Point) bool { return f.at(p) }
+
+// Destination returns the destination the field was computed for.
+func (f *Field) Destination() grid.Point { return f.d }
+
+// Orientation returns the travel orientation of the field.
+func (f *Field) Orientation() grid.Orientation { return f.orient }
+
+// Path returns one monotone path from s to d avoiding the obstacles the field
+// was built with, or nil if none exists. The path includes both endpoints.
+func Path(m *mesh.Mesh, avoid Avoid, s, d grid.Point) []grid.Point {
+	f := Reachability(m, avoid, s, d)
+	if !f.CanReach(s) {
+		return nil
+	}
+	axes := m.Axes()
+	path := []grid.Point{s}
+	cur := s
+	for cur != d {
+		moved := false
+		for _, a := range axes {
+			if cur.Axis(a) == d.Axis(a) {
+				continue
+			}
+			q := f.orient.Ahead(cur, a)
+			if f.CanReach(q) {
+				cur = q
+				path = append(path, cur)
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			// Unreachable by construction of the field; guard against bugs.
+			return nil
+		}
+	}
+	return path
+}
+
+// IsMinimalPath reports whether path is a valid minimal path from s to d over
+// the mesh: consecutive hops are mesh neighbours, every hop strictly reduces
+// the distance to d, no node is rejected by avoid, and the endpoints match.
+func IsMinimalPath(m *mesh.Mesh, avoid Avoid, s, d grid.Point, path []grid.Point) bool {
+	if len(path) == 0 || path[0] != s || path[len(path)-1] != d {
+		return false
+	}
+	if len(path) != grid.Manhattan(s, d)+1 {
+		return false
+	}
+	for i, p := range path {
+		if !m.InBounds(p) || avoid(p) {
+			return false
+		}
+		if i == 0 {
+			continue
+		}
+		if grid.Manhattan(path[i-1], p) != 1 {
+			return false
+		}
+		if grid.Manhattan(p, d) != grid.Manhattan(path[i-1], d)-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// CountPaths returns the number of distinct monotone paths from s to d that
+// avoid the obstacle set, saturating at the given cap (use cap <= 0 for no
+// cap). It is used by the adaptivity experiment (E6).
+func CountPaths(m *mesh.Mesh, avoid Avoid, s, d grid.Point, cap int) int {
+	orient := grid.OrientationOf(s, d)
+	box := grid.BoxOf(s, d)
+	dims := [3]int{box.Max.X - box.Min.X + 1, box.Max.Y - box.Min.Y + 1, box.Max.Z - box.Min.Z + 1}
+	counts := make([]int, dims[0]*dims[1]*dims[2])
+	index := func(p grid.Point) int {
+		return (p.X - box.Min.X) + dims[0]*((p.Y-box.Min.Y)+dims[1]*(p.Z-box.Min.Z))
+	}
+	sat := func(v int) int {
+		if cap > 0 && v > cap {
+			return cap
+		}
+		return v
+	}
+	axes := m.Axes()
+	dc := orient.Canon(s, d)
+	for cz := dc.Z; cz >= 0; cz-- {
+		for cy := dc.Y; cy >= 0; cy-- {
+			for cx := dc.X; cx >= 0; cx-- {
+				c := grid.Point{X: cx, Y: cy, Z: cz}
+				p := orient.Uncanon(s, c)
+				if avoid(p) {
+					continue
+				}
+				if p == d {
+					counts[index(p)] = 1
+					continue
+				}
+				total := 0
+				for _, a := range axes {
+					if c.Axis(a) >= dc.Axis(a) {
+						continue
+					}
+					q := orient.Ahead(p, a)
+					total = sat(total + counts[index(q)])
+				}
+				counts[index(p)] = total
+			}
+		}
+	}
+	return counts[index(s)]
+}

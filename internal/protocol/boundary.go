@@ -1,0 +1,361 @@
+package protocol
+
+import (
+	"sort"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/region"
+	"mccmesh/internal/simnet"
+)
+
+// identMsg travels around an MCC perimeter collecting corner coordinates
+// (Algorithm 2 step 2). Clockwise and counter-clockwise copies start at the
+// initialization corner and meet at the opposite corner.
+type identMsg struct {
+	Component int
+	Clockwise bool
+	Corners   []grid.Point
+	Returning bool
+	Remaining []grid.Point // precomputed hop sequence to follow
+}
+
+// boundaryMsg propagates an MCC record along a boundary line, merging the
+// forbidden-region information of any MCC it meets on the way
+// (Algorithm 2 step 3 / Algorithm 5 step 4).
+type boundaryMsg struct {
+	// Components is the merged set of MCC IDs whose information this boundary
+	// carries (the original MCC plus every MCC the boundary joined).
+	Components []int
+	// Walk is the walk axis (the boundary direction, travelled backward) and
+	// Turn the axis used to route around intervening MCCs.
+	Walk, Turn grid.Axis
+}
+
+// infoHandler runs the identification and boundary-construction protocols.
+type infoHandler struct {
+	lab    *labeling.Labeling
+	cs     *region.ComponentSet
+	orient grid.Orientation
+
+	identDone map[int]int // component -> number of identification messages back at the corner
+}
+
+const recordsKey = "mcc-records"
+
+func (h *infoHandler) Init(*simnet.Context) {}
+
+func (h *infoHandler) Receive(ctx *simnet.Context, env simnet.Envelope) {
+	switch msg := env.Payload.(type) {
+	case identMsg:
+		h.stepIdentify(ctx, msg)
+	case boundaryMsg:
+		h.stepBoundary(ctx, msg)
+	}
+}
+
+// stepIdentify forwards an identification message one hop along its
+// precomputed perimeter itinerary, collecting corner coordinates on the
+// outbound leg.
+func (h *infoHandler) stepIdentify(ctx *simnet.Context, msg identMsg) {
+	self := ctx.Self()
+	if !msg.Returning && h.isCorner(self, msg.Component) {
+		msg.Corners = append(append([]grid.Point(nil), msg.Corners...), self)
+	}
+	if len(msg.Remaining) == 0 {
+		// Back at the initialization corner: the shape is stable once both
+		// messages have returned.
+		if h.identDone == nil {
+			h.identDone = make(map[int]int)
+		}
+		h.identDone[msg.Component]++
+		return
+	}
+	next := msg.Remaining[0]
+	msg.Remaining = msg.Remaining[1:]
+	if grid.Manhattan(self, next) == 1 {
+		ctx.Send(next, KindIdentify, msg)
+		return
+	}
+	// Perimeter steps across a convex corner are two hops (through the shared
+	// safe neighbour); route through an intermediate node.
+	mid := grid.Point{X: self.X, Y: next.Y, Z: self.Z}
+	if !h.lab.Mesh().InBounds(mid) || h.lab.Unsafe(mid) {
+		mid = grid.Point{X: next.X, Y: self.Y, Z: self.Z}
+	}
+	if !h.lab.Mesh().InBounds(mid) || grid.Manhattan(self, mid) != 1 {
+		return // give up on this leg; the opposite message still covers the ring
+	}
+	msg.Remaining = append([]grid.Point{next}, msg.Remaining...)
+	ctx.Send(mid, KindIdentify, msg)
+}
+
+func (h *infoHandler) isCorner(p grid.Point, comp int) bool {
+	c := h.cs.Components[comp]
+	// A corner has component members or edge nodes in two different
+	// dimensions among its neighbours.
+	dims := map[grid.Axis]bool{}
+	for _, dir := range h.lab.Mesh().Directions() {
+		q := grid.Step(p, dir)
+		if c.Has(q) {
+			dims[dir.Axis()] = true
+		}
+	}
+	return len(dims) >= 2
+}
+
+// stepBoundary deposits the merged record at the current node and forwards the
+// boundary message: backward along the walk axis while the next node is safe,
+// turning backward along the turn axis to hug any MCC in the way (merging that
+// MCC's information into the record).
+func (h *infoHandler) stepBoundary(ctx *simnet.Context, msg boundaryMsg) {
+	self := ctx.Self()
+	h.deposit(ctx, msg.Components)
+
+	m := h.lab.Mesh()
+	walkDir := h.orient.Backward(msg.Walk)
+	next := grid.Step(self, walkDir)
+	if !m.InBounds(next) {
+		return // reached the mesh edge
+	}
+	if h.lab.Safe(next) {
+		ctx.Send(next, KindBoundary, msg)
+		return
+	}
+	// The boundary line meets another MCC: merge its information and make a
+	// turn along the turn axis to go around it (joining its boundary).
+	if other := h.cs.ComponentOf(next); other != nil {
+		msg.Components = mergeID(msg.Components, other.ID)
+	}
+	turnDir := h.orient.Backward(msg.Turn)
+	side := grid.Step(self, turnDir)
+	if !m.InBounds(side) || !h.lab.Safe(side) {
+		return // wedged against the mesh edge or another region: stop here
+	}
+	ctx.Send(side, KindBoundary, msg)
+}
+
+func (h *infoHandler) deposit(ctx *simnet.Context, comps []int) {
+	store := ctx.Store()
+	existing, _ := store[recordsKey].([]int)
+	for _, id := range comps {
+		existing = mergeID(existing, id)
+	}
+	store[recordsKey] = existing
+}
+
+func mergeID(ids []int, id int) []int {
+	for _, v := range ids {
+		if v == id {
+			return ids
+		}
+	}
+	ids = append(append([]int(nil), ids...), id)
+	sort.Ints(ids)
+	return ids
+}
+
+// InfoResult is the outcome of running identification plus boundary
+// construction for every MCC of a labelling.
+type InfoResult struct {
+	// Records maps dense node index to the component IDs whose (merged)
+	// records ended up stored at that node.
+	Records map[int][]int
+	// IdentifyMessages and BoundaryMessages count the protocol messages.
+	IdentifyMessages, BoundaryMessages int
+	// Stats is the raw simulator accounting.
+	Stats simnet.Stats
+	// Completed lists the components whose two identification messages both
+	// returned to the initialization corner (stable shape).
+	Completed []int
+}
+
+// RunInformationModel runs the identification process and the boundary
+// construction for every MCC of the labelling and returns the per-node record
+// placement, ready to back a routing.Records provider.
+//
+// The identification itinerary (the perimeter ring) is precomputed during a
+// setup phase — the paper's nodes learn it from their neighbours while
+// labelling — and the messages then travel hop by hop through the simulator.
+func RunInformationModel(m *mesh.Mesh, lab *labeling.Labeling, cs *region.ComponentSet) *InfoResult {
+	h := &infoHandler{lab: lab, cs: cs, orient: lab.Orientation()}
+	net := simnet.New(m, h)
+
+	boundaryKinds := [][2]grid.Axis{} // {walk axis, turn axis}
+	if m.Is2D() {
+		boundaryKinds = [][2]grid.Axis{
+			{grid.AxisY, grid.AxisX}, // Y boundary: down the column, turning -X
+			{grid.AxisX, grid.AxisY}, // X boundary: along the row, turning -Y
+		}
+	} else {
+		for _, kind := range region.CornerKinds {
+			// The (+A-B)-boundary runs backward along A and hugs other MCCs by
+			// turning backward along B.
+			boundaryKinds = append(boundaryKinds, [2]grid.Axis{kind.Major, kind.Minor})
+		}
+	}
+
+	for _, c := range cs.Components {
+		// Identification: two counter-rotating messages around each perimeter.
+		// In 2-D the perimeter is the component's edge-node ring; in 3-D each
+		// XY section is identified separately (Algorithm 5 step 1).
+		var rings [][]grid.Point
+		if m.Is2D() {
+			corners := cs.Corners2D(c)
+			rings = append(rings, cs.PerimeterRing(c, corners.Initialization))
+		} else {
+			for _, sec := range cs.Sections(c, region.PlaneXY) {
+				rings = append(rings, sectionRing(m, lab, sec))
+			}
+		}
+		for _, ring := range rings {
+			if len(ring) <= 1 {
+				continue
+			}
+			forward := append(append([]grid.Point(nil), ring[1:]...), ring[0])
+			backward := make([]grid.Point, 0, len(ring))
+			for i := len(ring) - 1; i >= 1; i-- {
+				backward = append(backward, ring[i])
+			}
+			backward = append(backward, ring[0])
+			net.Post(ring[0], KindIdentify, identMsg{Component: c.ID, Clockwise: true, Remaining: forward})
+			net.Post(ring[0], KindIdentify, identMsg{Component: c.ID, Clockwise: false, Remaining: backward})
+		}
+
+		// Boundary construction: one boundary per kind, starting at the edge
+		// node(s) designated by the paper.
+		starts := boundaryStarts(m, cs, c)
+		for _, kind := range boundaryKinds {
+			for _, start := range starts[kind[0]] {
+				net.Post(start, KindBoundary, boundaryMsg{Components: []int{c.ID}, Walk: kind[0], Turn: kind[1]})
+			}
+		}
+	}
+
+	stats := net.Run()
+
+	res := &InfoResult{
+		Records:          make(map[int][]int),
+		IdentifyMessages: stats.ByKind[KindIdentify],
+		BoundaryMessages: stats.ByKind[KindBoundary],
+		Stats:            stats,
+	}
+	for i := 0; i < m.NodeCount(); i++ {
+		if recs, ok := net.Store(m.Point(i))[recordsKey].([]int); ok && len(recs) > 0 {
+			res.Records[i] = recs
+		}
+	}
+	for id, n := range h.identDone {
+		if n >= 2 {
+			res.Completed = append(res.Completed, id)
+		}
+	}
+	sort.Ints(res.Completed)
+
+	// Every edge node of an MCC also knows about it (the identification
+	// messages pass through them); add those records so the routing provider
+	// sees what the protocol distributed.
+	for _, c := range cs.Components {
+		for _, e := range cs.EdgeNodes(c) {
+			idx := m.Index(e)
+			res.Records[idx] = mergeID(res.Records[idx], c.ID)
+		}
+	}
+	return res
+}
+
+// sectionRing returns the ordered walk of safe, in-plane nodes surrounding a
+// 2-D section of a 3-D MCC — the itinerary of the section's identification
+// messages.
+func sectionRing(m *mesh.Mesh, lab *labeling.Labeling, sec *region.Section) []grid.Point {
+	seen := make(map[grid.Point]bool)
+	var edge []grid.Point
+	a1, a2 := sec.Plane.Axes()
+	for _, p := range sec.Nodes {
+		for _, ax := range []grid.Axis{a1, a2} {
+			for _, sign := range []int{1, -1} {
+				q := p.WithAxis(ax, p.Axis(ax)+sign)
+				if m.InBounds(q) && lab.Safe(q) && !seen[q] {
+					seen[q] = true
+					edge = append(edge, q)
+				}
+			}
+		}
+	}
+	if len(edge) == 0 {
+		return nil
+	}
+	sort.Slice(edge, func(i, j int) bool { return m.Index(edge[i]) < m.Index(edge[j]) })
+	// Greedy walk ordering, bridging diagonal steps across convex corners.
+	adjacent := func(a, b grid.Point) bool {
+		d := grid.Manhattan(a, b)
+		if d == 1 {
+			return true
+		}
+		if d == 2 && a.Axis(a1) != b.Axis(a1) && a.Axis(a2) != b.Axis(a2) {
+			p1 := a.WithAxis(a1, b.Axis(a1))
+			p2 := a.WithAxis(a2, b.Axis(a2))
+			return sec.Has(p1) || sec.Has(p2)
+		}
+		return false
+	}
+	visited := map[grid.Point]bool{edge[0]: true}
+	order := []grid.Point{edge[0]}
+	cur := edge[0]
+	for {
+		found := false
+		for _, e := range edge {
+			if !visited[e] && adjacent(cur, e) {
+				visited[e] = true
+				order = append(order, e)
+				cur = e
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	for _, e := range edge {
+		if !visited[e] {
+			order = append(order, e)
+		}
+	}
+	return order
+}
+
+// boundaryStarts returns, per walk axis, the safe nodes a boundary of that
+// axis starts from: in 2-D the initialization corner; in 3-D the safe node
+// just "behind" each section corner of the matching edge.
+func boundaryStarts(m *mesh.Mesh, cs *region.ComponentSet, c *region.Component) map[grid.Axis][]grid.Point {
+	orient := grid.PositiveOrientation
+	if cs.Labeling != nil {
+		orient = cs.Labeling.Orientation()
+	}
+	out := make(map[grid.Axis][]grid.Point)
+	if m.Is2D() {
+		corners := cs.Corners2D(c)
+		if corners.Found {
+			out[grid.AxisY] = []grid.Point{corners.Initialization}
+			out[grid.AxisX] = []grid.Point{corners.Initialization}
+		}
+		return out
+	}
+	for _, kind := range region.CornerKinds {
+		edge := cs.EdgeOfKind(c, kind)
+		for _, corner := range edge.Nodes {
+			// Start from the safe node one step backward along the walk axis
+			// from the corner (outside the region, on the boundary line).
+			start := orient.Behind(corner, kind.Major)
+			for m.InBounds(start) && !cs.Labeling.Safe(start) {
+				start = orient.Behind(start, kind.Major)
+			}
+			if m.InBounds(start) {
+				out[kind.Major] = append(out[kind.Major], start)
+			}
+		}
+	}
+	return out
+}

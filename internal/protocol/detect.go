@@ -1,0 +1,236 @@
+package protocol
+
+import (
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/simnet"
+)
+
+// DetectionResult is the outcome of the distributed feasibility check run at
+// the source node.
+type DetectionResult struct {
+	// Feasible is the conclusion the source reaches: true iff every detection
+	// message reported that its target face of the RMP is reachable.
+	Feasible bool
+	// ForwardHops counts detection-message hops; ReplyHops counts the hops of
+	// the answers travelling back to the source.
+	ForwardHops, ReplyHops int
+	// Stats is the raw simulator accounting (includes the labelling exchange
+	// when RunFullCheck is used).
+	Stats simnet.Stats
+}
+
+// detectMsg is a walker-style detection message (2-D, Algorithm 3 step 1).
+type detectMsg struct {
+	Source, Dest   grid.Point
+	Prefer, Detour grid.Axis
+	Path           []grid.Point
+	ID             int
+}
+
+// detectReply carries the walker's verdict back along its recorded path.
+type detectReply struct {
+	OK   bool
+	ID   int
+	Path []grid.Point // remaining reverse path
+}
+
+// floodMsg is a surface-sweep detection message (3-D, Algorithm 6 step 1).
+type floodMsg struct {
+	Source, Dest grid.Point
+	Spread       [2]grid.Axis
+	Detour       grid.Axis
+	Target       grid.Axis
+	Surface      int
+}
+
+// detectHandler implements both detection styles. Each node needs only its own
+// label and its neighbours' labels, which it holds after the labelling
+// protocol; here the handler is given the completed labelling to stand in for
+// that local knowledge.
+type detectHandler struct {
+	lab    *labeling.Labeling
+	orient grid.Orientation
+
+	// Source-side bookkeeping (only the source node mutates these).
+	walkerVerdicts map[int]bool
+	surfaceReached map[int]bool
+	forwardHops    int
+	replyHops      int
+}
+
+func (h *detectHandler) Init(*simnet.Context) {}
+
+func (h *detectHandler) safe(p grid.Point) bool { return h.lab.Safe(p) }
+
+func (h *detectHandler) Receive(ctx *simnet.Context, env simnet.Envelope) {
+	switch msg := env.Payload.(type) {
+	case detectMsg:
+		h.stepWalker(ctx, msg)
+	case detectReply:
+		h.forwardReply(ctx, msg)
+	case floodMsg:
+		h.stepFlood(ctx, msg)
+	}
+}
+
+// stepWalker advances the 2-D detection walker by one hop using local
+// knowledge only, or starts its reply when it has reached a verdict.
+func (h *detectHandler) stepWalker(ctx *simnet.Context, msg detectMsg) {
+	self := ctx.Self()
+	cc := h.orient.Canon(msg.Source, self)
+	dc := h.orient.Canon(msg.Source, msg.Dest)
+
+	conclude := func(ok bool) {
+		if self == msg.Source {
+			h.recordWalkerVerdict(msg.ID, ok)
+			return
+		}
+		// Send the verdict back along the recorded path.
+		prev := msg.Path[len(msg.Path)-1]
+		h.replyHops++
+		ctx.Send(prev, KindDetectReply, detectReply{OK: ok, ID: msg.ID, Path: msg.Path[:len(msg.Path)-1]})
+	}
+
+	if cc.Axis(msg.Prefer) >= dc.Axis(msg.Prefer) {
+		conclude(true)
+		return
+	}
+	next := h.orient.Ahead(self, msg.Prefer)
+	if h.safe(next) {
+		h.forwardHops++
+		msg.Path = append(append([]grid.Point(nil), msg.Path...), self)
+		ctx.Send(next, KindDetect, msg)
+		return
+	}
+	if cc.Axis(msg.Detour) >= dc.Axis(msg.Detour) {
+		conclude(false)
+		return
+	}
+	side := h.orient.Ahead(self, msg.Detour)
+	if !h.safe(side) {
+		conclude(false)
+		return
+	}
+	h.forwardHops++
+	msg.Path = append(append([]grid.Point(nil), msg.Path...), self)
+	ctx.Send(side, KindDetect, msg)
+}
+
+func (h *detectHandler) forwardReply(ctx *simnet.Context, msg detectReply) {
+	if len(msg.Path) == 0 {
+		h.recordWalkerVerdict(msg.ID, msg.OK)
+		return
+	}
+	prev := msg.Path[len(msg.Path)-1]
+	h.replyHops++
+	ctx.Send(prev, KindDetectReply, detectReply{OK: msg.OK, ID: msg.ID, Path: msg.Path[:len(msg.Path)-1]})
+}
+
+func (h *detectHandler) recordWalkerVerdict(id int, ok bool) {
+	if h.walkerVerdicts == nil {
+		h.walkerVerdicts = make(map[int]bool)
+	}
+	h.walkerVerdicts[id] = ok
+}
+
+// stepFlood advances the 3-D surface sweep: spread moves are always taken,
+// the detour move only when a spread direction is blocked by an unsafe node.
+func (h *detectHandler) stepFlood(ctx *simnet.Context, msg floodMsg) {
+	self := ctx.Self()
+	key := floodKey(msg.Surface)
+	if _, seen := ctx.Store()[key]; seen {
+		return
+	}
+	ctx.Store()[key] = true
+
+	cc := h.orient.Canon(msg.Source, self)
+	dc := h.orient.Canon(msg.Source, msg.Dest)
+	if cc.Axis(msg.Target) >= dc.Axis(msg.Target) {
+		h.surfaceReachedMark(msg.Surface)
+		return
+	}
+	box := grid.BoxOf(msg.Source, msg.Dest)
+	try := func(a grid.Axis) {
+		if cc.Axis(a) >= dc.Axis(a) {
+			return
+		}
+		v := h.orient.Ahead(self, a)
+		if !box.Contains(v) || !h.safe(v) {
+			return
+		}
+		h.forwardHops++
+		ctx.Send(v, KindDetect, msg)
+	}
+	blocked := false
+	for _, a := range msg.Spread {
+		if cc.Axis(a) < dc.Axis(a) && !h.safe(h.orient.Ahead(self, a)) {
+			blocked = true
+		}
+		try(a)
+	}
+	if blocked {
+		try(msg.Detour)
+	}
+}
+
+func (h *detectHandler) surfaceReachedMark(surface int) {
+	if h.surfaceReached == nil {
+		h.surfaceReached = make(map[int]bool)
+	}
+	h.surfaceReached[surface] = true
+}
+
+func floodKey(surface int) string {
+	return "flood-" + string(rune('0'+surface))
+}
+
+// RunDetection2D runs the two detection walkers of Algorithm 3 step 1 as real
+// messages over the simulator and returns the source's conclusion.
+func RunDetection2D(m *mesh.Mesh, lab *labeling.Labeling, s, d grid.Point) *DetectionResult {
+	orient := grid.OrientationOf(s, d)
+	h := &detectHandler{lab: lab, orient: orient}
+	net := simnet.New(m, h)
+	net.Post(s, KindDetect, detectMsg{Source: s, Dest: d, Prefer: grid.AxisY, Detour: grid.AxisX, ID: 0})
+	net.Post(s, KindDetect, detectMsg{Source: s, Dest: d, Prefer: grid.AxisX, Detour: grid.AxisY, ID: 1})
+	stats := net.Run()
+
+	res := &DetectionResult{Feasible: true, ForwardHops: h.forwardHops, ReplyHops: h.replyHops, Stats: stats}
+	for id := 0; id < 2; id++ {
+		if !h.walkerVerdicts[id] {
+			res.Feasible = false
+		}
+	}
+	return res
+}
+
+// RunDetection3D runs the three RMP-surface sweeps of Algorithm 6 step 1 as a
+// message flood and returns the source's conclusion. The reply cost is
+// estimated as the Manhattan distance from the first node of each reached
+// target face back to the source (the sweep result travels back along the
+// swept surface).
+func RunDetection3D(m *mesh.Mesh, lab *labeling.Labeling, s, d grid.Point) *DetectionResult {
+	orient := grid.OrientationOf(s, d)
+	h := &detectHandler{lab: lab, orient: orient}
+	net := simnet.New(m, h)
+	sweeps := []floodMsg{
+		{Source: s, Dest: d, Spread: [2]grid.Axis{grid.AxisY, grid.AxisZ}, Detour: grid.AxisX, Target: grid.AxisY, Surface: 0},
+		{Source: s, Dest: d, Spread: [2]grid.Axis{grid.AxisX, grid.AxisZ}, Detour: grid.AxisY, Target: grid.AxisZ, Surface: 1},
+		{Source: s, Dest: d, Spread: [2]grid.Axis{grid.AxisX, grid.AxisY}, Detour: grid.AxisZ, Target: grid.AxisX, Surface: 2},
+	}
+	for _, sw := range sweeps {
+		net.Post(s, KindDetect, sw)
+	}
+	stats := net.Run()
+
+	res := &DetectionResult{Feasible: true, ForwardHops: h.forwardHops, ReplyHops: h.replyHops, Stats: stats}
+	for i := range sweeps {
+		if !h.surfaceReached[i] {
+			res.Feasible = false
+			continue
+		}
+		res.ReplyHops += grid.Manhattan(s, d) // upper bound for the returning answer
+	}
+	return res
+}

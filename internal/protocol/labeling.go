@@ -1,0 +1,195 @@
+// Package protocol implements the paper's distributed information model on
+// top of the simnet discrete-event simulator:
+//
+//   - the distributed labelling procedure (Algorithms 1 and 4), where every
+//     node knows only its own health and its neighbours' liveness and learns
+//     promotions through neighbour messages;
+//   - the source feasibility-check detection messages (Algorithm 3 step 1 and
+//     Algorithm 6 step 1);
+//   - the MCC identification process (Algorithm 2 step 2) with its two
+//     counter-rotating messages along the region perimeter; and
+//   - boundary construction (Algorithm 2 step 3 / Algorithm 5 step 4), which
+//     deposits MCC records along boundary lines and merges forbidden regions
+//     when boundaries meet other MCCs.
+//
+// Every protocol reports the number of messages it exchanged, feeding the
+// message-overhead experiment (E4), and its distributed result is checked
+// against the centralised computation in the tests.
+package protocol
+
+import (
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/simnet"
+)
+
+// Message kinds used for statistics.
+const (
+	KindLabel       = "label"
+	KindDetect      = "detect"
+	KindDetectReply = "detect-reply"
+	KindIdentify    = "identify"
+	KindBoundary    = "boundary"
+	KindRoute       = "route"
+)
+
+// labelState is the per-node state of the distributed labelling protocol.
+type labelState struct {
+	status   labeling.Status
+	neighbor map[grid.Direction]labeling.Status
+}
+
+// labelMsg announces a node's (new) status to a neighbour.
+type labelMsg struct {
+	Status labeling.Status
+}
+
+// labelHandler runs the distributed labelling protocol.
+type labelHandler struct {
+	orient grid.Orientation
+	border labeling.BorderPolicy
+}
+
+const labelStateKey = "label"
+
+func (h *labelHandler) state(ctx *simnet.Context) *labelState {
+	st, ok := ctx.Store()[labelStateKey].(*labelState)
+	if !ok {
+		st = &labelState{status: labeling.Safe, neighbor: make(map[grid.Direction]labeling.Status)}
+		ctx.Store()[labelStateKey] = st
+	}
+	return st
+}
+
+// Init implements simnet.Handler: every healthy node learns its neighbours'
+// liveness (local knowledge), evaluates the labelling rule once and announces
+// a promotion if it fires immediately (e.g. a node wedged between faults).
+func (h *labelHandler) Init(ctx *simnet.Context) {
+	st := h.state(ctx)
+	for _, dir := range ctx.Mesh().Directions() {
+		if ctx.NeighborFaulty(dir) {
+			st.neighbor[dir] = labeling.Faulty
+		} else {
+			st.neighbor[dir] = labeling.Safe
+		}
+	}
+	h.evaluate(ctx, st)
+}
+
+// Receive implements simnet.Handler.
+func (h *labelHandler) Receive(ctx *simnet.Context, env simnet.Envelope) {
+	msg, ok := env.Payload.(labelMsg)
+	if !ok {
+		return
+	}
+	st := h.state(ctx)
+	dir := directionToward(ctx.Self(), env.From)
+	st.neighbor[dir] = msg.Status
+	h.evaluate(ctx, st)
+}
+
+// evaluate applies the labelling rule with purely local knowledge and
+// broadcasts a promotion to the neighbours.
+func (h *labelHandler) evaluate(ctx *simnet.Context, st *labelState) {
+	if st.status != labeling.Safe {
+		return
+	}
+	m := ctx.Mesh()
+	blocked := func(a grid.Axis, forward bool, bad labeling.Status) bool {
+		var dir grid.Direction
+		if forward {
+			dir = h.orient.Forward(a)
+		} else {
+			dir = h.orient.Backward(a)
+		}
+		q := grid.Step(ctx.Self(), dir)
+		if !m.InBounds(q) {
+			return h.border == labeling.BorderBlocked
+		}
+		s := st.neighbor[dir]
+		return s == labeling.Faulty || s == bad
+	}
+	useless := true
+	for _, a := range m.Axes() {
+		if !blocked(a, true, labeling.Useless) {
+			useless = false
+			break
+		}
+	}
+	if useless {
+		st.status = labeling.Useless
+		ctx.Broadcast(KindLabel, labelMsg{Status: labeling.Useless})
+		return
+	}
+	cantReach := true
+	for _, a := range m.Axes() {
+		if !blocked(a, false, labeling.CantReach) {
+			cantReach = false
+			break
+		}
+	}
+	if cantReach {
+		st.status = labeling.CantReach
+		ctx.Broadcast(KindLabel, labelMsg{Status: labeling.CantReach})
+	}
+}
+
+func directionToward(from, to grid.Point) grid.Direction {
+	switch {
+	case to.X > from.X:
+		return grid.XPos
+	case to.X < from.X:
+		return grid.XNeg
+	case to.Y > from.Y:
+		return grid.YPos
+	case to.Y < from.Y:
+		return grid.YNeg
+	case to.Z > from.Z:
+		return grid.ZPos
+	default:
+		return grid.ZNeg
+	}
+}
+
+// LabelingResult is the outcome of the distributed labelling protocol.
+type LabelingResult struct {
+	// Statuses maps dense node index to the status the node itself concluded.
+	Statuses []labeling.Status
+	// Stats is the simulator's message accounting.
+	Stats simnet.Stats
+}
+
+// Status returns the status node p concluded for itself.
+func (r *LabelingResult) Status(m *mesh.Mesh, p grid.Point) labeling.Status {
+	return r.Statuses[m.Index(p)]
+}
+
+// RunLabeling executes the distributed labelling protocol for one orientation
+// and returns the per-node conclusions plus the message statistics.
+func RunLabeling(m *mesh.Mesh, orient grid.Orientation, opts ...labeling.Options) *LabelingResult {
+	border := labeling.BorderSafe
+	if len(opts) > 0 {
+		border = opts[0].Border
+	}
+	h := &labelHandler{orient: orient, border: border}
+	net := simnet.New(m, h)
+	stats := net.Run()
+
+	res := &LabelingResult{
+		Statuses: make([]labeling.Status, m.NodeCount()),
+		Stats:    stats,
+	}
+	for i := 0; i < m.NodeCount(); i++ {
+		p := m.Point(i)
+		if m.FaultyAt(i) {
+			res.Statuses[i] = labeling.Faulty
+			continue
+		}
+		st, ok := net.Store(p)[labelStateKey].(*labelState)
+		if ok {
+			res.Statuses[i] = st.status
+		}
+	}
+	return res
+}

@@ -1,0 +1,141 @@
+package protocol
+
+import (
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/minimal"
+	"mccmesh/internal/region"
+	"mccmesh/internal/simnet"
+)
+
+// routeMsg is a routing message being forwarded hop by hop
+// (Algorithm 3/6 step 2). It carries the destination and the MCC records it
+// has learned from the boundary nodes it crossed, mirroring the paper's
+// routing messages.
+type routeMsg struct {
+	Source, Dest grid.Point
+	Path         []grid.Point
+	Known        []int
+}
+
+// routeHandler forwards routing messages using only node-local information:
+// the node's own label, its neighbours' liveness and labels, and the MCC
+// records stored at the node by the boundary construction.
+type routeHandler struct {
+	lab     *labeling.Labeling
+	cs      *region.ComponentSet
+	records map[int][]int
+	orient  grid.Orientation
+
+	delivered bool
+	path      []grid.Point
+	failedAt  *grid.Point
+	hops      int
+}
+
+func (h *routeHandler) Init(*simnet.Context) {}
+
+func (h *routeHandler) Receive(ctx *simnet.Context, env simnet.Envelope) {
+	msg, ok := env.Payload.(routeMsg)
+	if !ok {
+		return
+	}
+	self := ctx.Self()
+	msg.Path = append(append([]grid.Point(nil), msg.Path...), self)
+
+	// Pick up the records stored at this node.
+	for _, id := range h.records[ctx.Mesh().Index(self)] {
+		msg.Known = mergeID(msg.Known, id)
+	}
+
+	if self == msg.Dest {
+		h.delivered = true
+		h.path = msg.Path
+		return
+	}
+
+	m := ctx.Mesh()
+	avoid := func(q grid.Point) bool {
+		for _, id := range msg.Known {
+			c := h.cs.Components[id]
+			if c.Has(q) && !c.Has(msg.Dest) {
+				return true
+			}
+		}
+		return false
+	}
+	var best grid.Point
+	bestOff := -1
+	for _, a := range m.Axes() {
+		if self.Axis(a) == msg.Dest.Axis(a) {
+			continue
+		}
+		v := h.orient.Ahead(self, a)
+		if !m.InBounds(v) || m.IsFaulty(v) {
+			continue
+		}
+		if h.lab.Unsafe(v) && v != msg.Dest {
+			continue
+		}
+		// Exclude the direction if the records known here say the forbidden
+		// region behind v closes off the destination.
+		if !minimal.Exists(m, avoid, v, msg.Dest) {
+			continue
+		}
+		off := msg.Dest.Axis(a) - self.Axis(a)
+		if off < 0 {
+			off = -off
+		}
+		if off > bestOff {
+			best, bestOff = v, off
+		}
+	}
+	if bestOff < 0 {
+		h.failedAt = &self
+		return
+	}
+	h.hops++
+	ctx.Send(best, KindRoute, msg)
+}
+
+// RouteResult is the outcome of one distributed routing attempt.
+type RouteResult struct {
+	// Delivered reports whether the message reached the destination.
+	Delivered bool
+	// Path is the node sequence the message followed (including endpoints)
+	// when delivered.
+	Path []grid.Point
+	// Minimal reports whether the delivered path has length exactly D(s,d).
+	Minimal bool
+	// Hops counts the routing-message hops taken (successful or not).
+	Hops int
+	// StuckAt is the node where the routing ran out of candidates, if any.
+	StuckAt *grid.Point
+	// Stats is the raw simulator accounting.
+	Stats simnet.Stats
+}
+
+// RunRouting forwards one routing message from s to d over the simulator,
+// using the per-node records produced by RunInformationModel (Records may be
+// nil, in which case only the labelling is available locally).
+func RunRouting(m *mesh.Mesh, lab *labeling.Labeling, cs *region.ComponentSet, records map[int][]int, s, d grid.Point) *RouteResult {
+	if records == nil {
+		records = map[int][]int{}
+	}
+	h := &routeHandler{lab: lab, cs: cs, records: records, orient: grid.OrientationOf(s, d)}
+	net := simnet.New(m, h)
+	net.Post(s, KindRoute, routeMsg{Source: s, Dest: d})
+	stats := net.Run()
+	res := &RouteResult{
+		Delivered: h.delivered,
+		Path:      h.path,
+		Hops:      h.hops,
+		StuckAt:   h.failedAt,
+		Stats:     stats,
+	}
+	if h.delivered {
+		res.Minimal = len(h.path) == grid.Manhattan(s, d)+1
+	}
+	return res
+}

@@ -1,0 +1,236 @@
+// Package region turns a labelling into fault regions: the minimal connected
+// components (MCCs) of the paper, their geometry (edge nodes, corners,
+// 2-D sections, edges of the 3-D polyhedron) and the per-component monotone
+// blocking relation that realises the forbidden/critical region rules used by
+// the routing algorithms.
+package region
+
+import (
+	"fmt"
+	"sort"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/minimal"
+)
+
+// Component is one connected fault region: a maximal set of unsafe nodes
+// connected through mesh links. Under the MCC labelling these are exactly the
+// paper's minimal connected components.
+type Component struct {
+	// ID is the index of the component within its ComponentSet.
+	ID int
+	// Nodes lists the member coordinates in dense-index order.
+	Nodes []grid.Point
+	// Bounds is the bounding box of the member nodes.
+	Bounds grid.Box
+	// FaultyCount, UselessCount and CantReachCount break the membership down
+	// by label.
+	FaultyCount, UselessCount, CantReachCount int
+
+	members map[grid.Point]bool
+}
+
+// Size returns the number of nodes in the component.
+func (c *Component) Size() int { return len(c.Nodes) }
+
+// NonFaulty returns the number of healthy nodes absorbed by the component.
+func (c *Component) NonFaulty() int { return c.UselessCount + c.CantReachCount }
+
+// Has reports whether p belongs to the component.
+func (c *Component) Has(p grid.Point) bool { return c.members[p] }
+
+// Avoid returns a minimal.Avoid that rejects exactly this component's nodes.
+func (c *Component) Avoid() minimal.Avoid {
+	return func(p grid.Point) bool { return c.members[p] }
+}
+
+// String implements fmt.Stringer.
+func (c *Component) String() string {
+	return fmt.Sprintf("MCC#%d{nodes=%d faulty=%d useless=%d cantreach=%d bounds=%v}",
+		c.ID, len(c.Nodes), c.FaultyCount, c.UselessCount, c.CantReachCount, c.Bounds)
+}
+
+// ComponentSet is the collection of fault regions of one labelling together
+// with a node → component index for O(1) lookups.
+type ComponentSet struct {
+	// Mesh is the mesh the components were extracted from.
+	Mesh *mesh.Mesh
+	// Labeling is the labelling the components came from; nil for fault-only
+	// clusters (FindFaultClusters).
+	Labeling   *labeling.Labeling
+	Components []*Component
+
+	byNode []int // dense node index -> component ID, or -1
+}
+
+// Adjacent reports whether two nodes belong to the same fault region when both
+// are unsafe: they differ by at most one in each coordinate and in at most two
+// coordinates overall. This is 8-connectivity in 2-D and 18-connectivity
+// (face + edge adjacency, but not corner adjacency) in 3-D, matching the
+// paper's Figure 5, where the diagonally adjacent faults (6,7,5) and (7,6,5)
+// belong to the large MCC while the corner-adjacent (7,8,4) forms its own.
+//
+// Edge-adjacent unsafe nodes must share a region because together they can
+// pinch off minimal paths that neither blocks alone; corner-adjacent nodes in
+// 3-D cannot.
+func Adjacent(p, q grid.Point) bool {
+	if p == q {
+		return false
+	}
+	dx := abs(p.X - q.X)
+	dy := abs(p.Y - q.Y)
+	dz := abs(p.Z - q.Z)
+	if dx > 1 || dy > 1 || dz > 1 {
+		return false
+	}
+	return dx+dy+dz <= 2
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// adjacentPoints appends to dst the in-bounds points adjacent to p under the
+// MCC region adjacency.
+func adjacentPoints(m *mesh.Mesh, dst []grid.Point, p grid.Point) []grid.Point {
+	deltas := [][3]int{
+		{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0},
+		{1, 1, 0}, {1, -1, 0}, {-1, 1, 0}, {-1, -1, 0},
+	}
+	if !m.Is2D() {
+		deltas = append(deltas,
+			[3]int{0, 0, 1}, [3]int{0, 0, -1},
+			[3]int{1, 0, 1}, [3]int{1, 0, -1}, [3]int{-1, 0, 1}, [3]int{-1, 0, -1},
+			[3]int{0, 1, 1}, [3]int{0, 1, -1}, [3]int{0, -1, 1}, [3]int{0, -1, -1},
+		)
+	}
+	for _, d := range deltas {
+		q := grid.Point{X: p.X + d[0], Y: p.Y + d[1], Z: p.Z + d[2]}
+		if m.InBounds(q) {
+			dst = append(dst, q)
+		}
+	}
+	return dst
+}
+
+// FindMCCs extracts the connected components of unsafe nodes from a labelling
+// under the MCC region adjacency (see Adjacent).
+func FindMCCs(l *labeling.Labeling) *ComponentSet {
+	return findComponents(l.Mesh(), func(idx int) bool { return l.StatusAt(idx).Unsafe() }, l, statusCounter(l))
+}
+
+// FindFaultClusters extracts the connected components of *faulty* nodes only,
+// ignoring useless / can't-reach labels, under the same region adjacency.
+// Used to seed the rectangular faulty-block baseline.
+func FindFaultClusters(m *mesh.Mesh) *ComponentSet {
+	return findComponents(m, m.FaultyAt, nil, func(c *Component, p grid.Point) { c.FaultyCount++ })
+}
+
+func statusCounter(l *labeling.Labeling) func(*Component, grid.Point) {
+	return func(c *Component, p grid.Point) {
+		switch l.Status(p) {
+		case labeling.Faulty:
+			c.FaultyCount++
+		case labeling.Useless:
+			c.UselessCount++
+		case labeling.CantReach:
+			c.CantReachCount++
+		}
+	}
+}
+
+func findComponents(m *mesh.Mesh, member func(idx int) bool, l *labeling.Labeling, count func(*Component, grid.Point)) *ComponentSet {
+	set := &ComponentSet{
+		Mesh:     m,
+		Labeling: l,
+		byNode:   make([]int, m.NodeCount()),
+	}
+	for i := range set.byNode {
+		set.byNode[i] = -1
+	}
+	var stack []int
+	for start := 0; start < m.NodeCount(); start++ {
+		if !member(start) || set.byNode[start] != -1 {
+			continue
+		}
+		comp := &Component{
+			ID:      len(set.Components),
+			members: make(map[grid.Point]bool),
+			Bounds:  grid.Box{Min: grid.Point{X: 1}, Max: grid.Point{}}, // empty
+		}
+		stack = append(stack[:0], start)
+		set.byNode[start] = comp.ID
+		var adj []grid.Point
+		for len(stack) > 0 {
+			idx := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			p := m.Point(idx)
+			comp.Nodes = append(comp.Nodes, p)
+			comp.members[p] = true
+			comp.Bounds = comp.Bounds.Extend(p)
+			count(comp, p)
+			adj = adjacentPoints(m, adj[:0], p)
+			for _, q := range adj {
+				qi := m.Index(q)
+				if member(qi) && set.byNode[qi] == -1 {
+					set.byNode[qi] = comp.ID
+					stack = append(stack, qi)
+				}
+			}
+		}
+		sort.Slice(comp.Nodes, func(i, j int) bool { return m.Index(comp.Nodes[i]) < m.Index(comp.Nodes[j]) })
+		set.Components = append(set.Components, comp)
+	}
+	return set
+}
+
+// ComponentOf returns the component containing p, or nil if p is not part of
+// any fault region.
+func (s *ComponentSet) ComponentOf(p grid.Point) *Component {
+	if !s.Mesh.InBounds(p) {
+		return nil
+	}
+	id := s.byNode[s.Mesh.Index(p)]
+	if id < 0 {
+		return nil
+	}
+	return s.Components[id]
+}
+
+// Len returns the number of components.
+func (s *ComponentSet) Len() int { return len(s.Components) }
+
+// TotalNodes returns the total number of nodes across all components.
+func (s *ComponentSet) TotalNodes() int {
+	n := 0
+	for _, c := range s.Components {
+		n += c.Size()
+	}
+	return n
+}
+
+// TotalNonFaulty returns the number of healthy nodes absorbed across all
+// components (the paper's first evaluation metric).
+func (s *ComponentSet) TotalNonFaulty() int {
+	n := 0
+	for _, c := range s.Components {
+		n += c.NonFaulty()
+	}
+	return n
+}
+
+// Largest returns the component with the most nodes, or nil if there is none.
+func (s *ComponentSet) Largest() *Component {
+	var best *Component
+	for _, c := range s.Components {
+		if best == nil || c.Size() > best.Size() {
+			best = c
+		}
+	}
+	return best
+}

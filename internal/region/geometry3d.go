@@ -1,0 +1,255 @@
+package region
+
+import (
+	"sort"
+
+	"mccmesh/internal/grid"
+)
+
+// Plane identifies the orientation of a 2-D section of a 3-D fault region.
+type Plane int
+
+// The three section planes used by the 3-D identification process.
+const (
+	// PlaneXY is a section of constant Z.
+	PlaneXY Plane = iota
+	// PlaneYZ is a section of constant X.
+	PlaneYZ
+	// PlaneXZ is a section of constant Y.
+	PlaneXZ
+)
+
+// String implements fmt.Stringer.
+func (p Plane) String() string {
+	switch p {
+	case PlaneXY:
+		return "XY"
+	case PlaneYZ:
+		return "YZ"
+	default:
+		return "XZ"
+	}
+}
+
+// FixedAxis returns the axis held constant across the plane.
+func (p Plane) FixedAxis() grid.Axis {
+	switch p {
+	case PlaneXY:
+		return grid.AxisZ
+	case PlaneYZ:
+		return grid.AxisX
+	default:
+		return grid.AxisY
+	}
+}
+
+// Axes returns the two in-plane axes in canonical order.
+func (p Plane) Axes() (grid.Axis, grid.Axis) {
+	switch p {
+	case PlaneXY:
+		return grid.AxisX, grid.AxisY
+	case PlaneYZ:
+		return grid.AxisY, grid.AxisZ
+	default:
+		return grid.AxisX, grid.AxisZ
+	}
+}
+
+// Planes lists the three section planes.
+var Planes = []Plane{PlaneXY, PlaneYZ, PlaneXZ}
+
+// Section is one connected 2-D cross-section of a 3-D fault region on a fixed
+// plane (Section 4 of the paper). A single MCC can have several sections on
+// the same plane level (e.g. either side of a concavity).
+type Section struct {
+	// Component is the MCC the section belongs to.
+	Component *Component
+	// Plane is the section plane.
+	Plane Plane
+	// Level is the coordinate of the fixed axis.
+	Level int
+	// Nodes lists the member nodes in index order.
+	Nodes []grid.Point
+	// Bounds is the bounding box of the section.
+	Bounds grid.Box
+
+	members map[grid.Point]bool
+}
+
+// Has reports whether p belongs to the section.
+func (s *Section) Has(p grid.Point) bool { return s.members[p] }
+
+// Size returns the number of nodes in the section.
+func (s *Section) Size() int { return len(s.Nodes) }
+
+// Sections returns the 2-D sections of component c on the given plane,
+// ordered by level then by first node index. Each section is a connected
+// component (through in-plane links) of c's nodes on one level of the plane.
+func (s *ComponentSet) Sections(c *Component, plane Plane) []*Section {
+	m := s.Mesh
+	fixed := plane.FixedAxis()
+	a1, a2 := plane.Axes()
+
+	// Group nodes by level.
+	byLevel := make(map[int][]grid.Point)
+	for _, p := range c.Nodes {
+		lv := p.Axis(fixed)
+		byLevel[lv] = append(byLevel[lv], p)
+	}
+	levels := make([]int, 0, len(byLevel))
+	for lv := range byLevel {
+		levels = append(levels, lv)
+	}
+	sort.Ints(levels)
+
+	var out []*Section
+	for _, lv := range levels {
+		nodes := byLevel[lv]
+		inLevel := make(map[grid.Point]bool, len(nodes))
+		for _, p := range nodes {
+			inLevel[p] = true
+		}
+		visited := make(map[grid.Point]bool, len(nodes))
+		for _, start := range nodes {
+			if visited[start] {
+				continue
+			}
+			sec := &Section{
+				Component: c,
+				Plane:     plane,
+				Level:     lv,
+				members:   make(map[grid.Point]bool),
+				Bounds:    grid.Box{Min: grid.Point{X: 1}, Max: grid.Point{}},
+			}
+			stack := []grid.Point{start}
+			visited[start] = true
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				sec.Nodes = append(sec.Nodes, p)
+				sec.members[p] = true
+				sec.Bounds = sec.Bounds.Extend(p)
+				// In-plane connectivity includes diagonal adjacency
+				// (8-connectivity), matching the region adjacency restricted
+				// to the plane: Figure 5 draws the z=5 section as one region
+				// with a hole even though two of its faults only touch
+				// diagonally.
+				for _, d1 := range []int{-1, 0, 1} {
+					for _, d2 := range []int{-1, 0, 1} {
+						if d1 == 0 && d2 == 0 {
+							continue
+						}
+						q := p.WithAxis(a1, p.Axis(a1)+d1).WithAxis(a2, p.Axis(a2)+d2)
+						if m.InBounds(q) && inLevel[q] && !visited[q] {
+							visited[q] = true
+							stack = append(stack, q)
+						}
+					}
+				}
+			}
+			sort.Slice(sec.Nodes, func(i, j int) bool { return m.Index(sec.Nodes[i]) < m.Index(sec.Nodes[j]) })
+			out = append(out, sec)
+		}
+	}
+	return out
+}
+
+// CornerKind names the six section-corner kinds of the 3-D identification
+// process: a (+A−B)-corner is the node of the section with the maximum
+// (forward-most) coordinate along axis A and, among those, the minimum
+// (backward-most) coordinate along axis B.
+type CornerKind struct {
+	Major grid.Axis // the "+A" axis
+	Minor grid.Axis // the "−B" axis
+}
+
+// String implements fmt.Stringer.
+func (k CornerKind) String() string { return "(+" + k.Major.String() + "-" + k.Minor.String() + ")" }
+
+// CornerKinds lists the six corner kinds and, implicitly, the six edge kinds
+// of an MCC in a 3-D mesh.
+var CornerKinds = []CornerKind{
+	{grid.AxisY, grid.AxisX},
+	{grid.AxisX, grid.AxisY},
+	{grid.AxisX, grid.AxisZ},
+	{grid.AxisZ, grid.AxisX},
+	{grid.AxisY, grid.AxisZ},
+	{grid.AxisZ, grid.AxisY},
+}
+
+// PlaneForCorner returns the section plane a corner kind lives on: the plane
+// spanned by the corner's two axes.
+func PlaneForCorner(k CornerKind) Plane {
+	has := func(a grid.Axis) bool { return k.Major == a || k.Minor == a }
+	switch {
+	case has(grid.AxisX) && has(grid.AxisY):
+		return PlaneXY
+	case has(grid.AxisY) && has(grid.AxisZ):
+		return PlaneYZ
+	default:
+		return PlaneXZ
+	}
+}
+
+// SectionCorner returns the (+Major−Minor)-corner of a section under the
+// labelling's orientation: the member with the forward-most coordinate along
+// Major and, among those, the backward-most coordinate along Minor.
+func (s *ComponentSet) SectionCorner(sec *Section, kind CornerKind) grid.Point {
+	orient := grid.PositiveOrientation
+	if s.Labeling != nil {
+		orient = s.Labeling.Orientation()
+	}
+	best := sec.Nodes[0]
+	for _, p := range sec.Nodes[1:] {
+		pm := p.Axis(kind.Major) * orient.Sign(kind.Major)
+		bm := best.Axis(kind.Major) * orient.Sign(kind.Major)
+		switch {
+		case pm > bm:
+			best = p
+		case pm == bm:
+			pn := p.Axis(kind.Minor) * orient.Sign(kind.Minor)
+			bn := best.Axis(kind.Minor) * orient.Sign(kind.Minor)
+			if pn < bn {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+// Edge is one of the six edges of a 3-D MCC: the chain of same-kind section
+// corners across consecutive levels of the corner's plane (Section 4,
+// "edge identification" / "edge construction").
+type Edge struct {
+	Component *Component
+	Kind      CornerKind
+	// Nodes lists the edge nodes (one per section, ordered by the fixed axis
+	// of the corner's plane). Sections on the same level each contribute one
+	// node; they are ordered by index within the level.
+	Nodes []grid.Point
+}
+
+// Edges returns the six edges of component c.
+func (s *ComponentSet) Edges(c *Component) []*Edge {
+	out := make([]*Edge, 0, len(CornerKinds))
+	for _, kind := range CornerKinds {
+		plane := PlaneForCorner(kind)
+		sections := s.Sections(c, plane)
+		e := &Edge{Component: c, Kind: kind}
+		for _, sec := range sections {
+			e.Nodes = append(e.Nodes, s.SectionCorner(sec, kind))
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// EdgeOfKind returns the edge of the requested kind.
+func (s *ComponentSet) EdgeOfKind(c *Component, kind CornerKind) *Edge {
+	plane := PlaneForCorner(kind)
+	e := &Edge{Component: c, Kind: kind}
+	for _, sec := range s.Sections(c, plane) {
+		e.Nodes = append(e.Nodes, s.SectionCorner(sec, kind))
+	}
+	return e
+}

@@ -1,0 +1,189 @@
+package routing
+
+import (
+	"mccmesh/internal/block"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/minimal"
+	"mccmesh/internal/region"
+)
+
+// Oracle is the omniscient provider: it permits a step exactly when a
+// minimal path from the neighbour to the destination avoiding all faulty
+// nodes still exists. It realises the theoretical optimum every model is
+// measured against.
+type Oracle struct {
+	Mesh *mesh.Mesh
+
+	cacheDst grid.Point
+	cacheSrc grid.Point
+	field    *minimal.Field
+}
+
+// Name implements Provider.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Allowed implements Provider.
+func (o *Oracle) Allowed(u, v, d grid.Point) bool {
+	if o.field == nil || o.cacheDst != d || !grid.BoxOf(o.cacheSrc, d).Contains(v) {
+		o.cacheDst = d
+		o.cacheSrc = u
+		o.field = minimal.Reachability(o.Mesh, minimal.AvoidFaulty(o.Mesh), u, d)
+	}
+	return o.field.CanReach(v)
+}
+
+// MCC is the paper's fault-information provider backed by globally known MCC
+// boundary information: a preferred neighbour v is excluded when it is unsafe
+// or when the (merged) forbidden regions of the MCCs block every monotone v→d
+// path — the destination being in the critical region and v in the forbidden
+// region of the merged records. The merged information is exactly "the union
+// of the fault regions", so the provider consults a cached reachability field
+// over the unsafe set.
+type MCC struct {
+	Set *region.ComponentSet
+
+	cacheSrc, cacheDst grid.Point
+	field              *minimal.Field
+}
+
+// Name implements Provider.
+func (p *MCC) Name() string { return "mcc" }
+
+// Allowed implements Provider.
+func (p *MCC) Allowed(u, v, d grid.Point) bool {
+	if p.Set.Labeling != nil && p.Set.Labeling.Unsafe(v) {
+		// v is inside a fault region; the paper never forwards into an MCC.
+		// The destination itself is permitted so that routes can terminate
+		// even if the destination is a labelled (healthy) node.
+		if v != d {
+			return false
+		}
+	}
+	if p.field == nil || p.cacheDst != d || !grid.BoxOf(p.cacheSrc, d).Contains(v) {
+		p.cacheSrc, p.cacheDst = u, d
+		p.field = p.Set.UnionField(u, d)
+	}
+	return p.field.CanReach(v)
+}
+
+// Records is the boundary-information provider: each node holds only the MCC
+// records deposited on it by the boundary-construction protocol, and routing
+// decisions consult the records of the current node (plus the records already
+// collected along the path, which a real message carries in its header). This
+// models the paper's limited-global-information regime.
+type Records struct {
+	Set *region.ComponentSet
+	// PerNode maps a node index to the IDs of the components whose records are
+	// stored at that node.
+	PerNode map[int][]int
+	// CarryAlong controls whether records seen earlier on the path remain
+	// usable (the routing message accumulates them); the paper's messages do.
+	CarryAlong bool
+
+	carried map[int]bool
+}
+
+// Name implements Provider.
+func (p *Records) Name() string { return "mcc-boundary" }
+
+// Reset clears the record set carried by the current message.
+func (p *Records) Reset() { p.carried = nil }
+
+// Allowed implements Provider.
+func (p *Records) Allowed(u, v, d grid.Point) bool {
+	if p.Set.Labeling != nil && p.Set.Labeling.Unsafe(v) && v != d {
+		return false
+	}
+	if p.carried == nil {
+		p.carried = make(map[int]bool)
+	}
+	uIdx := p.Set.Mesh.Index(u)
+	known := p.PerNode[uIdx]
+	if p.CarryAlong {
+		for _, id := range known {
+			p.carried[id] = true
+		}
+		known = known[:0:0]
+		for id := range p.carried {
+			known = append(known, id)
+		}
+	}
+	if len(known) == 0 {
+		return true
+	}
+	// The records known here act together, exactly like the merged forbidden
+	// regions the boundary construction produces: v is excluded when the union
+	// of the known regions blocks every monotone v→d path.
+	avoid := func(q grid.Point) bool {
+		for _, id := range known {
+			c := p.Set.Components[id]
+			if c.Has(q) && !c.Has(d) {
+				return true
+			}
+		}
+		return false
+	}
+	return minimal.Exists(p.Set.Mesh, avoid, v, d)
+}
+
+// Block is the rectangular-faulty-block baseline provider: the routing avoids
+// every node inside a fault block and excludes a step when the union of the
+// blocks closes off every monotone path from the neighbour to the destination
+// (the block model's own boundary information, given the same merging
+// treatment as the MCC model for a fair comparison).
+type Block struct {
+	Regions *block.Regions
+
+	cacheSrc, cacheDst grid.Point
+	field              *minimal.Field
+}
+
+// Name implements Provider.
+func (p *Block) Name() string { return "rfb-" + p.Regions.Model.String() }
+
+// Allowed implements Provider.
+func (p *Block) Allowed(u, v, d grid.Point) bool {
+	if p.Regions.Contains(v) && v != d {
+		return false
+	}
+	if p.field == nil || p.cacheDst != d || !grid.BoxOf(p.cacheSrc, d).Contains(v) {
+		p.cacheSrc, p.cacheDst = u, d
+		avoid := p.Regions.Avoid()
+		if p.Regions.Contains(d) {
+			// The destination sits inside a block (it is healthy but the
+			// coarse model swallowed it); carve it out so routes can at least
+			// try to terminate.
+			inner := avoid
+			avoid = func(q grid.Point) bool { return q != d && inner(q) }
+		}
+		p.field = minimal.Reachability(p.Regions.Mesh, avoid, u, d)
+	}
+	return p.field.CanReach(v)
+}
+
+// LocalGreedy is the floor baseline: it only knows the fault status of the
+// current node's neighbours and therefore accepts any healthy preferred
+// neighbour. It can run into dead ends, which count as routing failures.
+type LocalGreedy struct{}
+
+// Name implements Provider.
+func (LocalGreedy) Name() string { return "local-greedy" }
+
+// Allowed implements Provider.
+func (LocalGreedy) Allowed(_, _, _ grid.Point) bool { return true }
+
+// Labeled avoids any unsafe node but applies no region reasoning: it shows the
+// value of the forbidden/critical rule on top of the raw labelling.
+type Labeled struct {
+	Labeling *labeling.Labeling
+}
+
+// Name implements Provider.
+func (p *Labeled) Name() string { return "labels-only" }
+
+// Allowed implements Provider.
+func (p *Labeled) Allowed(_, v, d grid.Point) bool {
+	return v == d || !p.Labeling.Unsafe(v)
+}

@@ -1,0 +1,294 @@
+// Package simnet is a small discrete-event simulator for message passing on a
+// mesh: each node runs a handler, messages travel only between neighbouring
+// nodes with a configurable link delay, and delivery order is deterministic
+// (time, then send sequence). The distributed protocols of package protocol —
+// labelling, identification, boundary construction, detection and routing —
+// run on top of it, and the experiments use its statistics to measure the
+// information model's message overhead.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+)
+
+// Time is simulated time in abstract ticks.
+type Time int64
+
+// Envelope is a message in flight or being delivered.
+type Envelope struct {
+	// From and To are the sending and receiving nodes. Timer events have
+	// From == To.
+	From, To grid.Point
+	// Kind classifies the message for statistics ("label", "detect", ...).
+	Kind string
+	// Payload is the protocol-specific content.
+	Payload interface{}
+	// SendTime and DeliverTime bracket the link traversal.
+	SendTime, DeliverTime Time
+	// Hop is the hop index of the message within its protocol flow, if the
+	// sender sets it (diagnostic only).
+	Hop int
+}
+
+// Handler is the per-node protocol logic. A single Handler value is shared by
+// all nodes; the node identity arrives through the Context.
+type Handler interface {
+	// Init runs once per healthy node before any message is delivered.
+	Init(ctx *Context)
+	// Receive handles one delivered envelope.
+	Receive(ctx *Context, env Envelope)
+}
+
+// Stats aggregates what happened during a run.
+type Stats struct {
+	// Delivered counts messages delivered to healthy nodes.
+	Delivered int
+	// Dropped counts messages addressed to faulty or out-of-mesh nodes.
+	Dropped int
+	// Timers counts self-scheduled events.
+	Timers int
+	// ByKind breaks Delivered down by Envelope.Kind.
+	ByKind map[string]int
+	// FinalTime is the simulated time of the last processed event.
+	FinalTime Time
+	// Events is the total number of processed events.
+	Events int
+}
+
+// Options configure a Network.
+type Options struct {
+	// LinkDelay is the delivery latency of one hop. Defaults to 1.
+	LinkDelay Time
+	// MaxEvents aborts runaway protocols. Defaults to 4_000_000.
+	MaxEvents int
+}
+
+// Network is the simulator instance.
+type Network struct {
+	mesh    *mesh.Mesh
+	handler Handler
+	opts    Options
+
+	now   Time
+	seq   int64
+	queue eventQueue
+	stats Stats
+	store []map[string]interface{}
+	ctxs  []Context
+}
+
+// New creates a network over the mesh with the given handler.
+func New(m *mesh.Mesh, handler Handler, opts ...Options) *Network {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.LinkDelay <= 0 {
+		o.LinkDelay = 1
+	}
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = 4_000_000
+	}
+	n := &Network{
+		mesh:    m,
+		handler: handler,
+		opts:    o,
+		stats:   Stats{ByKind: make(map[string]int)},
+		store:   make([]map[string]interface{}, m.NodeCount()),
+		ctxs:    make([]Context, m.NodeCount()),
+	}
+	for i := range n.ctxs {
+		n.ctxs[i] = Context{net: n, self: m.Point(i)}
+	}
+	return n
+}
+
+// Mesh returns the underlying mesh.
+func (n *Network) Mesh() *mesh.Mesh { return n.mesh }
+
+// Now returns the current simulated time.
+func (n *Network) Now() Time { return n.now }
+
+// Stats returns a copy of the accumulated statistics.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.ByKind = make(map[string]int, len(n.stats.ByKind))
+	for k, v := range n.stats.ByKind {
+		s.ByKind[k] = v
+	}
+	return s
+}
+
+// Store returns the local key/value store of node p (creating it on demand).
+// Protocol handlers use it for per-node state; tests use it to inspect the
+// final distributed state.
+func (n *Network) Store(p grid.Point) map[string]interface{} {
+	idx := n.mesh.Index(p)
+	if n.store[idx] == nil {
+		n.store[idx] = make(map[string]interface{})
+	}
+	return n.store[idx]
+}
+
+// Post injects an external event addressed to node p at the current time
+// (plus one link delay), e.g. the arrival of a routing request at the source.
+func (n *Network) Post(p grid.Point, kind string, payload interface{}) {
+	n.enqueue(Envelope{
+		From: p, To: p, Kind: kind, Payload: payload,
+		SendTime: n.now, DeliverTime: n.now,
+	})
+}
+
+// Run initialises every healthy node and processes events until the network is
+// quiescent or the event budget is exhausted. It returns the final statistics.
+func (n *Network) Run() Stats {
+	for i := 0; i < n.mesh.NodeCount(); i++ {
+		if n.mesh.FaultyAt(i) {
+			continue
+		}
+		n.handler.Init(&n.ctxs[i])
+	}
+	return n.Drain()
+}
+
+// Drain processes queued events without re-initialising nodes. It is used to
+// continue a simulation after posting additional external events.
+func (n *Network) Drain() Stats {
+	for len(n.queue) > 0 {
+		if n.stats.Events >= n.opts.MaxEvents {
+			panic(fmt.Sprintf("simnet: event budget %d exhausted (protocol livelock?)", n.opts.MaxEvents))
+		}
+		ev := heap.Pop(&n.queue).(*event)
+		n.now = ev.env.DeliverTime
+		n.stats.Events++
+		n.stats.FinalTime = n.now
+		to := ev.env.To
+		if !n.mesh.InBounds(to) || n.mesh.IsFaulty(to) {
+			n.stats.Dropped++
+			continue
+		}
+		n.stats.Delivered++
+		n.stats.ByKind[ev.env.Kind]++
+		n.handler.Receive(&n.ctxs[n.mesh.Index(to)], ev.env)
+	}
+	return n.Stats()
+}
+
+func (n *Network) enqueue(env Envelope) {
+	n.seq++
+	heap.Push(&n.queue, &event{env: env, seq: n.seq})
+}
+
+// Context gives a handler access to its node's identity, local store and
+// communication primitives.
+type Context struct {
+	net  *Network
+	self grid.Point
+}
+
+// Self returns the node this context belongs to.
+func (c *Context) Self() grid.Point { return c.self }
+
+// Time returns the current simulated time.
+func (c *Context) Time() Time { return c.net.now }
+
+// Mesh exposes the topology (a real node knows its own coordinates and the
+// mesh dimensions; it must not use the mesh to inspect distant fault status —
+// protocols gather that through messages).
+func (c *Context) Mesh() *mesh.Mesh { return c.net.mesh }
+
+// Store returns this node's local key/value store.
+func (c *Context) Store() map[string]interface{} { return c.net.Store(c.self) }
+
+// NeighborFaulty reports whether the neighbour in direction dir is faulty or
+// missing. Nodes are assumed to know the liveness of their direct neighbours
+// (the paper's base assumption).
+func (c *Context) NeighborFaulty(dir grid.Direction) bool {
+	q := grid.Step(c.self, dir)
+	if !c.net.mesh.InBounds(q) {
+		return true
+	}
+	return c.net.mesh.IsFaulty(q)
+}
+
+// Send transmits a message to a neighbouring node. It panics if to is not a
+// mesh neighbour of the sender, keeping protocols honest about locality.
+func (c *Context) Send(to grid.Point, kind string, payload interface{}) {
+	if grid.Manhattan(c.self, to) != 1 {
+		panic(fmt.Sprintf("simnet: %v attempted a non-local send to %v", c.self, to))
+	}
+	c.net.enqueue(Envelope{
+		From: c.self, To: to, Kind: kind, Payload: payload,
+		SendTime: c.net.now, DeliverTime: c.net.now + c.net.opts.LinkDelay,
+	})
+}
+
+// SendDir transmits a message to the neighbour in the given direction and
+// reports whether such a neighbour exists.
+func (c *Context) SendDir(dir grid.Direction, kind string, payload interface{}) bool {
+	q := grid.Step(c.self, dir)
+	if !c.net.mesh.InBounds(q) {
+		return false
+	}
+	c.Send(q, kind, payload)
+	return true
+}
+
+// Broadcast sends the message to every in-bounds neighbour and returns how
+// many copies were sent.
+func (c *Context) Broadcast(kind string, payload interface{}) int {
+	sent := 0
+	for _, dir := range c.net.mesh.Directions() {
+		if c.SendDir(dir, kind, payload) {
+			sent++
+		}
+	}
+	return sent
+}
+
+// After schedules a local timer event delivered to this node after delay.
+func (c *Context) After(delay Time, kind string, payload interface{}) {
+	if delay < 0 {
+		delay = 0
+	}
+	c.net.stats.Timers++
+	c.net.enqueue(Envelope{
+		From: c.self, To: c.self, Kind: kind, Payload: payload,
+		SendTime: c.net.now, DeliverTime: c.net.now + delay,
+	})
+}
+
+// --- event queue -------------------------------------------------------------
+
+type event struct {
+	env Envelope
+	seq int64
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].env.DeliverTime != q[j].env.DeliverTime {
+		return q[i].env.DeliverTime < q[j].env.DeliverTime
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

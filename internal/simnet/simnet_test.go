@@ -1,0 +1,184 @@
+package simnet
+
+import (
+	"testing"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+)
+
+// floodHandler floods a token to every node and records the hop distance at
+// which each node first saw it.
+type floodHandler struct{}
+
+func (floodHandler) Init(ctx *Context) {}
+
+func (floodHandler) Receive(ctx *Context, env Envelope) {
+	if _, seen := ctx.Store()["seen"]; seen {
+		return
+	}
+	ctx.Store()["seen"] = ctx.Time()
+	ctx.Broadcast("flood", env.Payload)
+}
+
+func TestFloodReachesEveryHealthyNode(t *testing.T) {
+	m := mesh.New3D(4, 4, 4)
+	m.AddFaults(grid.Point{X: 1, Y: 1, Z: 1})
+	net := New(m, floodHandler{})
+	net.Post(grid.Point{}, "flood", "token")
+	stats := net.Run()
+
+	reached := 0
+	m.ForEach(func(p grid.Point) {
+		if m.IsFaulty(p) {
+			return
+		}
+		if _, ok := net.Store(p)["seen"]; ok {
+			reached++
+		}
+	})
+	if reached != m.NodeCount()-1 {
+		t.Errorf("flood reached %d healthy nodes, want %d", reached, m.NodeCount()-1)
+	}
+	if stats.Delivered == 0 || stats.ByKind["flood"] != stats.Delivered {
+		t.Error("statistics not recorded")
+	}
+	if stats.Dropped == 0 {
+		t.Error("messages to the faulty node should have been dropped")
+	}
+}
+
+func TestFloodTimeEqualsDistance(t *testing.T) {
+	m := mesh.New2D(5, 5)
+	net := New(m, floodHandler{})
+	src := grid.Point{}
+	net.Post(src, "flood", nil)
+	net.Run()
+	m.ForEach(func(p grid.Point) {
+		seen, ok := net.Store(p)["seen"].(Time)
+		if !ok {
+			t.Fatalf("node %v never saw the token", p)
+		}
+		// With unit link delay, the first arrival time is the hop distance
+		// (the initial Post is delivered at time 0).
+		if int(seen) != grid.Manhattan(src, p) {
+			t.Errorf("node %v first saw the token at %d, want %d", p, seen, grid.Manhattan(src, p))
+		}
+	})
+}
+
+// pingPong bounces a counter between a node and its +X neighbour a limited
+// number of times.
+type pingPong struct{ limit int }
+
+func (pingPong) Init(ctx *Context) {}
+
+func (h pingPong) Receive(ctx *Context, env Envelope) {
+	switch env.Kind {
+	case "start":
+		ctx.SendDir(grid.XPos, "pong", 0)
+	case "pong":
+		n := env.Payload.(int)
+		if n >= h.limit {
+			return
+		}
+		ctx.Send(env.From, "pong", n+1)
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	run := func() Stats {
+		m := mesh.New2D(3, 3)
+		net := New(m, pingPong{limit: 10})
+		net.Post(grid.Point{X: 1, Y: 1}, "start", nil)
+		return net.Run()
+	}
+	a, b := run(), run()
+	if a.Delivered != b.Delivered || a.FinalTime != b.FinalTime || a.Events != b.Events {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+	if a.ByKind["pong"] != 11 {
+		t.Errorf("pong count = %d, want 11", a.ByKind["pong"])
+	}
+}
+
+func TestSendRejectsNonNeighbors(t *testing.T) {
+	m := mesh.New2D(4, 4)
+	net := New(m, floodHandler{})
+	ctx := &Context{net: net, self: grid.Point{}}
+	defer func() {
+		if recover() == nil {
+			t.Error("Send to a non-neighbour should panic")
+		}
+	}()
+	ctx.Send(grid.Point{X: 3, Y: 3}, "bad", nil)
+}
+
+func TestSendDirOffMesh(t *testing.T) {
+	m := mesh.New2D(3, 3)
+	net := New(m, floodHandler{})
+	ctx := &Context{net: net, self: grid.Point{}}
+	if ctx.SendDir(grid.XNeg, "x", nil) {
+		t.Error("SendDir off the mesh should report false")
+	}
+	if !ctx.SendDir(grid.XPos, "x", nil) {
+		t.Error("SendDir to a valid neighbour should report true")
+	}
+}
+
+type timerHandler struct{ fired *int }
+
+func (timerHandler) Init(ctx *Context) {}
+
+func (h timerHandler) Receive(ctx *Context, env Envelope) {
+	if env.Kind == "start" {
+		ctx.After(5, "timer", nil)
+		return
+	}
+	*h.fired++
+}
+
+func TestTimers(t *testing.T) {
+	m := mesh.New2D(3, 3)
+	fired := 0
+	net := New(m, timerHandler{fired: &fired})
+	net.Post(grid.Point{X: 1, Y: 1}, "start", nil)
+	stats := net.Run()
+	if fired != 1 {
+		t.Errorf("timer fired %d times, want 1", fired)
+	}
+	if stats.FinalTime != 5 {
+		t.Errorf("final time = %d, want 5", stats.FinalTime)
+	}
+	if stats.Timers != 1 {
+		t.Errorf("timer count = %d, want 1", stats.Timers)
+	}
+}
+
+func TestNeighborFaulty(t *testing.T) {
+	m := mesh.New2D(3, 3)
+	m.AddFaults(grid.Point{X: 1, Y: 0})
+	net := New(m, floodHandler{})
+	ctx := &Context{net: net, self: grid.Point{}}
+	if !ctx.NeighborFaulty(grid.XPos) {
+		t.Error("faulty neighbour not reported")
+	}
+	if !ctx.NeighborFaulty(grid.YNeg) {
+		t.Error("missing neighbour should count as faulty")
+	}
+	if ctx.NeighborFaulty(grid.YPos) {
+		t.Error("healthy neighbour misreported")
+	}
+}
+
+func TestEventBudgetPanics(t *testing.T) {
+	m := mesh.New2D(3, 3)
+	net := New(m, pingPong{limit: 1 << 30}, Options{MaxEvents: 100})
+	net.Post(grid.Point{X: 1, Y: 1}, "start", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected the event budget to abort the runaway protocol")
+		}
+	}()
+	net.Run()
+}

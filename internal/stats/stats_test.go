@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 {
+		t.Errorf("mean = %v n = %d", s.Mean(), s.N())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.StdDev()-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("stddev = %v", s.StdDev())
+	}
+	if s.CI95() <= 0 {
+		t.Error("CI95 should be positive")
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.CI95() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	s.Add(7)
+	if s.Mean() != 7 || s.StdDev() != 0 {
+		t.Error("single observation summary wrong")
+	}
+}
+
+func TestSummaryAddBool(t *testing.T) {
+	var s Summary
+	s.AddBool(true)
+	s.AddBool(true)
+	s.AddBool(false)
+	s.AddBool(false)
+	if s.Mean() != 0.5 {
+		t.Errorf("bool mean = %v", s.Mean())
+	}
+}
+
+func TestSummaryMeanWithinBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		var s Summary
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r)
+			s.Add(v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= lo-1e-6 && s.Mean() <= hi+1e-6 && s.Min() == lo && s.Max() == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	tab.AddNote("n=%d", 2)
+	out := tab.Render()
+	for _, want := range []string{"demo", "a", "bb", "333", "note: n=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, underline, header, separator, 2 rows... plus note
+		// title, ===, header, ----, row, row, note = 7
+		if len(lines) != 7 {
+			t.Errorf("unexpected rendered line count %d:\n%s", len(lines), out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"x", "y"}}
+	tab.AddRow("1", "hello, world")
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"hello, world"`) {
+		t.Errorf("CSV quoting wrong: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "x,y\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3) != "3" {
+		t.Errorf("F(3) = %q", F(3))
+	}
+	if F(3.14159) != "3.142" {
+		t.Errorf("F(3.14159) = %q", F(3.14159))
+	}
+	if F(123.456) != "123.5" {
+		t.Errorf("F(123.456) = %q", F(123.456))
+	}
+	if Pct(0.5) != "50.0%" {
+		t.Errorf("Pct(0.5) = %q", Pct(0.5))
+	}
+}

@@ -1,0 +1,137 @@
+// Package viz renders meshes, labels, fault regions and routing paths as
+// ASCII art, one Z slice at a time. It backs the mccviz command and the
+// examples; the symbols follow the paper's figures:
+//
+//	.  safe node          F  faulty node
+//	u  useless node       c  can't-reach node
+//	#  rectangular-faulty-block node (when a block overlay is supplied)
+//	*  node on the rendered path
+//	S  source             D  destination
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"mccmesh/internal/block"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+)
+
+// Overlay optionally decorates a rendering.
+type Overlay struct {
+	// Path marks nodes with '*' (endpoints with 'S'/'D').
+	Path []grid.Point
+	// Source and Destination are marked even without a path.
+	Source, Destination *grid.Point
+	// Blocks marks nodes inside rectangular faulty blocks with '#' unless a
+	// stronger symbol applies.
+	Blocks *block.Regions
+}
+
+// Slice renders the z = level slice of a labelling as ASCII art with the Y
+// axis growing upward (as in the paper's figures).
+func Slice(l *labeling.Labeling, level int, ov Overlay) string {
+	m := l.Mesh()
+	dims := m.Dims()
+	onPath := make(map[grid.Point]bool, len(ov.Path))
+	for _, p := range ov.Path {
+		onPath[p] = true
+	}
+	var b strings.Builder
+	if !m.Is2D() {
+		fmt.Fprintf(&b, "z = %d\n", level)
+	}
+	for y := dims.Y - 1; y >= 0; y-- {
+		fmt.Fprintf(&b, "%3d ", y)
+		for x := 0; x < dims.X; x++ {
+			p := grid.Point{X: x, Y: y, Z: level}
+			b.WriteByte(symbol(l, p, ov, onPath))
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("    ")
+	for x := 0; x < dims.X; x++ {
+		b.WriteString(fmt.Sprintf("%-2d", x%10))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func symbol(l *labeling.Labeling, p grid.Point, ov Overlay, onPath map[grid.Point]bool) byte {
+	if ov.Source != nil && *ov.Source == p {
+		return 'S'
+	}
+	if ov.Destination != nil && *ov.Destination == p {
+		return 'D'
+	}
+	if len(ov.Path) > 0 {
+		if ov.Path[0] == p {
+			return 'S'
+		}
+		if ov.Path[len(ov.Path)-1] == p {
+			return 'D'
+		}
+		if onPath[p] {
+			return '*'
+		}
+	}
+	switch l.Status(p) {
+	case labeling.Faulty:
+		return 'F'
+	case labeling.Useless:
+		return 'u'
+	case labeling.CantReach:
+		return 'c'
+	}
+	if ov.Blocks != nil && ov.Blocks.Contains(p) {
+		return '#'
+	}
+	return '.'
+}
+
+// Mesh2D renders a 2-D mesh labelling (the only slice there is).
+func Mesh2D(l *labeling.Labeling, ov Overlay) string {
+	return Slice(l, 0, ov)
+}
+
+// Slices renders every Z level that contains at least one non-safe symbol,
+// which keeps 3-D dumps readable.
+func Slices(l *labeling.Labeling, ov Overlay) string {
+	m := l.Mesh()
+	if m.Is2D() {
+		return Mesh2D(l, ov)
+	}
+	interesting := make(map[int]bool)
+	m.ForEach(func(p grid.Point) {
+		if l.Status(p) != labeling.Safe {
+			interesting[p.Z] = true
+		}
+	})
+	for _, p := range ov.Path {
+		interesting[p.Z] = true
+	}
+	if ov.Source != nil {
+		interesting[ov.Source.Z] = true
+	}
+	if ov.Destination != nil {
+		interesting[ov.Destination.Z] = true
+	}
+	var b strings.Builder
+	for z := 0; z < m.Dims().Z; z++ {
+		if interesting[z] {
+			b.WriteString(Slice(l, z, ov))
+			b.WriteByte('\n')
+		}
+	}
+	if b.Len() == 0 {
+		return Slice(l, 0, ov)
+	}
+	return b.String()
+}
+
+// Legend returns the symbol legend.
+func Legend() string {
+	return ". safe   F faulty   u useless   c can't-reach   # faulty block   * path   S source   D destination"
+}

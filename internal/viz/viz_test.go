@@ -1,0 +1,84 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"mccmesh/internal/block"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+)
+
+func TestMesh2DSymbols(t *testing.T) {
+	m := mesh.New2D(6, 6)
+	m.AddFaults(grid.Point{X: 2, Y: 3}, grid.Point{X: 3, Y: 2})
+	l := labeling.Compute(m, grid.PositiveOrientation)
+	s := grid.Point{X: 0, Y: 0}
+	d := grid.Point{X: 5, Y: 5}
+	out := Mesh2D(l, Overlay{Source: &s, Destination: &d})
+	if !strings.Contains(out, "F") {
+		t.Error("faulty symbol missing")
+	}
+	if !strings.Contains(out, "u") {
+		t.Error("useless symbol missing: (2,2) is wedged")
+	}
+	if !strings.Contains(out, "c") {
+		t.Error("can't-reach symbol missing: (3,3) is wedged")
+	}
+	if !strings.Contains(out, "S") || !strings.Contains(out, "D") {
+		t.Error("endpoint markers missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // 6 rows + axis line
+		t.Errorf("expected 7 lines, got %d", len(lines))
+	}
+}
+
+func TestSlicePath(t *testing.T) {
+	m := mesh.New2D(5, 5)
+	l := labeling.Compute(m, grid.PositiveOrientation)
+	path := []grid.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}}
+	out := Mesh2D(l, Overlay{Path: path})
+	if !strings.Contains(out, "S") || !strings.Contains(out, "D") || !strings.Contains(out, "*") {
+		t.Errorf("path rendering missing markers:\n%s", out)
+	}
+}
+
+func TestSlicesSelectsInterestingLevels(t *testing.T) {
+	m := mesh.New3D(6, 6, 6)
+	m.AddFaults(grid.Point{X: 2, Y: 2, Z: 3})
+	l := labeling.Compute(m, grid.PositiveOrientation)
+	out := Slices(l, Overlay{})
+	if !strings.Contains(out, "z = 3") {
+		t.Error("slice with the fault not rendered")
+	}
+	if strings.Contains(out, "z = 5") {
+		t.Error("empty slice should be skipped")
+	}
+}
+
+func TestSlicesFaultFreeFallsBack(t *testing.T) {
+	m := mesh.New3D(4, 4, 4)
+	l := labeling.Compute(m, grid.PositiveOrientation)
+	if Slices(l, Overlay{}) == "" {
+		t.Error("fault-free rendering should fall back to one slice")
+	}
+}
+
+func TestBlockOverlay(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	m.AddFaults(grid.Point{X: 2, Y: 2}, grid.Point{X: 3, Y: 3})
+	l := labeling.Compute(m, grid.PositiveOrientation)
+	blocks := block.Build(m, block.BoundingBox)
+	out := Mesh2D(l, Overlay{Blocks: blocks})
+	if !strings.Contains(out, "#") {
+		t.Errorf("block overlay missing:\n%s", out)
+	}
+}
+
+func TestLegend(t *testing.T) {
+	if !strings.Contains(Legend(), "faulty") {
+		t.Error("legend incomplete")
+	}
+}
