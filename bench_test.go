@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mccmesh/internal/block"
+	"mccmesh/internal/core"
 	"mccmesh/internal/experiments"
 	"mccmesh/internal/fault"
 	"mccmesh/internal/feasibility"
@@ -18,6 +19,7 @@ import (
 	"mccmesh/internal/region"
 	"mccmesh/internal/rng"
 	"mccmesh/internal/routing"
+	"mccmesh/internal/traffic"
 )
 
 func bench2DMesh(seed uint64, k, faults int) *mesh.Mesh {
@@ -224,5 +226,54 @@ func BenchmarkTableE6(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.E6Adaptivity(cfg, 30)
+	}
+}
+
+// --- Continuous-traffic benchmarks -------------------------------------------
+
+// benchTrafficEngine measures one continuous-traffic trial: geometric
+// injection clocking, per-hop information-model consultation and latency
+// accounting, for the given model.
+func benchTrafficEngine(b *testing.B, model string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := bench3DMesh(11, 8, 30)
+		im, err := traffic.ModelByName(model, core.NewModel(m))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := traffic.NewEngine(m, im, traffic.Uniform{}, traffic.Options{Rate: 0.02, Warmup: 20, Window: 100})
+		if res := e.Run(uint64(i)); res.Delivered == 0 {
+			b.Fatal("no traffic delivered")
+		}
+	}
+}
+
+// BenchmarkTrafficEngineMCC runs the workload engine under the paper's MCC
+// information model.
+func BenchmarkTrafficEngineMCC(b *testing.B) { benchTrafficEngine(b, "mcc") }
+
+// BenchmarkTrafficEngineLocal runs the workload engine under the stateless
+// local-greedy floor (the engine-overhead baseline).
+func BenchmarkTrafficEngineLocal(b *testing.B) { benchTrafficEngine(b, "local") }
+
+// BenchmarkTrafficSweepParallel measures the deterministic parallel sweep
+// runner end to end: 8 trials sharded across GOMAXPROCS workers.
+func BenchmarkTrafficSweepParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		results := traffic.RunTrials(0, 8, uint64(i), func(_ int, seed uint64) *traffic.Result {
+			m := mesh.New3D(8, 8, 8)
+			fault.Uniform{Count: 30}.Inject(m, rng.New(rng.Derive(seed, 1<<48)))
+			im, err := traffic.ModelByName("mcc", core.NewModel(m))
+			if err != nil {
+				panic(err)
+			}
+			e := traffic.NewEngine(m, im, traffic.Uniform{}, traffic.Options{Rate: 0.02, Warmup: 20, Window: 100})
+			return e.Run(seed)
+		})
+		if traffic.Collect(results).Delivered == 0 {
+			b.Fatal("sweep delivered nothing")
+		}
 	}
 }

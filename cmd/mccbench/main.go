@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exps      = flag.String("exp", "all", "comma separated experiments to run: e1..e6 or all")
+		exps      = flag.String("exp", "all", "comma separated experiments to run: e1..e7 or all")
 		dim       = flag.Int("dim", 10, "mesh edge length")
 		twoD      = flag.Bool("2d", false, "use a 2-D mesh instead of 3-D")
 		trials    = flag.Int("trials", 30, "fault configurations per data point")
@@ -61,8 +61,19 @@ func main() {
 		"e4": func() *stats.Table { return experiments.E4MessageOverhead(cfg) },
 		"e5": func() *stats.Table { return experiments.E5RegionAblation(cfg) },
 		"e6": func() *stats.Table { return experiments.E6Adaptivity(cfg, mid) },
+		"e7": func() *stats.Table {
+			tc := experiments.DefaultTrafficConfig()
+			tc.Faults = mid
+			tc.Trials = cfg.Trials
+			table, err := experiments.E7Throughput(cfg, tc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mccbench:", err)
+				os.Exit(2)
+			}
+			return table
+		},
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7"}
 
 	want := map[string]bool{}
 	if *exps == "all" {
@@ -73,7 +84,7 @@ func main() {
 		for _, part := range strings.Split(*exps, ",") {
 			k := strings.ToLower(strings.TrimSpace(part))
 			if _, ok := run[k]; !ok {
-				fmt.Fprintf(os.Stderr, "mccbench: unknown experiment %q (want e1..e6 or all)\n", part)
+				fmt.Fprintf(os.Stderr, "mccbench: unknown experiment %q (want e1..e7 or all)\n", part)
 				os.Exit(2)
 			}
 			want[k] = true

@@ -16,10 +16,15 @@
 //     omniscient oracle);
 //   - a discrete-event simulator and the distributed protocols (labelling,
 //     identification, boundary construction, detection, routing) that realise
-//     the information model with neighbour-to-neighbour messages only; and
+//     the information model with neighbour-to-neighbour messages only;
+//   - a continuous-traffic workload engine (uniform-random, transpose,
+//     bit-reversal, hotspot and nearest-neighbour patterns) with mid-run fault
+//     injection, throughput/latency-percentile measurement and a parallel
+//     sweep runner whose results are bit-identical at any worker count; and
 //   - an experiment harness that regenerates the paper's evaluation (fault
 //     region size and minimal-routing success rate versus the rectangular
-//     faulty-block baselines) plus supporting ablations.
+//     faulty-block baselines) plus supporting ablations and a sustained-load
+//     throughput study.
 //
 // The root package is a thin facade over the implementation packages in
 // internal/; see README.md for a tour and examples/ for runnable programs.

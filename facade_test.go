@@ -72,3 +72,47 @@ func TestFacadeStatusConstants(t *testing.T) {
 		t.Error("status constants wired incorrectly")
 	}
 }
+
+func TestFacadeTrafficFlow(t *testing.T) {
+	m := NewCube(6)
+	InjectUniform(m, NewRand(5), 10)
+	e, err := NewTrafficEngine(m, "mcc", "uniform", TrafficOptions{Rate: 0.02, Warmup: 10, Window: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(5)
+	if res.Injected == 0 || res.Delivered == 0 {
+		t.Fatalf("no traffic flowed: %+v", res)
+	}
+	if res.Lost != 0 {
+		t.Errorf("packets lost with a static fault set: %+v", res)
+	}
+	if _, err := NewTrafficEngine(m, "nope", "uniform", TrafficOptions{}); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := NewTrafficEngine(m, "mcc", "nope", TrafficOptions{}); err == nil {
+		t.Error("unknown pattern should error")
+	}
+	if len(TrafficPatternNames()) == 0 || len(TrafficModelNames()) == 0 {
+		t.Error("name listings should be non-empty")
+	}
+}
+
+func TestFacadeTrafficTrialsDeterministic(t *testing.T) {
+	trial := func(_ int, seed uint64) *TrafficResult {
+		m := NewCube(5)
+		InjectUniform(m, NewRand(seed), 6)
+		e, err := NewTrafficEngine(m, "mcc", "uniform", TrafficOptions{Rate: 0.03, Warmup: 10, Window: 40})
+		if err != nil {
+			panic(err)
+		}
+		return e.Run(seed)
+	}
+	a := RunTrafficTrials(1, 6, 3, trial)
+	b := RunTrafficTrials(4, 6, 3, trial)
+	for i := range a {
+		if a[i].Delivered != b[i].Delivered || a[i].Injected != b[i].Injected {
+			t.Fatalf("trial %d differs between worker counts", i)
+		}
+	}
+}

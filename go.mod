@@ -1,0 +1,3 @@
+module mccmesh
+
+go 1.24

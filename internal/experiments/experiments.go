@@ -8,15 +8,20 @@
 //	E4  MessageOverhead     – messages used by the distributed information model
 //	E5  RegionAblation      – region sizes per model variant and border policy
 //	E6  Adaptivity          – routing flexibility left by each information model
+//	E7  Throughput          – continuous-traffic throughput/latency per pattern,
+//	                          information model and injection rate
 //
 // Every experiment consumes a Config, runs a deterministic seeded sweep and
-// returns a stats.Table ready for printing or CSV export.
+// returns a stats.Table ready for printing or CSV export. E7 additionally
+// shards its trials across parallel workers; its tables are bit-identical for
+// any worker count.
 package experiments
 
 import (
 	"fmt"
 
 	"mccmesh/internal/block"
+	"mccmesh/internal/core"
 	"mccmesh/internal/fault"
 	"mccmesh/internal/feasibility"
 	"mccmesh/internal/grid"
@@ -27,7 +32,9 @@ import (
 	"mccmesh/internal/region"
 	"mccmesh/internal/rng"
 	"mccmesh/internal/routing"
+	"mccmesh/internal/simnet"
 	"mccmesh/internal/stats"
+	"mccmesh/internal/traffic"
 )
 
 // Config parameterises an experiment sweep.
@@ -403,6 +410,114 @@ func E6Adaptivity(cfg Config, faults int) *stats.Table {
 	return t
 }
 
+// TrafficConfig parameterises the E7 continuous-traffic experiment.
+type TrafficConfig struct {
+	// Patterns and Models name the traffic patterns and information models to
+	// sweep (see traffic.PatternNames and traffic.ModelNames).
+	Patterns []string
+	Models   []string
+	// Rates is the sweep over the per-node injection probability per tick.
+	Rates []float64
+	// Faults is the static fault count injected before traffic starts.
+	Faults int
+	// Trials is the number of fault configurations per sweep cell (E7 runs
+	// many packets per trial, so it uses fewer trials than E1–E6).
+	Trials int
+	// Warmup and Window are the measurement timeline in ticks.
+	Warmup, Window int
+	// Workers shards trials across goroutines; <= 0 selects GOMAXPROCS. The
+	// table is bit-identical for every worker count.
+	Workers int
+	// HotspotFraction tunes the hotspot pattern (0 selects its default).
+	HotspotFraction float64
+}
+
+// DefaultTrafficConfig returns the E7 configuration used in EXPERIMENTS.md:
+// three classic patterns, the MCC model against the rectangular-block
+// baseline, and a rate sweep bracketing saturation.
+func DefaultTrafficConfig() TrafficConfig {
+	return TrafficConfig{
+		Patterns: []string{"uniform", "transpose", "hotspot"},
+		Models:   []string{"mcc", "rfb"},
+		Rates:    []float64{0.005, 0.01, 0.02},
+		Faults:   30,
+		Trials:   5,
+		Warmup:   50,
+		Window:   200,
+	}
+}
+
+// E7Throughput measures sustained-load behaviour: for each traffic pattern ×
+// information model × injection rate it runs continuous traffic on freshly
+// faulted meshes and reports accepted throughput (deliveries per node per
+// tick), delivery ratio and latency percentiles. Trials are sharded across
+// parallel workers with per-trial derived seeds, so the same configuration
+// produces the same table at any worker count.
+func E7Throughput(cfg Config, tc TrafficConfig) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("E7: continuous-traffic throughput/latency (%s mesh, %d faults, %d trials, warmup %d + window %d ticks)",
+			cfg.meshName(), tc.Faults, tc.Trials, tc.Warmup, tc.Window),
+		Columns: []string{"pattern", "model", "rate", "delivered", "throughput", "lat mean", "p50", "p95", "p99", "stuck", "lost"},
+	}
+	// Validate every name up front on a probe mesh so a typo fails fast
+	// instead of panicking inside a worker goroutine.
+	probe := cfg.newMesh()
+	for _, name := range tc.Patterns {
+		if _, err := traffic.PatternByName(name, probe, tc.HotspotFraction); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range tc.Models {
+		if _, err := traffic.ModelByName(name, core.NewModel(probe)); err != nil {
+			return nil, err
+		}
+	}
+	cell := 0
+	for _, patternName := range tc.Patterns {
+		for _, modelName := range tc.Models {
+			for _, rate := range tc.Rates {
+				cellSeed := rng.Derive(cfg.Seed+6, uint64(cell))
+				cell++
+				results := traffic.RunTrials(tc.Workers, tc.Trials, cellSeed, func(_ int, seed uint64) *traffic.Result {
+					m := cfg.newMesh()
+					cfg.injector(tc.Faults).Inject(m, rng.New(rng.Derive(seed, 1<<48)))
+					im, err := traffic.ModelByName(modelName, core.NewModel(m))
+					if err != nil {
+						panic(err)
+					}
+					pattern, err := traffic.PatternByName(patternName, m, tc.HotspotFraction)
+					if err != nil {
+						panic(err)
+					}
+					e := traffic.NewEngine(m, im, pattern, traffic.Options{
+						Rate:   rate,
+						Warmup: simnet.Time(tc.Warmup),
+						Window: simnet.Time(tc.Window),
+					})
+					return e.Run(seed)
+				})
+				agg := traffic.Collect(results)
+				t.AddRow(
+					patternName,
+					modelName,
+					fmt.Sprintf("%.3f", rate),
+					stats.Pct(agg.DeliveredRatio.Mean()),
+					fmt.Sprintf("%.4f", agg.Throughput.Mean()),
+					stats.F(agg.Latency.Mean()),
+					fmt.Sprintf("%d", agg.Latency.Percentile(0.50)),
+					fmt.Sprintf("%d", agg.Latency.Percentile(0.95)),
+					fmt.Sprintf("%d", agg.Latency.Percentile(0.99)),
+					fmt.Sprintf("%d", agg.Stuck),
+					fmt.Sprintf("%d", agg.Lost),
+				)
+			}
+		}
+	}
+	t.AddNote("throughput is measured deliveries per healthy node per tick; latency percentiles are over packets injected inside the window.")
+	t.AddNote("'stuck' packets ran out of allowed forwarding directions; 'lost' packets were dropped by a node that died mid-flight.")
+	return t, nil
+}
+
 // RunAll executes every experiment with the given configuration and returns
 // the tables in DESIGN.md order.
 func RunAll(cfg Config) []*stats.Table {
@@ -410,7 +525,7 @@ func RunAll(cfg Config) []*stats.Table {
 	if len(cfg.FaultCounts) > 0 {
 		midFaults = cfg.FaultCounts[len(cfg.FaultCounts)/2]
 	}
-	return []*stats.Table{
+	tables := []*stats.Table{
 		E1NonFaultyInclusion(cfg),
 		E2SuccessRate(cfg),
 		E3SuccessByDistance(cfg, midFaults),
@@ -418,4 +533,13 @@ func RunAll(cfg Config) []*stats.Table {
 		E5RegionAblation(cfg),
 		E6Adaptivity(cfg, midFaults),
 	}
+	tc := DefaultTrafficConfig()
+	tc.Faults = midFaults
+	e7, err := E7Throughput(cfg, tc)
+	if err != nil {
+		// The default names are hardcoded against the traffic registries; a
+		// mismatch is a programming error, not a runtime condition.
+		panic(err)
+	}
+	return append(tables, e7)
 }

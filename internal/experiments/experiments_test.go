@@ -134,13 +134,86 @@ func TestE6Adaptivity(t *testing.T) {
 	}
 }
 
+// tinyTrafficConfig keeps E7 fast for the unit-test suite.
+func tinyTrafficConfig() TrafficConfig {
+	return TrafficConfig{
+		Patterns: []string{"uniform", "transpose", "hotspot"},
+		Models:   []string{"mcc", "rfb"},
+		Rates:    []float64{0.01, 0.03},
+		Faults:   12,
+		Trials:   3,
+		Warmup:   20,
+		Window:   80,
+		Workers:  1,
+	}
+}
+
+func TestE7ShapeAndSanity(t *testing.T) {
+	tab, err := E7Throughput(tinyConfig(), tinyTrafficConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := tinyTrafficConfig()
+	want := len(tc.Patterns) * len(tc.Models) * len(tc.Rates)
+	if len(tab.Rows) != want {
+		t.Fatalf("expected %d rows (patterns x models x rates), got %d", want, len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		delivered := parsePct(t, row[3])
+		if delivered <= 0 || delivered > 100 {
+			t.Errorf("row %v: delivered ratio %v%% out of range", row[:3], delivered)
+		}
+		throughput := parseF(t, row[4])
+		rate := parseF(t, row[2])
+		if throughput <= 0 || throughput > rate*1.5 {
+			t.Errorf("row %v: throughput %v implausible for rate %v", row[:3], throughput, rate)
+		}
+		p50, p95, p99 := parseF(t, row[6]), parseF(t, row[7]), parseF(t, row[8])
+		if p50 > p95 || p95 > p99 {
+			t.Errorf("row %v: percentiles not monotone: %v %v %v", row[:3], p50, p95, p99)
+		}
+	}
+}
+
+func TestE7BitIdenticalAcrossWorkerCounts(t *testing.T) {
+	cfg := tinyConfig()
+	tc := tinyTrafficConfig()
+	tc.Workers = 1
+	serial, err := E7Throughput(cfg, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.Workers = 8
+	parallel, err := E7Throughput(cfg, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.CSV() != parallel.CSV() {
+		t.Errorf("E7 tables differ between 1 and 8 workers:\n--- 1 worker\n%s\n--- 8 workers\n%s", serial.CSV(), parallel.CSV())
+	}
+}
+
+func TestE7RejectsUnknownNames(t *testing.T) {
+	cfg := tinyConfig()
+	tc := tinyTrafficConfig()
+	tc.Patterns = []string{"nope"}
+	if _, err := E7Throughput(cfg, tc); err == nil {
+		t.Error("unknown pattern should error")
+	}
+	tc = tinyTrafficConfig()
+	tc.Models = []string{"nope"}
+	if _, err := E7Throughput(cfg, tc); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
 func TestRunAll(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Trials = 2
 	cfg.Pairs = 2
 	tables := RunAll(cfg)
-	if len(tables) != 6 {
-		t.Fatalf("RunAll returned %d tables, want 6", len(tables))
+	if len(tables) != 7 {
+		t.Fatalf("RunAll returned %d tables, want 7", len(tables))
 	}
 	for _, tab := range tables {
 		if tab.Title == "" || len(tab.Columns) == 0 || len(tab.Rows) == 0 {

@@ -17,15 +17,19 @@ func New(seed uint64) *Rand {
 	return r
 }
 
+// mix64 is the splitmix64 finalizer shared by Seed and Derive.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Seed reinitialises the generator state from seed.
 func (r *Rand) Seed(seed uint64) {
 	sm := seed
 	next := func() uint64 {
 		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
+		return mix64(sm)
 	}
 	for i := range r.s {
 		r.s[i] = next()
@@ -118,4 +122,12 @@ func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
 // output, for handing to parallel workers deterministically.
 func (r *Rand) Split() *Rand {
 	return New(r.Uint64())
+}
+
+// Derive maps a base seed and a stream index to an independent seed via two
+// splitmix64 rounds. Unlike Split it is a pure function of (seed, stream), so
+// parallel sweep runners can hand trial i the same generator no matter which
+// worker runs it — the foundation of worker-count-independent results.
+func Derive(seed, stream uint64) uint64 {
+	return mix64(mix64(seed+0x9e3779b97f4a7c15) ^ (stream + 0xbf58476d1ce4e5b9))
 }

@@ -139,3 +139,20 @@ func TestBool(t *testing.T) {
 		t.Errorf("Bool heavily biased: %d/10000 true", trueCount)
 	}
 }
+
+func TestDeriveIsPureAndSpread(t *testing.T) {
+	if Derive(1, 2) != Derive(1, 2) {
+		t.Error("Derive must be a pure function of (seed, stream)")
+	}
+	seen := make(map[uint64]bool)
+	for stream := uint64(0); stream < 1000; stream++ {
+		s := Derive(42, stream)
+		if seen[s] {
+			t.Fatalf("Derive collision at stream %d", stream)
+		}
+		seen[s] = true
+	}
+	if Derive(1, 0) == Derive(2, 0) {
+		t.Error("different base seeds should derive different streams")
+	}
+}

@@ -9,6 +9,28 @@ import (
 	"mccmesh/internal/region"
 )
 
+// CacheInvalidator is implemented by providers that memoise reachability
+// fields derived from the live mesh (currently only Oracle). Providers built
+// over a precomputed snapshot — MCC's ComponentSet, Block's Regions —
+// deliberately do not implement it: dropping their field cache would still
+// leave the snapshot stale, so after mesh mutations they must be rebuilt
+// wholesale (as the traffic engine's information models do).
+type CacheInvalidator interface {
+	// InvalidateCache drops memoised fault information so the next Allowed
+	// call recomputes it from the current mesh state.
+	InvalidateCache()
+}
+
+// InvalidateCaches invalidates each provider that memoises fault information;
+// stateless providers are left untouched.
+func InvalidateCaches(provs ...Provider) {
+	for _, p := range provs {
+		if inv, ok := p.(CacheInvalidator); ok {
+			inv.InvalidateCache()
+		}
+	}
+}
+
 // Oracle is the omniscient provider: it permits a step exactly when a
 // minimal path from the neighbour to the destination avoiding all faulty
 // nodes still exists. It realises the theoretical optimum every model is
@@ -23,6 +45,9 @@ type Oracle struct {
 
 // Name implements Provider.
 func (o *Oracle) Name() string { return "oracle" }
+
+// InvalidateCache implements CacheInvalidator.
+func (o *Oracle) InvalidateCache() { o.field = nil }
 
 // Allowed implements Provider.
 func (o *Oracle) Allowed(u, v, d grid.Point) bool {

@@ -117,25 +117,13 @@ func (r *Router) Route(s, d grid.Point) *Trace {
 	orient := grid.OrientationOf(s, d)
 	cur := s
 	budget := grid.Manhattan(s, d)
+	var dirs []grid.Direction
 	for hop := 0; cur != d; hop++ {
 		if hop > budget {
 			t.Err = ErrTooManyHops
 			return t
 		}
-		var dirs []grid.Direction
-		for _, a := range r.Mesh.Axes() {
-			if cur.Axis(a) == d.Axis(a) {
-				continue
-			}
-			dir := orient.Forward(a)
-			v := grid.Step(cur, dir)
-			if !r.Mesh.InBounds(v) || r.Mesh.IsFaulty(v) {
-				continue
-			}
-			if r.Provider.Allowed(cur, v, d) {
-				dirs = append(dirs, dir)
-			}
-		}
+		dirs = CandidateDirs(r.Mesh, r.Provider, orient, cur, d, dirs[:0])
 		t.Candidates = append(t.Candidates, len(dirs))
 		if len(dirs) == 0 {
 			t.Err = fmt.Errorf("%w at %v toward %v (provider %s)", ErrNoCandidate, cur, d, r.Provider.Name())
@@ -146,6 +134,28 @@ func (r *Router) Route(s, d grid.Point) *Trace {
 		t.Path = append(t.Path, cur)
 	}
 	return t
+}
+
+// CandidateDirs appends to dst the allowed forwarding directions from cur
+// toward d: the preferred (forward) directions of the orientation whose
+// neighbour is in bounds, healthy and permitted by the provider. It is the
+// per-hop core of Route, shared with the continuous-traffic engine, which
+// forwards packets hop by hop without a Router.
+func CandidateDirs(m *mesh.Mesh, prov Provider, orient grid.Orientation, cur, d grid.Point, dst []grid.Direction) []grid.Direction {
+	for _, a := range m.Axes() {
+		if cur.Axis(a) == d.Axis(a) {
+			continue
+		}
+		dir := orient.Forward(a)
+		v := grid.Step(cur, dir)
+		if !m.InBounds(v) || m.IsFaulty(v) {
+			continue
+		}
+		if prov.Allowed(cur, v, d) {
+			dst = append(dst, dir)
+		}
+	}
+	return dst
 }
 
 // --- Selection policies -----------------------------------------------------
@@ -188,7 +198,6 @@ func (DimensionOrder) Pick(_, _ grid.Point, dirs []grid.Direction) int {
 		if dir.Axis() < dirs[best].Axis() {
 			best = i
 		}
-		_ = i
 	}
 	return best
 }

@@ -40,6 +40,49 @@ func TestRouteFaultFree(t *testing.T) {
 	}
 }
 
+func TestCandidateDirsMatchesRouteDecisions(t *testing.T) {
+	m := mesh.New3D(6, 6, 6)
+	m.AddFaults(grid.Point{X: 1, Y: 0, Z: 0}, grid.Point{X: 2, Y: 1, Z: 1})
+	s, d := grid.Point{}, grid.Point{X: 5, Y: 5, Z: 5}
+	orient := grid.OrientationOf(s, d)
+	p, _ := mccProvider(m, s, d)
+	tr := New(m, p, nil).Route(s, d)
+	if !tr.Succeeded() {
+		t.Fatalf("route failed: %v", tr.Err)
+	}
+	// Replaying CandidateDirs along the delivered path must reproduce the
+	// candidate counts the Router recorded.
+	replay := &MCC{Set: p.Set}
+	for i, u := range tr.Path[:len(tr.Path)-1] {
+		dirs := CandidateDirs(m, replay, orient, u, d, nil)
+		if len(dirs) != tr.Candidates[i] {
+			t.Fatalf("hop %d at %v: CandidateDirs found %d candidates, trace recorded %d", i, u, len(dirs), tr.Candidates[i])
+		}
+	}
+	// At the destination there is nothing left to do.
+	if dirs := CandidateDirs(m, replay, orient, d, d, nil); len(dirs) != 0 {
+		t.Errorf("CandidateDirs at the destination = %v, want none", dirs)
+	}
+}
+
+func TestInvalidateCachesDropsStaleFields(t *testing.T) {
+	m := mesh.New3D(5, 5, 5)
+	s, d := grid.Point{}, grid.Point{X: 4, Y: 4, Z: 4}
+	o := &Oracle{Mesh: m}
+	v := grid.Point{X: 1}
+	if !o.Allowed(s, v, d) {
+		t.Fatal("fault-free step should be allowed")
+	}
+	// Wall off the destination's approach through (1,0,0) region: make every
+	// neighbour of v faulty except s so no minimal path through v survives.
+	m.AddFaults(grid.Point{X: 2}, grid.Point{X: 1, Y: 1}, grid.Point{X: 1, Z: 1})
+	// The stale cached field still says yes; stateless providers are immune.
+	InvalidateCaches(o, LocalGreedy{})
+	if o.Allowed(s, v, d) {
+		t.Error("after invalidation the oracle must see the new faults")
+	}
+}
+
 func TestRouteToSelf(t *testing.T) {
 	m := mesh.New2D(4, 4)
 	p, _ := mccProvider(m, grid.Point{X: 1, Y: 1}, grid.Point{X: 1, Y: 1})

@@ -26,7 +26,7 @@ type Envelope struct {
 	// Kind classifies the message for statistics ("label", "detect", ...).
 	Kind string
 	// Payload is the protocol-specific content.
-	Payload interface{}
+	Payload any
 	// SendTime and DeliverTime bracket the link traversal.
 	SendTime, DeliverTime Time
 	// Hop is the hop index of the message within its protocol flow, if the
@@ -51,6 +51,9 @@ type Stats struct {
 	Dropped int
 	// Timers counts self-scheduled events.
 	Timers int
+	// Control counts scheduled control callbacks (Network.At), e.g. the
+	// mid-run fault injections of the traffic engine.
+	Control int
 	// ByKind breaks Delivered down by Envelope.Kind.
 	ByKind map[string]int
 	// FinalTime is the simulated time of the last processed event.
@@ -77,7 +80,7 @@ type Network struct {
 	seq   int64
 	queue eventQueue
 	stats Stats
-	store []map[string]interface{}
+	store []map[string]any
 	ctxs  []Context
 }
 
@@ -98,7 +101,7 @@ func New(m *mesh.Mesh, handler Handler, opts ...Options) *Network {
 		handler: handler,
 		opts:    o,
 		stats:   Stats{ByKind: make(map[string]int)},
-		store:   make([]map[string]interface{}, m.NodeCount()),
+		store:   make([]map[string]any, m.NodeCount()),
 		ctxs:    make([]Context, m.NodeCount()),
 	}
 	for i := range n.ctxs {
@@ -126,20 +129,36 @@ func (n *Network) Stats() Stats {
 // Store returns the local key/value store of node p (creating it on demand).
 // Protocol handlers use it for per-node state; tests use it to inspect the
 // final distributed state.
-func (n *Network) Store(p grid.Point) map[string]interface{} {
+func (n *Network) Store(p grid.Point) map[string]any {
 	idx := n.mesh.Index(p)
 	if n.store[idx] == nil {
-		n.store[idx] = make(map[string]interface{})
+		n.store[idx] = make(map[string]any)
 	}
 	return n.store[idx]
 }
 
 // Post injects an external event addressed to node p at the current time
 // (plus one link delay), e.g. the arrival of a routing request at the source.
-func (n *Network) Post(p grid.Point, kind string, payload interface{}) {
+func (n *Network) Post(p grid.Point, kind string, payload any) {
 	n.enqueue(Envelope{
 		From: p, To: p, Kind: kind, Payload: payload,
 		SendTime: n.now, DeliverTime: n.now,
+	})
+}
+
+// At schedules fn to run at simulated time t (or at the current time if t has
+// already passed), interleaved deterministically with message deliveries: among
+// events with equal times, scheduling order wins. Control callbacks may mutate
+// the mesh — the traffic engine uses them to inject faults mid-run.
+func (n *Network) At(t Time, fn func()) {
+	if t < n.now {
+		t = n.now
+	}
+	n.seq++
+	heap.Push(&n.queue, &event{
+		env: Envelope{Kind: "control", SendTime: n.now, DeliverTime: t},
+		seq: n.seq,
+		fn:  fn,
 	})
 }
 
@@ -166,6 +185,11 @@ func (n *Network) Drain() Stats {
 		n.now = ev.env.DeliverTime
 		n.stats.Events++
 		n.stats.FinalTime = n.now
+		if ev.fn != nil {
+			n.stats.Control++
+			ev.fn()
+			continue
+		}
 		to := ev.env.To
 		if !n.mesh.InBounds(to) || n.mesh.IsFaulty(to) {
 			n.stats.Dropped++
@@ -202,7 +226,7 @@ func (c *Context) Time() Time { return c.net.now }
 func (c *Context) Mesh() *mesh.Mesh { return c.net.mesh }
 
 // Store returns this node's local key/value store.
-func (c *Context) Store() map[string]interface{} { return c.net.Store(c.self) }
+func (c *Context) Store() map[string]any { return c.net.Store(c.self) }
 
 // NeighborFaulty reports whether the neighbour in direction dir is faulty or
 // missing. Nodes are assumed to know the liveness of their direct neighbours
@@ -217,7 +241,7 @@ func (c *Context) NeighborFaulty(dir grid.Direction) bool {
 
 // Send transmits a message to a neighbouring node. It panics if to is not a
 // mesh neighbour of the sender, keeping protocols honest about locality.
-func (c *Context) Send(to grid.Point, kind string, payload interface{}) {
+func (c *Context) Send(to grid.Point, kind string, payload any) {
 	if grid.Manhattan(c.self, to) != 1 {
 		panic(fmt.Sprintf("simnet: %v attempted a non-local send to %v", c.self, to))
 	}
@@ -229,7 +253,7 @@ func (c *Context) Send(to grid.Point, kind string, payload interface{}) {
 
 // SendDir transmits a message to the neighbour in the given direction and
 // reports whether such a neighbour exists.
-func (c *Context) SendDir(dir grid.Direction, kind string, payload interface{}) bool {
+func (c *Context) SendDir(dir grid.Direction, kind string, payload any) bool {
 	q := grid.Step(c.self, dir)
 	if !c.net.mesh.InBounds(q) {
 		return false
@@ -240,7 +264,7 @@ func (c *Context) SendDir(dir grid.Direction, kind string, payload interface{}) 
 
 // Broadcast sends the message to every in-bounds neighbour and returns how
 // many copies were sent.
-func (c *Context) Broadcast(kind string, payload interface{}) int {
+func (c *Context) Broadcast(kind string, payload any) int {
 	sent := 0
 	for _, dir := range c.net.mesh.Directions() {
 		if c.SendDir(dir, kind, payload) {
@@ -251,7 +275,7 @@ func (c *Context) Broadcast(kind string, payload interface{}) int {
 }
 
 // After schedules a local timer event delivered to this node after delay.
-func (c *Context) After(delay Time, kind string, payload interface{}) {
+func (c *Context) After(delay Time, kind string, payload any) {
 	if delay < 0 {
 		delay = 0
 	}
@@ -267,6 +291,9 @@ func (c *Context) After(delay Time, kind string, payload interface{}) {
 type event struct {
 	env Envelope
 	seq int64
+	// fn, when non-nil, marks a control event: Drain runs it instead of
+	// delivering env to a node.
+	fn func()
 }
 
 type eventQueue []*event
@@ -282,9 +309,9 @@ func (q eventQueue) Less(i, j int) bool {
 
 func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
 
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
 
-func (q *eventQueue) Pop() interface{} {
+func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
 	ev := old[n-1]

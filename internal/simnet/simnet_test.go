@@ -155,6 +155,45 @@ func TestTimers(t *testing.T) {
 	}
 }
 
+func TestAtRunsControlCallbacksInTimeOrder(t *testing.T) {
+	m := mesh.New2D(3, 3)
+	net := New(m, pingPong{limit: 10})
+	var times []Time
+	net.At(3, func() { times = append(times, net.Now()) })
+	net.At(7, func() {
+		times = append(times, net.Now())
+		// Control callbacks may mutate the mesh mid-run.
+		m.SetFaulty(grid.Point{X: 2, Y: 1}, true)
+	})
+	net.Post(grid.Point{X: 1, Y: 1}, "start", nil)
+	stats := net.Run()
+	if len(times) != 2 || times[0] != 3 || times[1] != 7 {
+		t.Errorf("control callbacks ran at %v, want [3 7]", times)
+	}
+	if stats.Control != 2 {
+		t.Errorf("control count = %d, want 2", stats.Control)
+	}
+	if !m.IsFaulty(grid.Point{X: 2, Y: 1}) {
+		t.Error("mesh mutation from control callback lost")
+	}
+	// The ping-pong bounces between (1,1) and (2,1); once (2,1) turns faulty
+	// at t=7 the remaining pongs are dropped.
+	if stats.Dropped == 0 {
+		t.Error("messages to the mid-run fault should have been dropped")
+	}
+}
+
+func TestAtClampsPastTimes(t *testing.T) {
+	m := mesh.New2D(2, 2)
+	net := New(m, floodHandler{})
+	fired := false
+	net.At(-5, func() { fired = true })
+	net.Run()
+	if !fired {
+		t.Error("control callback scheduled in the past should still run")
+	}
+}
+
 func TestNeighborFaulty(t *testing.T) {
 	m := mesh.New2D(3, 3)
 	m.AddFaults(grid.Point{X: 1, Y: 0})

@@ -1,6 +1,7 @@
 // Package stats provides the small statistical and tabulation helpers the
 // experiment harness uses: running summaries (mean, standard deviation,
-// confidence intervals) and plain-text / CSV table rendering.
+// confidence intervals), integer histograms with exact percentiles (packet
+// latencies) and plain-text / CSV table rendering.
 package stats
 
 import (
@@ -78,6 +79,115 @@ func (s *Summary) CI95() float64 {
 	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
 }
 
+// Histogram counts observations of a non-negative integer metric (hop counts,
+// tick latencies). It stores exact per-value counts, so percentiles are exact
+// rather than approximated, and merging shards is associative — the parallel
+// sweep runner relies on both.
+type Histogram struct {
+	counts []int64
+	n      int64
+	sum    int64
+}
+
+// Add records one observation. It panics on negative values: the histogram is
+// meant for counts and durations.
+func (h *Histogram) Add(v int) { h.AddN(v, 1) }
+
+// AddN records k observations of the value v.
+func (h *Histogram) AddN(v int, k int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative histogram value %d", v))
+	}
+	if k <= 0 {
+		return
+	}
+	if v >= len(h.counts) {
+		grown := make([]int64, v+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[v] += k
+	h.n += k
+	h.sum += int64(v) * k
+}
+
+// Merge folds every observation of o into h. Merging is order-independent, so
+// shards combined in any order produce the same histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	for v, c := range o.counts {
+		if c > 0 {
+			h.AddN(v, c)
+		}
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min returns the smallest observed value (0 when empty).
+func (h *Histogram) Min() int {
+	for v, c := range h.counts {
+		if c > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// Percentile returns the nearest-rank p-th percentile for p in [0,1]: the
+// smallest value v such that at least ceil(p*N) observations are ≤ v. It
+// returns 0 when the histogram is empty.
+func (h *Histogram) Percentile(p float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(math.Ceil(p * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return v
+		}
+	}
+	return len(h.counts) - 1
+}
+
+// Percentiles returns the nearest-rank percentile for each requested p.
+func (h *Histogram) Percentiles(ps ...float64) []int {
+	out := make([]int, len(ps))
+	for i, p := range ps {
+		out[i] = h.Percentile(p)
+	}
+	return out
+}
+
 // Table is a simple named grid of cells used by the experiments and the CLI.
 type Table struct {
 	// Title appears above the rendered table.
@@ -96,7 +206,7 @@ func (t *Table) AddRow(cells ...string) {
 }
 
 // AddNote appends a note line.
-func (t *Table) AddNote(format string, args ...interface{}) {
+func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 

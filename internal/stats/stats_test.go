@@ -72,6 +72,95 @@ func TestSummaryMeanWithinBounds(t *testing.T) {
 	}
 }
 
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	// Nearest-rank percentiles of 1..100 are the percentile itself.
+	for _, p := range []float64{0.50, 0.95, 0.99} {
+		want := int(p * 100)
+		if got := h.Percentile(p); got != want {
+			t.Errorf("p%v = %d, want %d", p*100, got, want)
+		}
+	}
+	if got := h.Percentile(1); got != 100 {
+		t.Errorf("p100 = %d", got)
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("p0 = %d (rank clamps to 1, so the minimum)", got)
+	}
+	ps := h.Percentiles(0.5, 0.95, 0.99)
+	if ps[0] != 50 || ps[1] != 95 || ps[2] != 99 {
+		t.Errorf("Percentiles = %v", ps)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramAddNAndMerge(t *testing.T) {
+	var a, b Histogram
+	a.AddN(3, 4)
+	a.Add(10)
+	b.AddN(3, 1)
+	b.AddN(7, 2)
+
+	var ab, ba Histogram
+	ab.Merge(&a)
+	ab.Merge(&b)
+	ba.Merge(&b)
+	ba.Merge(&a)
+	if ab.N() != 8 || ba.N() != 8 {
+		t.Fatalf("merged N = %d / %d", ab.N(), ba.N())
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 1} {
+		if ab.Percentile(p) != ba.Percentile(p) {
+			t.Errorf("merge order changed p%v: %d vs %d", p*100, ab.Percentile(p), ba.Percentile(p))
+		}
+	}
+	if ab.Percentile(0.5) != 3 || ab.Max() != 10 {
+		t.Errorf("p50 = %d max = %d", ab.Percentile(0.5), ab.Max())
+	}
+}
+
+func TestHistogramSkewedPercentiles(t *testing.T) {
+	// 999 fast observations and one slow outlier: p50/p95/p99 stay at the fast
+	// value; only p99.95+ reaches the outlier (the property E7 relies on).
+	var h Histogram
+	h.AddN(5, 999)
+	h.Add(500)
+	if h.Percentile(0.5) != 5 || h.Percentile(0.99) != 5 {
+		t.Errorf("p50/p99 = %d/%d", h.Percentile(0.5), h.Percentile(0.99))
+	}
+	if h.Percentile(1) != 500 {
+		t.Errorf("p100 = %d", h.Percentile(1))
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) should panic")
+		}
+	}()
+	var h Histogram
+	h.Add(-1)
+}
+
 func TestTableRender(t *testing.T) {
 	tab := &Table{Title: "demo", Columns: []string{"a", "bb"}}
 	tab.AddRow("1", "2")

@@ -1,0 +1,288 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"mccmesh/internal/fault"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/rng"
+	"mccmesh/internal/routing"
+	"mccmesh/internal/simnet"
+	"mccmesh/internal/stats"
+)
+
+// Envelope kinds used by the engine.
+const (
+	kindInject = "inject"
+	kindPacket = "pkt"
+)
+
+// FaultEvent injects additional faults at a fixed simulated time, modelling
+// nodes dying under load. The injector draws from a deterministic per-event
+// generator, so fault schedules do not perturb the traffic streams.
+type FaultEvent struct {
+	At     simnet.Time
+	Inject fault.Injector
+}
+
+// Options configure one engine run.
+type Options struct {
+	// Rate is the injection probability per healthy node per tick, i.e. the
+	// offered load. Inter-arrival gaps are geometric with this success rate.
+	Rate float64
+	// Warmup is the tick count before measurement starts; packets injected
+	// during warmup are routed but not measured.
+	Warmup simnet.Time
+	// Window is the measurement duration. Injection stops at Warmup+Window
+	// and the run drains the in-flight packets.
+	Window simnet.Time
+	// Policy picks among allowed forwarding directions. Defaults to a Seeded
+	// policy derived from the run seed.
+	Policy routing.Policy
+	// LinkDelay and MaxEvents are passed to the simulator.
+	LinkDelay simnet.Time
+	MaxEvents int
+	// Faults is the dynamic fault schedule.
+	Faults []FaultEvent
+}
+
+// Result aggregates one engine run.
+type Result struct {
+	// Model, Pattern and Rate echo the run configuration.
+	Model   string
+	Pattern string
+	Rate    float64
+	// HealthyNodes is the healthy-node count at the start of the run (the
+	// throughput normalisation base).
+	HealthyNodes int
+	// Warmup, Window and FinalTime describe the timeline; FinalTime includes
+	// the post-horizon drain of in-flight packets.
+	Warmup, Window, FinalTime simnet.Time
+	// Offered counts injection attempts; Skipped those without a valid
+	// destination; Injected the packets actually sent.
+	Offered, Skipped, Injected int
+	// Delivered, Stuck and Lost partition the injected packets: delivered to
+	// their destination, stopped with no allowed forwarding direction, or
+	// dropped because a node on their path (or their destination) died.
+	Delivered, Stuck, Lost int
+	// MeasuredInjected / MeasuredDelivered count the packets injected inside
+	// the measurement window (and their deliveries, whenever they complete).
+	MeasuredInjected, MeasuredDelivered int
+	// Latency and Hops are histograms over the measured delivered packets, in
+	// ticks and hops respectively.
+	Latency stats.Histogram
+	Hops    stats.Histogram
+	// Events is the total number of simulator events processed.
+	Events int
+}
+
+// Throughput returns the accepted traffic: measured deliveries per healthy
+// node per tick. At low load it tracks the injection rate; past saturation it
+// flattens (or collapses for weak information models).
+func (r *Result) Throughput() float64 {
+	if r.Window <= 0 || r.HealthyNodes == 0 {
+		return 0
+	}
+	return float64(r.MeasuredDelivered) / float64(r.Window) / float64(r.HealthyNodes)
+}
+
+// DeliveredRatio returns the fraction of injected packets that were delivered.
+func (r *Result) DeliveredRatio() float64 {
+	if r.Injected == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Injected)
+}
+
+// Engine runs continuous traffic over one mesh. It owns the mesh for the
+// duration of Run: the fault schedule mutates it in place.
+type Engine struct {
+	mesh    *mesh.Mesh
+	model   InfoModel
+	pattern Pattern
+	opts    Options
+}
+
+// NewEngine returns an engine over m using the given information model and
+// traffic pattern.
+func NewEngine(m *mesh.Mesh, model InfoModel, pattern Pattern, opts Options) *Engine {
+	if opts.Rate <= 0 {
+		opts.Rate = 0.01
+	}
+	if opts.Rate > 1 {
+		opts.Rate = 1
+	}
+	if opts.Warmup < 0 {
+		opts.Warmup = 0
+	}
+	if opts.Window <= 0 {
+		opts.Window = 256
+	}
+	return &Engine{mesh: m, model: model, pattern: pattern, opts: opts}
+}
+
+// run is the per-Run state shared by the handler callbacks.
+type run struct {
+	e       *Engine
+	res     *Result
+	nodeRng []*rng.Rand
+	policy  routing.Policy
+	horizon simnet.Time
+	nextID  int
+	dirs    []grid.Direction // scratch for CandidateDirs
+}
+
+// packet travels as the envelope payload; the orientation is fixed at the
+// source exactly as in Router.Route.
+type packet struct {
+	id     int
+	src    grid.Point
+	dst    grid.Point
+	orient grid.Orientation
+	inject simnet.Time
+	hops   int
+}
+
+// Run executes one trial with the given seed and returns its measurements.
+// Everything — injection gaps, destinations, tie-breaking, fault placement —
+// derives deterministically from the seed, so identical seeds give identical
+// results wherever the trial runs.
+func (e *Engine) Run(seed uint64) *Result {
+	res := &Result{
+		Model:        e.model.Name(),
+		Pattern:      e.pattern.Name(),
+		Rate:         e.opts.Rate,
+		HealthyNodes: e.mesh.NodeCount() - e.mesh.FaultCount(),
+		Warmup:       e.opts.Warmup,
+		Window:       e.opts.Window,
+	}
+	st := &run{
+		e:       e,
+		res:     res,
+		nodeRng: make([]*rng.Rand, e.mesh.NodeCount()),
+		policy:  e.opts.Policy,
+		horizon: e.opts.Warmup + e.opts.Window,
+	}
+	for i := range st.nodeRng {
+		st.nodeRng[i] = rng.New(rng.Derive(seed, uint64(i)))
+	}
+	if st.policy == nil {
+		st.policy = routing.Seeded{Seed: rng.Derive(seed, 1<<40)}
+	}
+	net := simnet.New(e.mesh, st, simnet.Options{LinkDelay: e.opts.LinkDelay, MaxEvents: e.opts.MaxEvents})
+	for i, ev := range e.opts.Faults {
+		evRng := rng.New(rng.Derive(seed, uint64(1)<<32+uint64(i)))
+		net.At(ev.At, func() {
+			ev.Inject.Inject(e.mesh, evRng)
+			e.model.Invalidate()
+		})
+	}
+	sim := net.Run()
+	res.FinalTime = sim.FinalTime
+	res.Events = sim.Events
+	res.Lost = res.Injected - res.Delivered - res.Stuck
+	return res
+}
+
+// Init implements simnet.Handler: every healthy node schedules its first
+// injection.
+func (st *run) Init(ctx *simnet.Context) { st.scheduleInjection(ctx) }
+
+// scheduleInjection draws a geometric inter-arrival gap for this node's next
+// injection and arms a timer, unless the horizon has passed.
+func (st *run) scheduleInjection(ctx *simnet.Context) {
+	if ctx.Time() >= st.horizon {
+		return
+	}
+	r := st.nodeRng[ctx.Mesh().Index(ctx.Self())]
+	gap := geometricGap(r, st.e.opts.Rate)
+	ctx.After(gap, kindInject, nil)
+}
+
+// geometricGap samples the tick count until the next success of a Bernoulli
+// process with probability rate (at least 1).
+func geometricGap(r *rng.Rand, rate float64) simnet.Time {
+	if rate >= 1 {
+		return 1
+	}
+	u := r.Float64()
+	// Invert the geometric CDF; u is in [0,1), so both logs are negative and
+	// the ratio is non-negative.
+	gap := int64(math.Log1p(-u)/math.Log1p(-rate)) + 1
+	if gap < 1 {
+		gap = 1
+	}
+	return simnet.Time(gap)
+}
+
+// Receive implements simnet.Handler.
+func (st *run) Receive(ctx *simnet.Context, env simnet.Envelope) {
+	switch env.Kind {
+	case kindInject:
+		st.inject(ctx)
+		st.scheduleInjection(ctx)
+	case kindPacket:
+		p := env.Payload.(packet)
+		if ctx.Self() == p.dst {
+			st.deliver(ctx, p)
+			return
+		}
+		st.forward(ctx, p)
+	default:
+		panic(fmt.Sprintf("traffic: unexpected envelope kind %q", env.Kind))
+	}
+}
+
+// inject generates one packet at this node if the run is still within the
+// injection horizon and the pattern yields a destination.
+func (st *run) inject(ctx *simnet.Context) {
+	if ctx.Time() >= st.horizon {
+		return
+	}
+	st.res.Offered++
+	r := st.nodeRng[ctx.Mesh().Index(ctx.Self())]
+	d, ok := st.e.pattern.Dest(r, ctx.Mesh(), ctx.Self())
+	if !ok {
+		st.res.Skipped++
+		return
+	}
+	p := packet{
+		id:     st.nextID,
+		src:    ctx.Self(),
+		dst:    d,
+		orient: grid.OrientationOf(ctx.Self(), d),
+		inject: ctx.Time(),
+	}
+	st.nextID++
+	st.res.Injected++
+	if p.inject >= st.e.opts.Warmup {
+		st.res.MeasuredInjected++
+	}
+	st.forward(ctx, p)
+}
+
+// forward advances a packet one hop using the information model, or records it
+// as stuck when every preferred direction is excluded.
+func (st *run) forward(ctx *simnet.Context, p packet) {
+	prov := st.e.model.Provider(p.orient)
+	st.dirs = routing.CandidateDirs(ctx.Mesh(), prov, p.orient, ctx.Self(), p.dst, st.dirs[:0])
+	if len(st.dirs) == 0 {
+		st.res.Stuck++
+		return
+	}
+	pick := st.policy.Pick(ctx.Self(), p.dst, st.dirs)
+	p.hops++
+	ctx.SendDir(st.dirs[pick], kindPacket, p)
+}
+
+// deliver records a completed packet.
+func (st *run) deliver(ctx *simnet.Context, p packet) {
+	st.res.Delivered++
+	if p.inject >= st.e.opts.Warmup {
+		st.res.MeasuredDelivered++
+		st.res.Latency.Add(int(ctx.Time() - p.inject))
+		st.res.Hops.Add(p.hops)
+	}
+}

@@ -1,0 +1,171 @@
+package traffic
+
+import (
+	"fmt"
+	"strings"
+
+	"mccmesh/internal/block"
+	"mccmesh/internal/core"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/routing"
+)
+
+// InfoModel adapts one fault-information model to continuous traffic: it hands
+// out routing providers per travel orientation (reusing them across packets)
+// and rebuilds its fault information when the engine injects faults mid-run.
+type InfoModel interface {
+	// Provider returns the provider consulted for packets travelling with the
+	// given orientation. Providers are cached, so repeated calls are cheap.
+	Provider(orient grid.Orientation) routing.Provider
+	// Invalidate drops every cached labelling, region set and provider after
+	// the mesh's fault set changed.
+	Invalidate()
+	// Name identifies the model in tables.
+	Name() string
+}
+
+// mccModel serves the paper's MCC information model, one provider per
+// orientation (the labelling is orientation-specific).
+type mccModel struct {
+	model *core.Model
+	provs [8]*routing.MCC
+}
+
+// NewMCCModel returns the MCC fault-information model over m.
+func NewMCCModel(model *core.Model) InfoModel {
+	return &mccModel{model: model}
+}
+
+func (im *mccModel) Name() string { return "mcc" }
+
+func (im *mccModel) Provider(orient grid.Orientation) routing.Provider {
+	idx := orient.Index()
+	if im.provs[idx] == nil {
+		im.provs[idx] = &routing.MCC{Set: im.model.Regions(orient)}
+	}
+	return im.provs[idx]
+}
+
+func (im *mccModel) Invalidate() {
+	im.model.Invalidate()
+	im.provs = [8]*routing.MCC{}
+}
+
+// blockModel serves the rectangular-faulty-block baseline; the block set is
+// orientation-independent, so one provider suffices.
+type blockModel struct {
+	model   *core.Model
+	variant block.Model
+	prov    *routing.Block
+}
+
+// NewBlockModel returns the rectangular-block baseline model over m.
+func NewBlockModel(model *core.Model, variant block.Model) InfoModel {
+	return &blockModel{model: model, variant: variant}
+}
+
+func (im *blockModel) Name() string { return "rfb-" + im.variant.String() }
+
+func (im *blockModel) Provider(grid.Orientation) routing.Provider {
+	if im.prov == nil {
+		im.prov = &routing.Block{Regions: im.model.Blocks(im.variant)}
+	}
+	return im.prov
+}
+
+func (im *blockModel) Invalidate() {
+	im.model.Invalidate()
+	im.prov = nil
+}
+
+// oracleModel serves the omniscient provider (the theoretical optimum).
+type oracleModel struct {
+	model *core.Model
+	prov  *routing.Oracle
+}
+
+// NewOracleModel returns the omniscient model over m.
+func NewOracleModel(model *core.Model) InfoModel {
+	return &oracleModel{model: model}
+}
+
+func (im *oracleModel) Name() string { return "oracle" }
+
+func (im *oracleModel) Provider(grid.Orientation) routing.Provider {
+	if im.prov == nil {
+		im.prov = &routing.Oracle{Mesh: im.model.Mesh()}
+	}
+	return im.prov
+}
+
+func (im *oracleModel) Invalidate() {
+	// The oracle reads the live mesh; only its reachability cache is stale.
+	// Guard the nil case: a fault event may fire before any packet asked for
+	// the provider.
+	if im.prov != nil {
+		routing.InvalidateCaches(im.prov)
+	}
+}
+
+// labeledModel avoids unsafe nodes with no region reasoning.
+type labeledModel struct {
+	model *core.Model
+	provs [8]*routing.Labeled
+}
+
+// NewLabeledModel returns the labels-only model over m.
+func NewLabeledModel(model *core.Model) InfoModel {
+	return &labeledModel{model: model}
+}
+
+func (im *labeledModel) Name() string { return "labels" }
+
+func (im *labeledModel) Provider(orient grid.Orientation) routing.Provider {
+	idx := orient.Index()
+	if im.provs[idx] == nil {
+		im.provs[idx] = &routing.Labeled{Labeling: im.model.Labeling(orient)}
+	}
+	return im.provs[idx]
+}
+
+func (im *labeledModel) Invalidate() {
+	im.model.Invalidate()
+	im.provs = [8]*routing.Labeled{}
+}
+
+// localModel is the stateless local-greedy floor baseline.
+type localModel struct{}
+
+// NewLocalModel returns the local-greedy floor baseline.
+func NewLocalModel() InfoModel { return localModel{} }
+
+func (localModel) Name() string                               { return "local" }
+func (localModel) Provider(grid.Orientation) routing.Provider { return routing.LocalGreedy{} }
+func (localModel) Invalidate()                                {}
+
+// ModelByName builds the named information model over a core.Model. Accepted
+// names: mcc, rfb (bounding-box blocks), fb-rule (convexity-rule blocks),
+// oracle, labels, local.
+func ModelByName(name string, model *core.Model) (InfoModel, error) {
+	switch strings.ToLower(name) {
+	case core.ProviderMCC:
+		return NewMCCModel(model), nil
+	case core.ProviderRFB:
+		return NewBlockModel(model, block.BoundingBox), nil
+	case core.ProviderFBRule:
+		return NewBlockModel(model, block.ConvexityRule), nil
+	case core.ProviderOracle:
+		return NewOracleModel(model), nil
+	case core.ProviderLabels:
+		return NewLabeledModel(model), nil
+	case core.ProviderLocal:
+		return NewLocalModel(), nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown information model %q (want mcc, rfb, fb-rule, oracle, labels or local)", name)
+	}
+}
+
+// ModelNames lists the information-model names accepted by ModelByName.
+func ModelNames() []string {
+	return []string{core.ProviderMCC, core.ProviderRFB, core.ProviderFBRule, core.ProviderOracle, core.ProviderLabels, core.ProviderLocal}
+}

@@ -1,0 +1,164 @@
+package traffic
+
+import (
+	"testing"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/rng"
+)
+
+func TestUniformDestinationDistribution(t *testing.T) {
+	m := mesh.New2D(4, 4)
+	faulty := grid.Point{X: 3, Y: 3}
+	m.AddFaults(faulty)
+	src := grid.Point{}
+	r := rng.New(1)
+	counts := make(map[grid.Point]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		d, ok := Uniform{}.Dest(r, m, src)
+		if !ok {
+			t.Fatal("uniform pattern failed to find a destination")
+		}
+		if d == src || d == faulty {
+			t.Fatalf("uniform drew invalid destination %v", d)
+		}
+		counts[d]++
+	}
+	eligible := m.NodeCount() - 2 // minus the source and the fault
+	if len(counts) != eligible {
+		t.Fatalf("uniform reached %d destinations, want %d", len(counts), eligible)
+	}
+	want := float64(draws) / float64(eligible)
+	for d, c := range counts {
+		if float64(c) < 0.7*want || float64(c) > 1.3*want {
+			t.Errorf("destination %v drawn %d times, want about %.0f", d, c, want)
+		}
+	}
+}
+
+func TestTransposeMapping(t *testing.T) {
+	m2 := mesh.New2D(5, 5)
+	if d, ok := (Transpose{}).Dest(nil, m2, grid.Point{X: 1, Y: 3}); !ok || d != (grid.Point{X: 3, Y: 1}) {
+		t.Errorf("2-D transpose of (1,3) = %v ok=%v, want (3,1)", d, ok)
+	}
+	if _, ok := (Transpose{}).Dest(nil, m2, grid.Point{X: 2, Y: 2}); ok {
+		t.Error("diagonal nodes must skip injection under transpose")
+	}
+	m3 := mesh.New3D(4, 4, 4)
+	if d, ok := (Transpose{}).Dest(nil, m3, grid.Point{X: 1, Y: 2, Z: 3}); !ok || d != (grid.Point{X: 2, Y: 3, Z: 1}) {
+		t.Errorf("3-D transpose of (1,2,3) = %v ok=%v, want (2,3,1)", d, ok)
+	}
+	// A faulty image suppresses injection rather than rerouting it.
+	m2.AddFaults(grid.Point{X: 3, Y: 1})
+	if _, ok := (Transpose{}).Dest(nil, m2, grid.Point{X: 1, Y: 3}); ok {
+		t.Error("transpose to a faulty node should skip")
+	}
+}
+
+func TestTransposeScalesRectangularMeshes(t *testing.T) {
+	m := mesh.New2D(8, 4)
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 4; y++ {
+			d, ok := (Transpose{}).Dest(nil, m, grid.Point{X: x, Y: y})
+			if ok && !m.InBounds(d) {
+				t.Fatalf("transpose of (%d,%d) = %v is off the mesh", x, y, d)
+			}
+		}
+	}
+	// The far corner must map to the far corner (endpoint preservation).
+	d, ok := (Transpose{}).Dest(nil, m, grid.Point{X: 7, Y: 0})
+	if !ok || d != (grid.Point{X: 0, Y: 3}) {
+		t.Errorf("transpose of (7,0) on 8x4 = %v ok=%v, want (0,3)", d, ok)
+	}
+}
+
+func TestBitReversalMapping(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	// Within 3 bits: 1=001 -> 100=4, 3=011 -> 110=6.
+	if d, ok := (BitReversal{}).Dest(nil, m, grid.Point{X: 1, Y: 3}); !ok || d != (grid.Point{X: 4, Y: 6}) {
+		t.Errorf("bitrev of (1,3) = %v ok=%v, want (4,6)", d, ok)
+	}
+	// Palindromic coordinates map to themselves and skip.
+	if _, ok := (BitReversal{}).Dest(nil, m, grid.Point{}); ok {
+		t.Error("bitrev fixed point should skip injection")
+	}
+	// Non-power-of-two extents stay on the mesh.
+	m6 := mesh.New3D(6, 6, 6)
+	for x := 0; x < 6; x++ {
+		d, ok := (BitReversal{}).Dest(nil, m6, grid.Point{X: x, Y: 5 - x, Z: x})
+		if ok && !m6.InBounds(d) {
+			t.Fatalf("bitrev left the mesh: %v", d)
+		}
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	m := mesh.New2D(6, 6)
+	h := Hotspot{Target: MeshCenter(m), Fraction: 0.25}
+	r := rng.New(7)
+	hot, total := 0, 20000
+	for i := 0; i < total; i++ {
+		d, ok := h.Dest(r, m, grid.Point{})
+		if !ok {
+			t.Fatal("hotspot failed to find a destination")
+		}
+		if d == h.Target {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(total)
+	// The uniform share also hits the target 1/35 of the time, so expect
+	// 0.25 + 0.75/35 ≈ 0.27.
+	if frac < 0.24 || frac > 0.31 {
+		t.Errorf("hotspot fraction = %.3f, want about 0.27", frac)
+	}
+	// A faulty hotspot degrades to uniform rather than failing.
+	m.AddFaults(h.Target)
+	for i := 0; i < 100; i++ {
+		d, ok := h.Dest(r, m, grid.Point{})
+		if !ok || d == h.Target {
+			t.Fatal("faulty hotspot should fall back to uniform traffic")
+		}
+	}
+}
+
+func TestNeighborStaysLocal(t *testing.T) {
+	m := mesh.New3D(4, 4, 4)
+	m.AddFaults(grid.Point{X: 1})
+	r := rng.New(3)
+	src := grid.Point{}
+	for i := 0; i < 1000; i++ {
+		d, ok := (Neighbor{}).Dest(r, m, src)
+		if !ok {
+			t.Fatal("neighbor pattern failed on a mostly healthy mesh")
+		}
+		if grid.Manhattan(src, d) != 1 || m.IsFaulty(d) {
+			t.Fatalf("neighbor drew %v (distance %d)", d, grid.Manhattan(src, d))
+		}
+	}
+	// A fully isolated node skips injection.
+	iso := mesh.New2D(3, 3)
+	iso.AddFaults(grid.Point{X: 1}, grid.Point{Y: 1})
+	if _, ok := (Neighbor{}).Dest(r, iso, grid.Point{}); ok {
+		t.Error("isolated source should skip injection")
+	}
+}
+
+func TestPatternByName(t *testing.T) {
+	m := mesh.New3D(4, 4, 4)
+	for _, name := range PatternNames() {
+		p, err := PatternByName(name, m, 0)
+		if err != nil {
+			t.Errorf("PatternByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("pattern %q has empty name", name)
+		}
+	}
+	if _, err := PatternByName("nope", m, 0); err == nil {
+		t.Error("unknown pattern should error")
+	}
+}

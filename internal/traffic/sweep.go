@@ -1,0 +1,80 @@
+package traffic
+
+import (
+	"runtime"
+	"sync"
+
+	"mccmesh/internal/rng"
+	"mccmesh/internal/stats"
+)
+
+// RunTrials executes trials independent trials across workers goroutines and
+// returns their results in trial order. Trial i always receives the seed
+// rng.Derive(base, i) and lands in slot i regardless of which worker runs it,
+// so the returned slice is bit-identical for any worker count — the
+// deterministic-partitioning discipline of parallel sweep frameworks.
+//
+// workers <= 0 selects GOMAXPROCS. The fn must not share mutable state across
+// trials; each call builds its own mesh, model and engine.
+func RunTrials[T any](workers, trials int, base uint64, fn func(trial int, seed uint64) T) []T {
+	if trials <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	out := make([]T, trials)
+	if workers <= 1 {
+		for i := range out {
+			out[i] = fn(i, rng.Derive(base, uint64(i)))
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Static round-robin sharding: no channel hand-off, no ordering
+			// dependence, perfectly balanced for homogeneous trials.
+			for i := w; i < trials; i += workers {
+				out[i] = fn(i, rng.Derive(base, uint64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// Aggregate summarises the results of a sweep cell (one pattern × model ×
+// rate combination) across its trials.
+type Aggregate struct {
+	// Trials is the number of merged results.
+	Trials int
+	// Throughput and DeliveredRatio summarise the per-trial scalars.
+	Throughput, DeliveredRatio stats.Summary
+	// Latency and Hops merge the per-trial histograms of measured packets.
+	Latency, Hops stats.Histogram
+	// Injected, Delivered, Stuck and Lost total the packet counts.
+	Injected, Delivered, Stuck, Lost int
+}
+
+// Collect merges per-trial results in slice order (deterministic for any
+// worker count, because RunTrials fixes the order).
+func Collect(results []*Result) *Aggregate {
+	agg := &Aggregate{Trials: len(results)}
+	for _, r := range results {
+		agg.Throughput.Add(r.Throughput())
+		agg.DeliveredRatio.Add(r.DeliveredRatio())
+		agg.Latency.Merge(&r.Latency)
+		agg.Hops.Merge(&r.Hops)
+		agg.Injected += r.Injected
+		agg.Delivered += r.Delivered
+		agg.Stuck += r.Stuck
+		agg.Lost += r.Lost
+	}
+	return agg
+}

@@ -1,0 +1,90 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+
+	"mccmesh/internal/core"
+	"mccmesh/internal/fault"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/rng"
+)
+
+// sweepTrial is a realistic trial body: fresh mesh, fresh faults, fresh model,
+// one engine run.
+func sweepTrial(trial int, seed uint64) *Result {
+	m := mesh.New3D(5, 5, 5)
+	fault.Uniform{Count: 8}.Inject(m, rng.New(rng.Derive(seed, 1<<48)))
+	im, err := ModelByName("mcc", core.NewModel(m))
+	if err != nil {
+		panic(err)
+	}
+	return NewEngine(m, im, Uniform{}, Options{Rate: 0.03, Warmup: 10, Window: 50}).Run(seed)
+}
+
+func TestRunTrialsBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	const trials = 12
+	serial := RunTrials(1, trials, 99, sweepTrial)
+	for _, workers := range []int{2, 4, 8} {
+		parallel := RunTrials(workers, trials, 99, sweepTrial)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("results differ between 1 and %d workers", workers)
+		}
+	}
+	// GOMAXPROCS default (workers <= 0) must agree too.
+	if auto := RunTrials(0, trials, 99, sweepTrial); !reflect.DeepEqual(serial, auto) {
+		t.Fatal("results differ between 1 worker and GOMAXPROCS workers")
+	}
+}
+
+func TestRunTrialsSeedsAreIndexDerived(t *testing.T) {
+	seeds := RunTrials(3, 6, 7, func(trial int, seed uint64) uint64 { return seed })
+	for i, s := range seeds {
+		if want := rng.Derive(7, uint64(i)); s != want {
+			t.Errorf("trial %d got seed %d, want Derive(7,%d)=%d", i, s, i, want)
+		}
+	}
+	// Distinct trials must get distinct seeds.
+	seen := make(map[uint64]bool)
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatal("duplicate trial seed")
+		}
+		seen[s] = true
+	}
+}
+
+func TestRunTrialsEdgeCases(t *testing.T) {
+	if got := RunTrials(4, 0, 1, func(int, uint64) int { return 1 }); len(got) != 0 {
+		t.Errorf("0 trials returned %d results", len(got))
+	}
+	// More workers than trials must not deadlock or skip slots.
+	got := RunTrials(16, 3, 1, func(trial int, _ uint64) int { return trial * trial })
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 4 {
+		t.Errorf("trial ordering broken: %v", got)
+	}
+}
+
+func TestCollectMergesDeterministically(t *testing.T) {
+	results := RunTrials(4, 8, 123, sweepTrial)
+	a := Collect(results)
+	b := Collect(results)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Collect is not deterministic over the same inputs")
+	}
+	if a.Trials != 8 {
+		t.Errorf("Trials = %d", a.Trials)
+	}
+	wantInjected := 0
+	var wantLatency int64
+	for _, r := range results {
+		wantInjected += r.Injected
+		wantLatency += r.Latency.N()
+	}
+	if a.Injected != wantInjected || a.Latency.N() != wantLatency {
+		t.Errorf("aggregate totals wrong: %+v", a)
+	}
+	if a.Throughput.N() != 8 {
+		t.Errorf("throughput summary has %d observations", a.Throughput.N())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"mccmesh/internal/region"
 	"mccmesh/internal/rng"
 	"mccmesh/internal/routing"
+	"mccmesh/internal/traffic"
 )
 
 // Re-exported core types. The implementation lives in internal/; these
@@ -51,6 +52,20 @@ type (
 	Rand = rng.Rand
 	// Injector places faults on a mesh.
 	Injector = fault.Injector
+	// TrafficEngine runs continuous packet streams over a faulty mesh.
+	TrafficEngine = traffic.Engine
+	// TrafficOptions configure one traffic run (rate, warmup, window, fault
+	// schedule).
+	TrafficOptions = traffic.Options
+	// TrafficResult aggregates one traffic run (throughput, latency
+	// percentiles, loss accounting).
+	TrafficResult = traffic.Result
+	// TrafficPattern chooses each injected packet's destination.
+	TrafficPattern = traffic.Pattern
+	// TrafficModel adapts a fault-information model to continuous traffic.
+	TrafficModel = traffic.InfoModel
+	// FaultEvent schedules a mid-run fault injection.
+	FaultEvent = traffic.FaultEvent
 )
 
 // Node label values.
@@ -139,3 +154,29 @@ func AbsorbedHealthyNodes(m *Mesh, s, d Point) int {
 // Theorem exposes the feasibility condition on an existing component set (for
 // callers that manage their own Model caches).
 func Theorem(cs *ComponentSet, s, d Point) bool { return feasibility.Theorem(cs, s, d) }
+
+// NewTrafficEngine returns a continuous-traffic engine over m. The model and
+// pattern are resolved by name (see TrafficModelNames and TrafficPatternNames).
+func NewTrafficEngine(m *Mesh, model, pattern string, opts TrafficOptions) (*TrafficEngine, error) {
+	im, err := traffic.ModelByName(model, core.NewModel(m))
+	if err != nil {
+		return nil, err
+	}
+	p, err := traffic.PatternByName(pattern, m, 0)
+	if err != nil {
+		return nil, err
+	}
+	return traffic.NewEngine(m, im, p, opts), nil
+}
+
+// TrafficPatternNames lists the built-in traffic pattern names.
+func TrafficPatternNames() []string { return traffic.PatternNames() }
+
+// TrafficModelNames lists the information-model names usable for traffic.
+func TrafficModelNames() []string { return traffic.ModelNames() }
+
+// RunTrafficTrials shards deterministic traffic trials across workers (<= 0
+// selects GOMAXPROCS); results are bit-identical at any worker count.
+func RunTrafficTrials(workers, trials int, seed uint64, fn func(trial int, seed uint64) *TrafficResult) []*TrafficResult {
+	return traffic.RunTrials(workers, trials, seed, fn)
+}
