@@ -1,105 +1,11 @@
-// Command mccbench regenerates the paper's evaluation tables (and the
-// supporting ablations) described in DESIGN.md §4 and records them in
-// EXPERIMENTS.md format.
-//
-// Example:
-//
-//	mccbench -exp e1,e2 -dim 10 -trials 30 -csv
+// Command mccbench is a deprecated alias for `mcc bench`, kept as a shim for
+// one release.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"mccmesh/internal/experiments"
-	"mccmesh/internal/stats"
+	"mccmesh/internal/cli"
 )
 
-func main() {
-	var (
-		exps      = flag.String("exp", "all", "comma separated experiments to run: e1..e7 or all")
-		dim       = flag.Int("dim", 10, "mesh edge length")
-		twoD      = flag.Bool("2d", false, "use a 2-D mesh instead of 3-D")
-		trials    = flag.Int("trials", 30, "fault configurations per data point")
-		pairs     = flag.Int("pairs", 10, "source/destination pairs per configuration")
-		seed      = flag.Uint64("seed", 20050500, "random seed")
-		faultsF   = flag.String("faults", "", "comma separated fault counts (default depends on the mesh size)")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		clustered = flag.Bool("clustered", false, "inject clustered faults instead of uniform random faults")
-		csize     = flag.Int("clustersize", 5, "faults per cluster when -clustered is set")
-	)
-	flag.Parse()
-
-	cfg := experiments.DefaultConfig()
-	cfg.Dim = *dim
-	cfg.TwoD = *twoD
-	cfg.Trials = *trials
-	cfg.Pairs = *pairs
-	cfg.Seed = *seed
-	cfg.Clustered = *clustered
-	cfg.ClusterSize = *csize
-	if *faultsF != "" {
-		cfg.FaultCounts = nil
-		for _, part := range strings.Split(*faultsF, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || v < 0 {
-				fmt.Fprintf(os.Stderr, "mccbench: invalid fault count %q\n", part)
-				os.Exit(2)
-			}
-			cfg.FaultCounts = append(cfg.FaultCounts, v)
-		}
-	}
-
-	mid := cfg.FaultCounts[len(cfg.FaultCounts)/2]
-	run := map[string]func() *stats.Table{
-		"e1": func() *stats.Table { return experiments.E1NonFaultyInclusion(cfg) },
-		"e2": func() *stats.Table { return experiments.E2SuccessRate(cfg) },
-		"e3": func() *stats.Table { return experiments.E3SuccessByDistance(cfg, mid) },
-		"e4": func() *stats.Table { return experiments.E4MessageOverhead(cfg) },
-		"e5": func() *stats.Table { return experiments.E5RegionAblation(cfg) },
-		"e6": func() *stats.Table { return experiments.E6Adaptivity(cfg, mid) },
-		"e7": func() *stats.Table {
-			tc := experiments.DefaultTrafficConfig()
-			tc.Faults = mid
-			tc.Trials = cfg.Trials
-			table, err := experiments.E7Throughput(cfg, tc)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "mccbench:", err)
-				os.Exit(2)
-			}
-			return table
-		},
-	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7"}
-
-	want := map[string]bool{}
-	if *exps == "all" {
-		for _, k := range order {
-			want[k] = true
-		}
-	} else {
-		for _, part := range strings.Split(*exps, ",") {
-			k := strings.ToLower(strings.TrimSpace(part))
-			if _, ok := run[k]; !ok {
-				fmt.Fprintf(os.Stderr, "mccbench: unknown experiment %q (want e1..e7 or all)\n", part)
-				os.Exit(2)
-			}
-			want[k] = true
-		}
-	}
-
-	for _, k := range order {
-		if !want[k] {
-			continue
-		}
-		table := run[k]()
-		if *csv {
-			fmt.Print(table.CSV())
-		} else {
-			fmt.Println(table.Render())
-		}
-	}
-}
+func main() { os.Exit(cli.Main(append([]string{"bench"}, os.Args[1:]...))) }

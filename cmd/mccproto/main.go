@@ -1,102 +1,11 @@
-// Command mccproto runs the distributed protocols of the information model
-// over the discrete-event simulator and reports their message costs: the
-// labelling exchange, the identification and boundary construction, the
-// feasibility detection and the hop-by-hop routing.
-//
-// Example:
-//
-//	mccproto -dims 10x10x10 -faults 40 -seed 2 -pairs 3
+// Command mccproto is a deprecated alias for `mcc proto`, kept as a shim for
+// one release.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"mccmesh/internal/fault"
-	"mccmesh/internal/grid"
-	"mccmesh/internal/labeling"
-	"mccmesh/internal/mesh"
-	"mccmesh/internal/protocol"
-	"mccmesh/internal/region"
-	"mccmesh/internal/rng"
+	"mccmesh/internal/cli"
 )
 
-func main() {
-	var (
-		dims   = flag.String("dims", "10x10x10", "mesh dimensions, e.g. 16x16 or 10x10x10")
-		faults = flag.Int("faults", 40, "number of uniform random node faults")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		pairs  = flag.Int("pairs", 3, "number of routing requests to simulate")
-	)
-	flag.Parse()
-
-	m, err := parseMesh(*dims)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mccproto:", err)
-		os.Exit(2)
-	}
-	r := rng.New(*seed)
-	fault.Uniform{Count: *faults}.Inject(m, r)
-	orient := grid.PositiveOrientation
-
-	lr := protocol.RunLabeling(m, orient)
-	fmt.Printf("distributed labelling : %d label messages, settled at t=%d\n",
-		lr.Stats.ByKind[protocol.KindLabel], lr.Stats.FinalTime)
-
-	lab := labeling.Compute(m, orient)
-	cs := region.FindMCCs(lab)
-	info := protocol.RunInformationModel(m, lab, cs)
-	fmt.Printf("information model     : %d MCCs, %d identify messages, %d boundary messages, records on %d nodes\n",
-		cs.Len(), info.IdentifyMessages, info.BoundaryMessages, len(info.Records))
-
-	routed := 0
-	for routed < *pairs {
-		s := m.Point(r.Intn(m.NodeCount()))
-		d := m.Point(r.Intn(m.NodeCount()))
-		if grid.Manhattan(s, d) < m.Dims().X || m.IsFaulty(s) || m.IsFaulty(d) {
-			continue
-		}
-		pairLab := labeling.Compute(m, grid.OrientationOf(s, d))
-		if pairLab.Unsafe(s) || pairLab.Unsafe(d) {
-			continue
-		}
-		routed++
-		var det *protocol.DetectionResult
-		if m.Is2D() {
-			det = protocol.RunDetection2D(m, pairLab, s, d)
-		} else {
-			det = protocol.RunDetection3D(m, pairLab, s, d)
-		}
-		fmt.Printf("pair %d %v -> %v: detection feasible=%v (%d forward + %d reply hops)\n",
-			routed, s, d, det.Feasible, det.ForwardHops, det.ReplyHops)
-		if !det.Feasible {
-			continue
-		}
-		pairCS := region.FindMCCs(pairLab)
-		pairInfo := protocol.RunInformationModel(m, pairLab, pairCS)
-		res := protocol.RunRouting(m, pairLab, pairCS, pairInfo.Records, s, d)
-		fmt.Printf("        routing: delivered=%v minimal=%v in %d hops\n", res.Delivered, res.Minimal, res.Hops)
-	}
-}
-
-func parseMesh(s string) (*mesh.Mesh, error) {
-	parts := strings.Split(strings.ToLower(s), "x")
-	if len(parts) != 2 && len(parts) != 3 {
-		return nil, fmt.Errorf("invalid -dims %q", s)
-	}
-	vals := make([]int, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || v < 2 {
-			return nil, fmt.Errorf("invalid extent %q in -dims", p)
-		}
-		vals[i] = v
-	}
-	if len(vals) == 2 {
-		return mesh.New2D(vals[0], vals[1]), nil
-	}
-	return mesh.New3D(vals[0], vals[1], vals[2]), nil
-}
+func main() { os.Exit(cli.Main(append([]string{"proto"}, os.Args[1:]...))) }

@@ -1,109 +1,11 @@
-// Command mccsim runs a single fault-tolerant routing scenario: it builds a
-// mesh, injects faults, constructs the MCC fault-information model, checks
-// feasibility and routes a message, reporting what every information model
-// would have done.
-//
-// Example:
-//
-//	mccsim -dims 10x10x10 -faults 60 -seed 7 -pairs 5
+// Command mccsim is a deprecated alias for `mcc sim`, kept as a shim for one
+// release.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"mccmesh/internal/block"
-	"mccmesh/internal/core"
-	"mccmesh/internal/fault"
-	"mccmesh/internal/grid"
-	"mccmesh/internal/mesh"
-	"mccmesh/internal/rng"
+	"mccmesh/internal/cli"
 )
 
-func main() {
-	var (
-		dims    = flag.String("dims", "10x10x10", "mesh dimensions, e.g. 16x16 or 10x10x10")
-		faults  = flag.Int("faults", 50, "number of uniform random node faults")
-		cluster = flag.Int("cluster", 0, "if > 0, inject this many clusters of -clustersize faults instead")
-		csize   = flag.Int("clustersize", 5, "faults per cluster when -cluster is used")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		pairs   = flag.Int("pairs", 3, "number of source/destination pairs to route")
-		minDist = flag.Int("mindist", 8, "minimum Manhattan distance between pairs")
-	)
-	flag.Parse()
-
-	m, err := parseMesh(*dims)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mccsim:", err)
-		os.Exit(2)
-	}
-	r := rng.New(*seed)
-	var injector fault.Injector
-	if *cluster > 0 {
-		injector = fault.Clustered{Clusters: *cluster, Size: *csize}
-	} else {
-		injector = fault.Uniform{Count: *faults}
-	}
-	injector.Inject(m, r)
-
-	model := core.NewModel(m)
-	fmt.Printf("mesh %v: %d nodes, %d faulty (%s)\n", m.Dims(), m.NodeCount(), m.FaultCount(), injector.Name())
-	sum := model.Summarize(grid.PositiveOrientation)
-	fmt.Printf("MCC model (+X,+Y,+Z): %d regions, %d healthy nodes absorbed (largest region %d nodes)\n",
-		sum.Regions, sum.AbsorbedHealthy, sum.LargestRegion)
-	fmt.Printf("RFB baseline        : %d healthy nodes absorbed\n", model.Blocks(block.BoundingBox).TotalNonFaulty())
-
-	routed := 0
-	for routed < *pairs {
-		s := m.Point(r.Intn(m.NodeCount()))
-		d := m.Point(r.Intn(m.NodeCount()))
-		if grid.Manhattan(s, d) < *minDist || m.IsFaulty(s) || m.IsFaulty(d) {
-			continue
-		}
-		if model.Labeling(grid.OrientationOf(s, d)).Unsafe(s) || model.Labeling(grid.OrientationOf(s, d)).Unsafe(d) {
-			continue
-		}
-		routed++
-		fmt.Printf("\npair %d: %v -> %v (distance %d)\n", routed, s, d, grid.Manhattan(s, d))
-		feasible := model.Feasible(s, d)
-		detect, hops := model.FeasibleByDetection(s, d)
-		fmt.Printf("  feasibility: theorem=%v detection=%v (%d detection hops)\n", feasible, detect, hops)
-		for _, provider := range []string{core.ProviderMCC, core.ProviderRFB, core.ProviderLabels, core.ProviderLocal} {
-			tr, err := model.RouteWith(provider, s, d)
-			switch {
-			case err != nil:
-				fmt.Printf("  %-12s: not attempted (%v)\n", provider, err)
-			case tr.Succeeded():
-				fmt.Printf("  %-12s: delivered in %d hops (minimal), min candidates %d\n", provider, tr.Hops(), tr.MinAdaptivity())
-			default:
-				fmt.Printf("  %-12s: FAILED (%v)\n", provider, tr.Err)
-			}
-		}
-		if feasible {
-			res := model.RouteDistributed(s, d)
-			fmt.Printf("  %-12s: delivered=%v minimal=%v, %d routing-message hops\n", "distributed", res.Delivered, res.Minimal, res.Hops)
-		}
-	}
-}
-
-func parseMesh(s string) (*mesh.Mesh, error) {
-	parts := strings.Split(strings.ToLower(s), "x")
-	if len(parts) != 2 && len(parts) != 3 {
-		return nil, fmt.Errorf("invalid -dims %q (want AxB or AxBxC)", s)
-	}
-	vals := make([]int, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || v < 2 {
-			return nil, fmt.Errorf("invalid -dims %q: %q is not a valid extent", s, p)
-		}
-		vals[i] = v
-	}
-	if len(vals) == 2 {
-		return mesh.New2D(vals[0], vals[1]), nil
-	}
-	return mesh.New3D(vals[0], vals[1], vals[2]), nil
-}
+func main() { os.Exit(cli.Main(append([]string{"sim"}, os.Args[1:]...))) }

@@ -1,103 +1,11 @@
-// Command mcctraffic runs the continuous-traffic workload engine: it sweeps
-// traffic patterns × information models × injection rates on a faulty mesh and
-// prints a throughput/latency table. Trials are sharded deterministically
-// across parallel workers, so the table is bit-identical for any -workers
-// value.
-//
-// Example:
-//
-//	mcctraffic -dim 10 -faults 50 -patterns uniform,transpose,hotspot \
-//	           -models mcc,rfb -rates 0.005,0.01,0.02 -workers 8
+// Command mcctraffic is a deprecated alias for `mcc run` (the traffic
+// measure), kept as a shim for one release.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"mccmesh/internal/experiments"
-	"mccmesh/internal/traffic"
+	"mccmesh/internal/cli"
 )
 
-func main() {
-	var (
-		dim       = flag.Int("dim", 10, "mesh edge length")
-		twoD      = flag.Bool("2d", false, "use a 2-D mesh instead of 3-D")
-		faults    = flag.Int("faults", 50, "static fault count injected before traffic starts")
-		clustered = flag.Bool("clustered", false, "inject clustered faults instead of uniform random faults")
-		csize     = flag.Int("clustersize", 5, "faults per cluster when -clustered is set")
-		seed      = flag.Uint64("seed", 20050500, "random seed")
-		patterns  = flag.String("patterns", "uniform,transpose,hotspot", "comma separated traffic patterns ("+strings.Join(traffic.PatternNames(), ", ")+")")
-		models    = flag.String("models", "mcc,rfb", "comma separated information models ("+strings.Join(traffic.ModelNames(), ", ")+")")
-		rates     = flag.String("rates", "0.005,0.01,0.02", "comma separated injection rates (packets per node per tick)")
-		trials    = flag.Int("trials", 5, "fault configurations per sweep cell")
-		warmup    = flag.Int("warmup", 50, "warmup ticks before measurement")
-		window    = flag.Int("window", 200, "measurement window in ticks")
-		workers   = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); any value gives identical tables")
-		hotFrac   = flag.Float64("hotspot", 0, "hotspot traffic fraction (0 = pattern default)")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
-	)
-	flag.Parse()
-
-	cfg := experiments.DefaultConfig()
-	cfg.Dim = *dim
-	cfg.TwoD = *twoD
-	cfg.Seed = *seed
-	cfg.Clustered = *clustered
-	cfg.ClusterSize = *csize
-
-	tc := experiments.TrafficConfig{
-		Patterns:        splitList(*patterns),
-		Models:          splitList(*models),
-		Faults:          *faults,
-		Trials:          *trials,
-		Warmup:          *warmup,
-		Window:          *window,
-		Workers:         *workers,
-		HotspotFraction: *hotFrac,
-	}
-	if *trials < 1 {
-		fmt.Fprintln(os.Stderr, "mcctraffic: -trials must be at least 1")
-		os.Exit(2)
-	}
-	for _, part := range splitList(*rates) {
-		v, err := strconv.ParseFloat(part, 64)
-		// The inverted comparison rejects NaN, which satisfies neither bound.
-		if err != nil || !(v > 0 && v <= 1) {
-			fmt.Fprintf(os.Stderr, "mcctraffic: invalid rate %q (want a value in (0,1])\n", part)
-			os.Exit(2)
-		}
-		tc.Rates = append(tc.Rates, v)
-	}
-	if len(tc.Patterns) == 0 || len(tc.Models) == 0 || len(tc.Rates) == 0 {
-		fmt.Fprintln(os.Stderr, "mcctraffic: -patterns, -models and -rates must each name at least one entry")
-		os.Exit(2)
-	}
-	if *hotFrac < 0 || *hotFrac > 1 {
-		fmt.Fprintln(os.Stderr, "mcctraffic: -hotspot must be in [0,1]")
-		os.Exit(2)
-	}
-
-	table, err := experiments.E7Throughput(cfg, tc)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcctraffic:", err)
-		os.Exit(2)
-	}
-	if *csv {
-		fmt.Print(table.CSV())
-	} else {
-		fmt.Println(table.Render())
-	}
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if p := strings.TrimSpace(part); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
+func main() { os.Exit(cli.Main(append([]string{"run"}, os.Args[1:]...))) }

@@ -1,119 +1,11 @@
-// Command mccviz renders a fault configuration, its MCC labelling and
-// (optionally) a routed path as ASCII art, slice by slice.
-//
-// Example:
-//
-//	mccviz -dims 12x12 -faults 12 -seed 3 -route 0,0,0:11,11,0
+// Command mccviz is a deprecated alias for `mcc viz`, kept as a shim for one
+// release.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"mccmesh/internal/block"
-	"mccmesh/internal/core"
-	"mccmesh/internal/fault"
-	"mccmesh/internal/grid"
-	"mccmesh/internal/mesh"
-	"mccmesh/internal/rng"
-	"mccmesh/internal/viz"
+	"mccmesh/internal/cli"
 )
 
-func main() {
-	var (
-		dims   = flag.String("dims", "12x12", "mesh dimensions, e.g. 12x12 or 8x8x8")
-		faults = flag.Int("faults", 10, "number of uniform random node faults")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		route  = flag.String("route", "", "optional route request sx,sy,sz:dx,dy,dz")
-		blocks = flag.Bool("blocks", false, "overlay the rectangular-faulty-block baseline")
-	)
-	flag.Parse()
-
-	m, err := parseMesh(*dims)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mccviz:", err)
-		os.Exit(2)
-	}
-	fault.Uniform{Count: *faults}.Inject(m, rng.New(*seed))
-	model := core.NewModel(m)
-
-	ov := viz.Overlay{}
-	if *blocks {
-		ov.Blocks = model.Blocks(block.BoundingBox)
-	}
-	orient := grid.PositiveOrientation
-	if *route != "" {
-		s, d, err := parseRoute(*route)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mccviz:", err)
-			os.Exit(2)
-		}
-		orient = grid.OrientationOf(s, d)
-		ov.Source, ov.Destination = &s, &d
-		if tr, err := model.Route(s, d); err == nil && tr.Succeeded() {
-			ov.Path = tr.Path
-			fmt.Printf("routed %v -> %v in %d hops\n\n", s, d, tr.Hops())
-		} else {
-			fmt.Printf("no minimal path from %v to %v under the MCC model\n\n", s, d)
-		}
-	}
-	l := model.Labeling(orient)
-	fmt.Print(viz.Slices(l, ov))
-	fmt.Println(viz.Legend())
-	sum := model.Summarize(orient)
-	fmt.Printf("faults=%d regions=%d absorbed(MCC)=%d absorbed(RFB)=%d\n",
-		sum.Faults, sum.Regions, sum.AbsorbedHealthy, sum.RFBAbsorbed)
-}
-
-func parseMesh(s string) (*mesh.Mesh, error) {
-	parts := strings.Split(strings.ToLower(s), "x")
-	if len(parts) != 2 && len(parts) != 3 {
-		return nil, fmt.Errorf("invalid -dims %q", s)
-	}
-	vals := make([]int, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || v < 2 {
-			return nil, fmt.Errorf("invalid extent %q in -dims", p)
-		}
-		vals[i] = v
-	}
-	if len(vals) == 2 {
-		return mesh.New2D(vals[0], vals[1]), nil
-	}
-	return mesh.New3D(vals[0], vals[1], vals[2]), nil
-}
-
-func parseRoute(s string) (grid.Point, grid.Point, error) {
-	halves := strings.Split(s, ":")
-	if len(halves) != 2 {
-		return grid.Point{}, grid.Point{}, fmt.Errorf("invalid -route %q (want sx,sy,sz:dx,dy,dz)", s)
-	}
-	parse := func(h string) (grid.Point, error) {
-		parts := strings.Split(h, ",")
-		if len(parts) != 2 && len(parts) != 3 {
-			return grid.Point{}, fmt.Errorf("invalid coordinate %q", h)
-		}
-		var vals [3]int
-		for i, p := range parts {
-			v, err := strconv.Atoi(strings.TrimSpace(p))
-			if err != nil {
-				return grid.Point{}, fmt.Errorf("invalid coordinate %q", h)
-			}
-			vals[i] = v
-		}
-		return grid.Point{X: vals[0], Y: vals[1], Z: vals[2]}, nil
-	}
-	sPt, err := parse(halves[0])
-	if err != nil {
-		return grid.Point{}, grid.Point{}, err
-	}
-	dPt, err := parse(halves[1])
-	if err != nil {
-		return grid.Point{}, grid.Point{}, err
-	}
-	return sPt, dPt, nil
-}
+func main() { os.Exit(cli.Main(append([]string{"viz"}, os.Args[1:]...))) }

@@ -24,7 +24,12 @@
 //   - an experiment harness that regenerates the paper's evaluation (fault
 //     region size and minimal-routing success rate versus the rectangular
 //     faulty-block baselines) plus supporting ablations and a sustained-load
-//     throughput study.
+//     throughput study; and
+//   - a declarative scenario API: one JSON-serialisable spec (mesh, faults,
+//     models, workload, measure, seed) validated against pluggable component
+//     registries, built with NewScenario's functional options or loaded with
+//     LoadScenario, and runnable to a structured Report that is bit-identical
+//     at any worker count. The `mcc` CLI speaks the same spec format.
 //
 // The root package is a thin facade over the implementation packages in
 // internal/; see README.md for a tour and examples/ for runnable programs.

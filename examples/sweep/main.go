@@ -1,21 +1,34 @@
-// sweep runs a miniature version of the paper's evaluation: the two headline
-// tables (healthy-node absorption and minimal-routing success rate) on a small
-// mesh so it finishes in a few seconds. cmd/mccbench runs the full sweeps.
+// sweep runs a miniature version of the paper's evaluation — the two
+// headline tables (healthy-node absorption and minimal-routing success rate)
+// on a small mesh — expressed as two declarative scenarios that differ only
+// in their measure. cmd/mcc bench runs the full sweeps.
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"mccmesh/internal/experiments"
+	"mccmesh"
 )
 
 func main() {
-	cfg := experiments.DefaultConfig()
-	cfg.Dim = 8
-	cfg.FaultCounts = []int{5, 15, 30, 50}
-	cfg.Trials = 10
-	cfg.Pairs = 6
-
-	fmt.Println(experiments.E1NonFaultyInclusion(cfg).Render())
-	fmt.Println(experiments.E2SuccessRate(cfg).Render())
+	for _, measure := range []string{mccmesh.MeasureAbsorption, mccmesh.MeasureSuccess} {
+		sc, err := mccmesh.NewScenario(
+			mccmesh.WithCube(8),
+			mccmesh.WithFaultCounts(5, 15, 30, 50),
+			mccmesh.WithMeasure(measure),
+			mccmesh.WithTrials(10),
+			mccmesh.WithPairs(6),
+			mccmesh.WithMinDistance(10),
+			mccmesh.WithSeed(20050500),
+		)
+		if err != nil {
+			panic(err)
+		}
+		rep, err := sc.Run(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(rep.Table.Render())
+	}
 }

@@ -1,36 +1,35 @@
-// traffic demonstrates the continuous-traffic workload engine: sustained
-// uniform-random traffic on a faulty 3-D mesh under the MCC information model,
-// with a second wave of faults injected while packets are in flight, followed
-// by a small parallel throughput sweep comparing MCC with the
-// rectangular-block baseline.
+// traffic demonstrates the continuous-traffic workload engine through the
+// public facade: one instrumented run with mid-run fault injection and a
+// tuned hotspot pattern, followed by a small parallel throughput sweep —
+// MCC vs the rectangular-block baseline — expressed as a scenario.
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"mccmesh/internal/core"
-	"mccmesh/internal/experiments"
-	"mccmesh/internal/fault"
-	"mccmesh/internal/mesh"
-	"mccmesh/internal/rng"
-	"mccmesh/internal/traffic"
+	"mccmesh"
 )
 
 func main() {
 	// --- One instrumented run with mid-run fault injection ---------------
-	m := mesh.New3D(8, 8, 8)
-	fault.Uniform{Count: 25}.Inject(m, rng.New(1))
-	model, _ := traffic.ModelByName("mcc", core.NewModel(m))
-	engine := traffic.NewEngine(m, model, traffic.Uniform{}, traffic.Options{
+	m := mccmesh.New3D(8, 8, 8)
+	mccmesh.InjectUniform(m, mccmesh.NewRand(1), 25)
+	engine, err := mccmesh.NewTrafficEngine(m, "mcc", "hotspot", mccmesh.TrafficOptions{
 		Rate:   0.02,
 		Warmup: 50,
 		Window: 300,
+		// The hotspot knobs are plain library options now, same as the CLI's.
+		PatternParams: map[string]any{"fraction": 0.15},
 		// A board dies at t=150: five adjacent routers fail at once.
-		Faults: []traffic.FaultEvent{{At: 150, Inject: fault.Clustered{Clusters: 1, Size: 5}}},
+		Faults: []mccmesh.FaultEvent{{At: 150, Inject: mccmesh.ClusteredInjector(1, 5)}},
 	})
+	if err != nil {
+		panic(err)
+	}
 	res := engine.Run(7)
 
-	fmt.Printf("continuous traffic on 8x8x8, 25 static faults + 5 injected at t=150 (MCC model):\n")
+	fmt.Printf("continuous hotspot traffic on 8x8x8, 25 static faults + 5 injected at t=150 (MCC model):\n")
 	fmt.Printf("  injected %d packets, delivered %d (%.1f%%), stuck %d, lost in flight %d\n",
 		res.Injected, res.Delivered, 100*res.DeliveredRatio(), res.Stuck, res.Lost)
 	fmt.Printf("  throughput %.4f deliveries/node/tick (offered rate %.4f)\n", res.Throughput(), res.Rate)
@@ -38,21 +37,24 @@ func main() {
 		res.Latency.Mean(), res.Latency.Percentile(0.50), res.Latency.Percentile(0.95), res.Latency.Percentile(0.99))
 
 	// --- A parallel sweep: MCC vs rectangular blocks ---------------------
-	cfg := experiments.DefaultConfig()
-	cfg.Dim = 8
-	tc := experiments.TrafficConfig{
-		Patterns: []string{"uniform", "transpose"},
-		Models:   []string{"mcc", "rfb"},
-		Rates:    []float64{0.01, 0.02},
-		Faults:   25,
-		Trials:   4,
-		Warmup:   50,
-		Window:   150,
-		Workers:  0, // GOMAXPROCS; any value yields the identical table
-	}
-	table, err := experiments.E7Throughput(cfg, tc)
+	sc, err := mccmesh.NewScenario(
+		mccmesh.WithCube(8),
+		mccmesh.WithFaultCounts(25),
+		mccmesh.WithModels("mcc", "rfb"),
+		mccmesh.WithPatterns("uniform", "transpose"),
+		mccmesh.WithRates(0.01, 0.02),
+		mccmesh.WithWarmup(50),
+		mccmesh.WithWindow(150),
+		mccmesh.WithTrials(4),
+		mccmesh.WithSeed(20050506),
+		mccmesh.WithWorkers(0), // GOMAXPROCS; any value yields the identical table
+	)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(table.Render())
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Table.Render())
 }

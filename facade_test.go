@@ -1,6 +1,11 @@
 package mccmesh
 
-import "testing"
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
 
 // The facade tests exercise the public API exactly as the examples do.
 
@@ -96,6 +101,136 @@ func TestFacadeTrafficFlow(t *testing.T) {
 	if len(TrafficPatternNames()) == 0 || len(TrafficModelNames()) == 0 {
 		t.Error("name listings should be non-empty")
 	}
+}
+
+func TestFacadeScenarioFlow(t *testing.T) {
+	var events int
+	sc, err := NewScenario(
+		WithCube(6),
+		WithFaults("uniform"),
+		WithFaultCounts(8),
+		WithModels("mcc", "rfb"),
+		WithPattern("hotspot", Params{"fraction": 0.2}),
+		WithRates(0.02),
+		WithWarmup(10),
+		WithWindow(50),
+		WithSeed(11),
+		WithTrials(2),
+		WithObserver(func(ScenarioEvent) { events++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 || len(rep.Table.Rows) != 2 {
+		t.Fatalf("expected 2 cells (1 pattern x 2 models x 1 rate): %d", len(rep.Cells))
+	}
+	if events != 4 {
+		t.Errorf("observer saw %d events, want 4", events)
+	}
+
+	// The spec round-trips through LoadScenario and reproduces the report.
+	var buf bytes.Buffer
+	if err := sc.WriteSpec(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := LoadScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := sc2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Table.CSV() != rep2.Table.CSV() {
+		t.Error("LoadScenario(WriteSpec(sc)) produced a different table")
+	}
+}
+
+func TestFacadeScenarioErrors(t *testing.T) {
+	if _, err := NewScenario(WithCube(6), WithPatterns("hotpsot")); err == nil || !strings.Contains(err.Error(), `did you mean "hotspot"?`) {
+		t.Errorf("typo should be suggested: %v", err)
+	}
+	if _, err := LoadScenario(strings.NewReader(`{"mesh": {"x": 5`)); err == nil {
+		t.Error("truncated spec should error")
+	}
+}
+
+func TestFacadeTrafficEnginePatternParams(t *testing.T) {
+	m := NewCube(6)
+	InjectUniform(m, NewRand(5), 10)
+	// The hotspot fraction is a library-level knob now, not just a CLI flag.
+	e, err := NewTrafficEngine(m, "mcc", "hotspot", TrafficOptions{
+		Rate: 0.02, Warmup: 10, Window: 60,
+		PatternParams: map[string]any{"fraction": 0.5, "target": []any{0, 0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := e.Run(5); res.Delivered == 0 {
+		t.Fatalf("no traffic flowed: %+v", res)
+	}
+	_, err = NewTrafficEngine(m, "mcc", "hotspot", TrafficOptions{
+		PatternParams: map[string]any{"fractoin": 0.5},
+	})
+	if err == nil || !strings.Contains(err.Error(), `did you mean "fraction"?`) {
+		t.Errorf("bad parameter should be suggested: %v", err)
+	}
+	if _, err := NewTrafficEngine(m, "mcc", "hotspot", TrafficOptions{
+		PatternParams: map[string]any{"fraction": 1.5},
+	}); err == nil {
+		t.Error("out-of-range fraction should error")
+	}
+}
+
+func TestFacadeRegisterTrafficPattern(t *testing.T) {
+	RegisterTrafficPattern(TrafficPatternEntry{
+		Name: "facade-test-corner",
+		Doc:  "everything goes to the origin corner",
+		New: func(m *Mesh, _ RegistryArgs) (TrafficPattern, error) {
+			return cornerPattern{}, nil
+		},
+	})
+	found := false
+	for _, name := range TrafficPatternNames() {
+		if name == "facade-test-corner" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered pattern not listed")
+	}
+	// Usable by name through the facade engine and through a scenario.
+	m := NewCube(5)
+	e, err := NewTrafficEngine(m, "mcc", "facade-test-corner", TrafficOptions{Rate: 0.03, Warmup: 5, Window: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := e.Run(3); res.Delivered == 0 {
+		t.Fatalf("custom pattern carried no traffic: %+v", res)
+	}
+	sc, err := NewScenario(WithCube(5), WithPatterns("facade-test-corner"), WithWindow(30), WithTrials(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cornerPattern is the custom pattern registered by the facade test.
+type cornerPattern struct{}
+
+func (cornerPattern) Name() string { return "facade-test-corner" }
+func (cornerPattern) Dest(_ *Rand, m *Mesh, src Point) (Point, bool) {
+	d := At(0, 0, 0)
+	if src == d || m.IsFaulty(d) {
+		return Point{}, false
+	}
+	return d, true
 }
 
 func TestFacadeTrafficTrialsDeterministic(t *testing.T) {

@@ -1,0 +1,146 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"strings"
+
+	"mccmesh/internal/experiments"
+	"mccmesh/internal/stats"
+)
+
+// cmdBench regenerates the evaluation tables E1–E7 (the old mccbench). It
+// keeps the historical per-experiment seed streams, so tables produced before
+// the scenario redesign still reproduce. With -dump-spec it emits the
+// declarative spec of one experiment; with -spec it runs a spec file like
+// `mcc run`.
+func cmdBench(args []string) int {
+	fs := flag.NewFlagSet("mcc bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exps      = fs.String("exp", "all", "comma separated experiments to run: e1..e7 or all")
+		dim       = fs.Int("dim", 10, "mesh edge length")
+		twoD      = fs.Bool("2d", false, "use a 2-D mesh instead of 3-D")
+		trials    = fs.Int("trials", 30, "fault configurations per data point")
+		pairs     = fs.Int("pairs", 10, "source/destination pairs per configuration")
+		seed      = fs.Uint64("seed", 20050500, "random seed")
+		faultsF   = fs.String("faults", "", "comma separated fault counts (default depends on the mesh size)")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		clustered = fs.Bool("clustered", false, "inject clustered faults instead of uniform random faults")
+		csize     = fs.Int("clustersize", 5, "faults per cluster when -clustered is set")
+		workers   = fs.Int("workers", 0, "parallel trial workers for e7 (0 = GOMAXPROCS)")
+		specPath  = fs.String("spec", "", "run a scenario spec file instead (- = stdin)")
+		dump      = fs.Bool("dump-spec", false, "print the spec of the selected experiment (requires exactly one -exp) and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *specPath != "" {
+		if err := rejectFlagSpecClash(fs, "dump-spec", "workers", "csv"); err != nil {
+			return fail("bench", err)
+		}
+		sc, err := loadSpecWithWorkers(*specPath, fs, *workers)
+		if err != nil {
+			return fail("bench", err)
+		}
+		if *dump {
+			return dumpSpec(sc)
+		}
+		rep, err := sc.Run(context.Background())
+		if err != nil {
+			return fail("bench", err)
+		}
+		printTable(rep.Table, *csv)
+		return 0
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Dim = *dim
+	cfg.TwoD = *twoD
+	cfg.Trials = *trials
+	cfg.Pairs = *pairs
+	cfg.Seed = *seed
+	cfg.Clustered = *clustered
+	cfg.ClusterSize = *csize
+	if *faultsF != "" {
+		counts, err := parseInts(*faultsF)
+		if err != nil || len(counts) == 0 {
+			return fail("bench", fmt.Errorf("invalid -faults %q", *faultsF))
+		}
+		cfg.FaultCounts = counts
+	}
+
+	mid := cfg.FaultCounts[len(cfg.FaultCounts)/2]
+	trafficCfg := func() experiments.TrafficConfig {
+		tc := experiments.DefaultTrafficConfig()
+		tc.Faults = mid
+		tc.Trials = cfg.Trials
+		tc.Workers = *workers
+		return tc
+	}
+	run := map[string]func() (*stats.Table, error){
+		"e1": func() (*stats.Table, error) { return experiments.E1NonFaultyInclusion(cfg), nil },
+		"e2": func() (*stats.Table, error) { return experiments.E2SuccessRate(cfg), nil },
+		"e3": func() (*stats.Table, error) { return experiments.E3SuccessByDistance(cfg, mid), nil },
+		"e4": func() (*stats.Table, error) { return experiments.E4MessageOverhead(cfg), nil },
+		"e5": func() (*stats.Table, error) { return experiments.E5RegionAblation(cfg), nil },
+		"e6": func() (*stats.Table, error) { return experiments.E6Adaptivity(cfg, mid), nil },
+		"e7": func() (*stats.Table, error) { return experiments.E7Throughput(cfg, trafficCfg()) },
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7"}
+
+	want := map[string]bool{}
+	if *exps == "all" {
+		for _, k := range order {
+			want[k] = true
+		}
+	} else {
+		for _, part := range splitList(*exps) {
+			k := strings.ToLower(part)
+			if _, ok := run[k]; !ok {
+				return fail("bench", fmt.Errorf("unknown experiment %q (want e1..e7 or all)", part))
+			}
+			want[k] = true
+		}
+	}
+
+	if *dump {
+		if len(want) != 1 {
+			return fail("bench", fmt.Errorf("-dump-spec needs exactly one experiment, got -exp %q", *exps))
+		}
+		for k := range want {
+			spec, err := experiments.SpecFor(k, cfg, trafficCfg())
+			if err != nil {
+				return fail("bench", err)
+			}
+			sc, err := newScenario(spec)
+			if err != nil {
+				return fail("bench", err)
+			}
+			return dumpSpec(sc)
+		}
+	}
+
+	for _, k := range order {
+		if !want[k] {
+			continue
+		}
+		table, err := run[k]()
+		if err != nil {
+			return fail("bench", err)
+		}
+		printTable(table, *csv)
+	}
+	return 0
+}
+
+// printTable renders a table to stdout in the selected format.
+func printTable(t *stats.Table, csv bool) {
+	if csv {
+		fmt.Fprint(stdout, t.CSV())
+	} else {
+		fmt.Fprintln(stdout, t.Render())
+	}
+}

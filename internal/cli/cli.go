@@ -1,0 +1,85 @@
+// Package cli implements the `mcc` command line: one binary, one scenario
+// spec format, subcommands for every workflow that used to be a separate
+// binary. Every subcommand can load a declarative scenario spec (-spec
+// file.json) and emit one (-dump-spec), so any run is reproducible from a
+// checked-in JSON file.
+//
+//	mcc run    — run a scenario (traffic sweep or any e1..e7 measure)
+//	mcc bench  — the evaluation tables E1–E7 (mccbench)
+//	mcc sim    — one routing scenario end to end (mccsim)
+//	mcc proto  — message costs of the distributed protocols (mccproto)
+//	mcc viz    — ASCII rendering of fault configurations (mccviz)
+//	mcc list   — registered patterns, models, injectors and measures
+//
+// The old binaries (mccbench, mccsim, mccproto, mcctraffic, mccviz) are
+// two-line shims over this package, kept for one release.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// stdout and stderr are swappable for tests.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
+
+// Main dispatches a full argument vector (without the program name) and
+// returns the process exit code.
+func Main(args []string) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "run":
+		return cmdRun(rest)
+	case "bench":
+		return cmdBench(rest)
+	case "sim":
+		return cmdSim(rest)
+	case "proto":
+		return cmdProto(rest)
+	case "viz":
+		return cmdViz(rest)
+	case "list":
+		return cmdList(rest)
+	case "help", "-h", "-help", "--help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "mcc: unknown subcommand %q\n\n", cmd)
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `mcc — fault-tolerant mesh routing workbench (ICPP 2005 MCC model)
+
+Usage:
+  mcc <subcommand> [flags]
+
+Subcommands:
+  run     run a scenario: a traffic sweep or any measure, from flags or -spec
+  bench   regenerate the evaluation tables E1..E7
+  sim     route one fault configuration end to end, model by model
+  proto   message costs of the distributed protocols
+  viz     render a fault configuration (and a route) as ASCII art
+  list    list registered patterns, models, fault injectors and measures
+
+Every subcommand accepts -spec file.json to load a declarative scenario spec
+("-" reads stdin) and -dump-spec to print the equivalent spec instead of
+running. Run 'mcc <subcommand> -h' for flags.
+`)
+}
+
+// fail prints a subcommand-scoped error and returns the exit code.
+func fail(sub string, err error) int {
+	fmt.Fprintf(stderr, "mcc %s: %v\n", sub, err)
+	return 2
+}

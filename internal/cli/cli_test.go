@@ -1,0 +1,178 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs Main with stdout/stderr captured.
+func capture(t *testing.T, args ...string) (code int, out, errOut string) {
+	t.Helper()
+	var bufOut, bufErr bytes.Buffer
+	oldOut, oldErr := stdout, stderr
+	stdout, stderr = &bufOut, &bufErr
+	defer func() { stdout, stderr = oldOut, oldErr }()
+	code = Main(args)
+	return code, bufOut.String(), bufErr.String()
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	code, _, errOut := capture(t, "frobnicate")
+	if code != 2 || !strings.Contains(errOut, "unknown subcommand") {
+		t.Errorf("code=%d err=%q", code, errOut)
+	}
+	if code, _, _ := capture(t, "help"); code != 0 {
+		t.Errorf("help should exit 0, got %d", code)
+	}
+	if code, _, errOut := capture(t); code != 2 || !strings.Contains(errOut, "Usage") {
+		t.Errorf("bare mcc should print usage and exit 2: %d %q", code, errOut)
+	}
+}
+
+func TestListShowsRegistries(t *testing.T) {
+	code, out, _ := capture(t, "list")
+	if code != 0 {
+		t.Fatalf("list exited %d", code)
+	}
+	for _, want := range []string{"hotspot", "fraction", "mcc", "clustered", "traffic pattern", "measure", "absorption"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+// TestBenchDumpSpecRoundTrip is the CLI half of the reproducibility
+// guarantee: `bench -exp e7 -dump-spec` piped into `run -spec` yields the
+// same table as running the experiment directly, at any worker count.
+func TestBenchDumpSpecRoundTrip(t *testing.T) {
+	benchArgs := []string{"bench", "-exp", "e7", "-dim", "6", "-trials", "2", "-faults", "8", "-csv"}
+	code, direct, errOut := capture(t, benchArgs...)
+	if code != 0 {
+		t.Fatalf("bench failed: %s", errOut)
+	}
+
+	code, spec, errOut := capture(t, "bench", "-exp", "e7", "-dim", "6", "-trials", "2", "-faults", "8", "-dump-spec")
+	if code != 0 {
+		t.Fatalf("dump-spec failed: %s", errOut)
+	}
+	path := filepath.Join(t.TempDir(), "e7.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []string{"1", "5"} {
+		code, out, errOut := capture(t, "run", "-spec", path, "-csv", "-workers", workers)
+		if code != 0 {
+			t.Fatalf("run -spec (workers=%s) failed: %s", workers, errOut)
+		}
+		if out != direct {
+			t.Errorf("run -spec (workers=%s) differs from bench:\n--- bench\n%s\n--- run\n%s", workers, direct, out)
+		}
+	}
+}
+
+func TestRunFromFlags(t *testing.T) {
+	code, out, errOut := capture(t, "run",
+		"-measure", "absorption", "-dim", "6", "-faults", "4,10", "-trials", "2", "-csv")
+	if code != 0 {
+		t.Fatalf("run failed: %s", errOut)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 { // header + 2 rows
+		t.Errorf("expected 3 CSV lines, got %d:\n%s", lines, out)
+	}
+}
+
+func TestRunProgressStreams(t *testing.T) {
+	code, _, errOut := capture(t, "run",
+		"-dim", "6", "-faults", "6", "-patterns", "uniform", "-models", "mcc",
+		"-rates", "0.02", "-trials", "1", "-warmup", "5", "-window", "30", "-progress")
+	if code != 0 {
+		t.Fatalf("run failed: %s", errOut)
+	}
+	if !strings.Contains(errOut, "[1/1] uniform/mcc/0.020") {
+		t.Errorf("progress not streamed: %q", errOut)
+	}
+}
+
+func TestRunRejectsFlagSpecConflict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(path, []byte(`{"mesh": {"x": 5, "y": 5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := capture(t, "run", "-spec", path, "-dim", "9")
+	if code != 2 || !strings.Contains(errOut, "cannot be combined with -spec") {
+		t.Errorf("run conflict not rejected: %d %q", code, errOut)
+	}
+	// bench must hold the same line: a silently ignored -trials would
+	// misreport what ran.
+	code, _, errOut = capture(t, "bench", "-spec", path, "-trials", "100")
+	if code != 2 || !strings.Contains(errOut, "cannot be combined with -spec") {
+		t.Errorf("bench conflict not rejected: %d %q", code, errOut)
+	}
+	// -workers/-csv are execution knobs, not scenario content: allowed.
+	if code, _, errOut = capture(t, "bench", "-spec", path, "-workers", "2", "-csv"); code != 0 {
+		t.Errorf("bench -spec -workers should run: %d %q", code, errOut)
+	}
+}
+
+func TestRunActionableSpecErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"mesh": {"x": 6, "y": 6}, "workload": {"patterns": "hotpsot"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := capture(t, "run", "-spec", path)
+	if code != 2 || !strings.Contains(errOut, `did you mean "hotspot"?`) {
+		t.Errorf("typo in spec file not surfaced: %d %q", code, errOut)
+	}
+}
+
+func TestInspectorSubcommands(t *testing.T) {
+	if code, out, errOut := capture(t, "sim", "-dims", "7x7x7", "-faults", "12", "-pairs", "1"); code != 0 || !strings.Contains(out, "MCC model") {
+		t.Errorf("sim: %d %q %q", code, out, errOut)
+	}
+	if code, out, errOut := capture(t, "viz", "-dims", "8x8", "-faults", "5"); code != 0 || !strings.Contains(out, "faults=5") {
+		t.Errorf("viz: %d %q %q", code, out, errOut)
+	}
+	if code, out, errOut := capture(t, "proto", "-dims", "7x7x7", "-faults", "10", "-pairs", "1"); code != 0 || !strings.Contains(out, "information model") {
+		t.Errorf("proto: %d %q %q", code, out, errOut)
+	}
+	// Every inspector dumps a loadable spec.
+	code, spec, _ := capture(t, "viz", "-dims", "8x8", "-faults", "5", "-dump-spec")
+	if code != 0 {
+		t.Fatal("viz -dump-spec failed")
+	}
+	path := filepath.Join(t.TempDir(), "viz.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, errOut := capture(t, "viz", "-spec", path); code != 0 || !strings.Contains(out, "faults=5") {
+		t.Errorf("viz -spec: %d %q %q", code, out, errOut)
+	}
+}
+
+func TestInspectorsRejectFlagSpecConflict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(path, []byte(`{"mesh": {"x": 6, "y": 6}, "faults": {"inject": "uniform", "counts": [4]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"sim", "proto", "viz"} {
+		code, _, errOut := capture(t, sub, "-spec", path, "-faults", "99")
+		if code != 2 || !strings.Contains(errOut, "cannot be combined with -spec") {
+			t.Errorf("%s: conflict not rejected: %d %q", sub, code, errOut)
+		}
+	}
+	// Presentation flags stay allowed alongside -spec.
+	if code, out, errOut := capture(t, "viz", "-spec", path, "-blocks"); code != 0 || !strings.Contains(out, "faults=4") {
+		t.Errorf("viz -spec -blocks should run: %d %q %q", code, out, errOut)
+	}
+}
+
+func TestSimClusteredSetup(t *testing.T) {
+	code, out, _ := capture(t, "sim", "-dims", "7x7x7", "-cluster", "2", "-clustersize", "4", "-pairs", "1")
+	if code != 0 || !strings.Contains(out, "clustered") {
+		t.Errorf("clustered sim: %d %q", code, out)
+	}
+}

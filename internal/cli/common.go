@@ -1,0 +1,215 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/rng"
+	"mccmesh/internal/scenario"
+)
+
+// loadSpec reads a scenario from a spec file ("-" = stdin).
+func loadSpec(path string) (*scenario.Scenario, error) {
+	if path == "-" {
+		return scenario.Load(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc, err := scenario.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// rejectFlagSpecClash errors when any flag outside the allowed set was given
+// together with -spec: the scenario is the file, and silently ignoring a flag
+// would misreport what ran. "spec" itself is always allowed.
+func rejectFlagSpecClash(fs *flag.FlagSet, allowed ...string) error {
+	ok := map[string]bool{"spec": true}
+	for _, a := range allowed {
+		ok[a] = true
+	}
+	var clash []string
+	fs.Visit(func(f *flag.Flag) {
+		if !ok[f.Name] {
+			clash = append(clash, "-"+f.Name)
+		}
+	})
+	if len(clash) > 0 {
+		return fmt.Errorf("%s cannot be combined with -spec (edit the spec file instead)", strings.Join(clash, ", "))
+	}
+	return nil
+}
+
+// loadSpecWithWorkers loads a spec file and applies a -workers override (the
+// one execution knob that is not part of the result).
+func loadSpecWithWorkers(path string, fs *flag.FlagSet, workers int) (*scenario.Scenario, error) {
+	sc, err := loadSpec(path)
+	if err != nil {
+		return nil, err
+	}
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			set = true
+		}
+	})
+	if !set {
+		return sc, nil
+	}
+	spec := sc.Spec()
+	spec.Workers = workers
+	return scenario.New(spec)
+}
+
+// newScenario validates a spec built in-process.
+func newScenario(spec scenario.Spec) (*scenario.Scenario, error) {
+	return scenario.New(spec)
+}
+
+// dumpSpec prints the normalised spec of a scenario to stdout.
+func dumpSpec(sc *scenario.Scenario) int {
+	if err := sc.WriteSpec(stdout); err != nil {
+		return fail("dump-spec", err)
+	}
+	return 0
+}
+
+// parseMeshSpec parses "10x10x10" / "16x16" into a mesh spec.
+func parseMeshSpec(s string) (scenario.MeshSpec, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 2 && len(parts) != 3 {
+		return scenario.MeshSpec{}, fmt.Errorf("invalid -dims %q (want AxB or AxBxC)", s)
+	}
+	vals := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 2 {
+			return scenario.MeshSpec{}, fmt.Errorf("invalid -dims %q: %q is not a valid extent", s, p)
+		}
+		vals[i] = v
+	}
+	if len(vals) == 2 {
+		return scenario.MeshSpec{X: vals[0], Y: vals[1]}, nil
+	}
+	return scenario.MeshSpec{X: vals[0], Y: vals[1], Z: vals[2]}, nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseInts parses a comma-separated list of non-negative ints.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("invalid count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseRates parses a comma-separated list of rates in (0,1].
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		// The inverted comparison rejects NaN, which satisfies neither bound.
+		if err != nil || !(v > 0 && v <= 1) {
+			return nil, fmt.Errorf("invalid rate %q (want a value in (0,1])", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// setupFlags is the mesh/fault/seed flag block shared by sim, proto and viz:
+// the part of a scenario those inspectors consume.
+type setupFlags struct {
+	fs      *flag.FlagSet
+	dims    *string
+	faults  *int
+	cluster *int
+	csize   *int
+	seed    *uint64
+	spec    *string
+	dump    *bool
+}
+
+func addSetupFlags(fs *flag.FlagSet, defaultDims string, defaultFaults int) *setupFlags {
+	return &setupFlags{
+		fs:      fs,
+		dims:    fs.String("dims", defaultDims, "mesh dimensions, e.g. 16x16 or 10x10x10"),
+		faults:  fs.Int("faults", defaultFaults, "number of uniform random node faults"),
+		cluster: fs.Int("cluster", 0, "if > 0, inject this many clusters of -clustersize faults instead"),
+		csize:   fs.Int("clustersize", 5, "faults per cluster when -cluster is used"),
+		seed:    fs.Uint64("seed", 1, "random seed"),
+		spec:    fs.String("spec", "", "load mesh/faults/seed from a scenario spec file (- = stdin)"),
+		dump:    fs.Bool("dump-spec", false, "print the scenario spec for these flags and exit"),
+	}
+}
+
+// scenario translates the setup flags (or the loaded spec file) into a
+// validated scenario whose mesh/faults/seed the inspector subcommands use.
+// With -spec, only -dump-spec and the subcommand's own presentation flags
+// (allowed) may be combined — a silently ignored -faults would misreport what
+// ran.
+func (sf *setupFlags) scenario(allowed ...string) (*scenario.Scenario, error) {
+	if *sf.spec != "" {
+		if err := rejectFlagSpecClash(sf.fs, append(allowed, "dump-spec")...); err != nil {
+			return nil, err
+		}
+		return loadSpec(*sf.spec)
+	}
+	m, err := parseMeshSpec(*sf.dims)
+	if err != nil {
+		return nil, err
+	}
+	spec := scenario.Spec{Mesh: m, Seed: *sf.seed}
+	if *sf.cluster > 0 {
+		spec.Faults = scenario.FaultSpec{
+			Inject: scenario.Component{Name: "clustered", Params: map[string]any{"clusters": *sf.cluster, "size": *sf.csize}},
+			Counts: []int{*sf.cluster * *sf.csize},
+		}
+	} else {
+		spec.Faults = scenario.FaultSpec{Inject: scenario.C("uniform"), Counts: []int{*sf.faults}}
+	}
+	return scenario.New(spec)
+}
+
+// materialize builds the mesh of a scenario spec, injects its static faults
+// and returns the mesh together with the random stream used (so callers can
+// keep drawing from it, exactly as the standalone binaries did).
+func materialize(sc *scenario.Scenario) (*mesh.Mesh, *rng.Rand) {
+	spec := sc.Spec()
+	m := spec.Mesh.New()
+	r := rng.New(spec.Seed)
+	n := 0
+	if len(spec.Faults.Counts) > 0 {
+		n = spec.Faults.Counts[0]
+	}
+	inj, err := spec.Faults.Injector(n)
+	if err != nil {
+		panic(err) // validated by scenario.New
+	}
+	inj.Inject(m, r)
+	return m, r
+}

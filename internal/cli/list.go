@@ -1,0 +1,48 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"mccmesh/internal/fault"
+	"mccmesh/internal/registry"
+	"mccmesh/internal/scenario"
+	"mccmesh/internal/traffic"
+)
+
+// cmdList prints every registered component family — traffic patterns,
+// information models, fault injectors and measures — with docs, aliases and
+// parameter schemas, so spec authors never have to read source to discover a
+// knob.
+func cmdList(args []string) int {
+	fs := flag.NewFlagSet("mcc list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	printFamily(traffic.Patterns, "workload.patterns")
+	printFamily(traffic.Models, "model")
+	printFamily(fault.Injectors, "faults.inject")
+	printFamily(scenario.Measures, "measure.kind")
+	return 0
+}
+
+// printFamily renders one registry with its spec-file location.
+func printFamily[T any](r *registry.Registry[T], specField string) {
+	fmt.Fprintf(stdout, "%ss (spec field %q):\n", r.Family(), specField)
+	for _, e := range r.Entries() {
+		alias := ""
+		if len(e.Aliases) > 0 {
+			alias = fmt.Sprintf(" (alias: %v)", e.Aliases)
+		}
+		fmt.Fprintf(stdout, "  %-12s %s%s\n", e.Name, e.Doc, alias)
+		for _, p := range e.Params {
+			def := ""
+			if p.Default != nil {
+				def = fmt.Sprintf(" (default %v)", p.Default)
+			}
+			fmt.Fprintf(stdout, "    · %s <%s>: %s%s\n", p.Name, p.Kind, p.Doc, def)
+		}
+	}
+	fmt.Fprintln(stdout)
+}

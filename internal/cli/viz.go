@@ -1,0 +1,96 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mccmesh/internal/block"
+	"mccmesh/internal/core"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/viz"
+)
+
+// cmdViz renders a fault configuration, its MCC labelling and (optionally) a
+// routed path as ASCII art, slice by slice (the old mccviz).
+func cmdViz(args []string) int {
+	fs := flag.NewFlagSet("mcc viz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	setup := addSetupFlags(fs, "12x12", 10)
+	var (
+		route  = fs.String("route", "", "optional route request sx,sy,sz:dx,dy,dz")
+		blocks = fs.Bool("blocks", false, "overlay the rectangular-faulty-block baseline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	sc, err := setup.scenario("route", "blocks")
+	if err != nil {
+		return fail("viz", err)
+	}
+	if *setup.dump {
+		return dumpSpec(sc)
+	}
+	m, _ := materialize(sc)
+	model := core.NewModel(m)
+
+	ov := viz.Overlay{}
+	if *blocks {
+		ov.Blocks = model.Blocks(block.BoundingBox)
+	}
+	orient := grid.PositiveOrientation
+	if *route != "" {
+		s, d, err := parseRoute(*route)
+		if err != nil {
+			return fail("viz", err)
+		}
+		orient = grid.OrientationOf(s, d)
+		ov.Source, ov.Destination = &s, &d
+		if tr, err := model.Route(s, d); err == nil && tr.Succeeded() {
+			ov.Path = tr.Path
+			fmt.Fprintf(stdout, "routed %v -> %v in %d hops\n\n", s, d, tr.Hops())
+		} else {
+			fmt.Fprintf(stdout, "no minimal path from %v to %v under the MCC model\n\n", s, d)
+		}
+	}
+	l := model.Labeling(orient)
+	fmt.Fprint(stdout, viz.Slices(l, ov))
+	fmt.Fprintln(stdout, viz.Legend())
+	sum := model.Summarize(orient)
+	fmt.Fprintf(stdout, "faults=%d regions=%d absorbed(MCC)=%d absorbed(RFB)=%d\n",
+		sum.Faults, sum.Regions, sum.AbsorbedHealthy, sum.RFBAbsorbed)
+	return 0
+}
+
+// parseRoute parses "sx,sy,sz:dx,dy,dz" (the z coordinates optional in 2-D).
+func parseRoute(s string) (grid.Point, grid.Point, error) {
+	halves := strings.Split(s, ":")
+	if len(halves) != 2 {
+		return grid.Point{}, grid.Point{}, fmt.Errorf("invalid -route %q (want sx,sy,sz:dx,dy,dz)", s)
+	}
+	parse := func(h string) (grid.Point, error) {
+		parts := strings.Split(h, ",")
+		if len(parts) != 2 && len(parts) != 3 {
+			return grid.Point{}, fmt.Errorf("invalid coordinate %q", h)
+		}
+		var vals [3]int
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return grid.Point{}, fmt.Errorf("invalid coordinate %q", h)
+			}
+			vals[i] = v
+		}
+		return grid.Point{X: vals[0], Y: vals[1], Z: vals[2]}, nil
+	}
+	sPt, err := parse(halves[0])
+	if err != nil {
+		return grid.Point{}, grid.Point{}, err
+	}
+	dPt, err := parse(halves[1])
+	if err != nil {
+		return grid.Point{}, grid.Point{}, err
+	}
+	return sPt, dPt, nil
+}

@@ -1,4 +1,4 @@
-// Package experiments implements the simulation study described (but not
+// Package experiments is the evaluation harness described (but not
 // tabulated) in the paper plus the supporting ablations, mapping one function
 // to each experiment of DESIGN.md §4:
 //
@@ -11,30 +11,19 @@
 //	E7  Throughput          – continuous-traffic throughput/latency per pattern,
 //	                          information model and injection rate
 //
-// Every experiment consumes a Config, runs a deterministic seeded sweep and
-// returns a stats.Table ready for printing or CSV export. E7 additionally
-// shards its trials across parallel workers; its tables are bit-identical for
-// any worker count.
+// Since the declarative scenario API landed, every experiment here is a thin
+// driver over package scenario: a Config (plus TrafficConfig for E7) is
+// translated into a scenario.Spec — see SpecFor — and the spec is what
+// actually runs. The same spec, serialised to JSON, reproduces any of these
+// tables via `mcc run -spec file.json`, bit-identically at any worker count.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"mccmesh/internal/block"
-	"mccmesh/internal/core"
-	"mccmesh/internal/fault"
-	"mccmesh/internal/feasibility"
-	"mccmesh/internal/grid"
-	"mccmesh/internal/labeling"
-	"mccmesh/internal/mesh"
-	"mccmesh/internal/minimal"
-	"mccmesh/internal/protocol"
-	"mccmesh/internal/region"
-	"mccmesh/internal/rng"
-	"mccmesh/internal/routing"
-	"mccmesh/internal/simnet"
+	"mccmesh/internal/scenario"
 	"mccmesh/internal/stats"
-	"mccmesh/internal/traffic"
 )
 
 // Config parameterises an experiment sweep.
@@ -61,26 +50,6 @@ type Config struct {
 	ClusterSize int
 }
 
-// injector returns the fault workload for n faults under this configuration.
-func (c Config) injector(n int) fault.Injector {
-	if c.Clustered {
-		size := c.ClusterSize
-		if size <= 0 {
-			size = 5
-		}
-		clusters := (n + size - 1) / size
-		return fault.Clustered{Clusters: clusters, Size: size}
-	}
-	return fault.Uniform{Count: n}
-}
-
-func (c Config) workloadName() string {
-	if c.Clustered {
-		return "clustered"
-	}
-	return "uniform"
-}
-
 // DefaultConfig returns the configuration used for the tables in
 // EXPERIMENTS.md: a 10×10×10 mesh, fault counts sweeping 1–15 % of the nodes.
 func DefaultConfig() Config {
@@ -94,320 +63,118 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) newMesh() *mesh.Mesh {
+// mesh returns the scenario topology of the configuration.
+func (c Config) mesh() scenario.MeshSpec {
 	if c.TwoD {
-		return mesh.New2D(c.Dim, c.Dim)
+		return scenario.Square(c.Dim)
 	}
-	return mesh.New3D(c.Dim, c.Dim, c.Dim)
+	return scenario.Cube(c.Dim)
 }
 
-func (c Config) meshName() string {
-	if c.TwoD {
-		return fmt.Sprintf("%dx%d", c.Dim, c.Dim)
-	}
-	return fmt.Sprintf("%dx%dx%d", c.Dim, c.Dim, c.Dim)
-}
-
-// samplePair draws a healthy source/destination pair with the configured
-// minimum distance whose endpoints are safe under the pair's labelling.
-func samplePair(r *rng.Rand, m *mesh.Mesh, minDist int) (grid.Point, grid.Point, *labeling.Labeling, bool) {
-	for attempt := 0; attempt < 500; attempt++ {
-		s := m.Point(r.Intn(m.NodeCount()))
-		d := m.Point(r.Intn(m.NodeCount()))
-		if grid.Manhattan(s, d) < minDist || m.IsFaulty(s) || m.IsFaulty(d) {
-			continue
+// inject returns the scenario fault injector of the configuration.
+func (c Config) inject() scenario.Component {
+	if c.Clustered {
+		size := c.ClusterSize
+		if size <= 0 {
+			size = 5
 		}
-		l := labeling.Compute(m, grid.OrientationOf(s, d))
-		if l.Safe(s) && l.Safe(d) {
-			return s, d, l, true
-		}
+		return scenario.Component{Name: "clustered", Params: map[string]any{"size": size}}
 	}
-	return grid.Point{}, grid.Point{}, nil, false
+	return scenario.C("uniform")
 }
 
-// E1 NonFaultyInclusion reproduces the paper's first metric: the average
+// seedOffset fixes the per-experiment seed streams: experiment Ek draws from
+// Config.Seed + (k-1), exactly as the pre-scenario harness did, so historical
+// tables stay reproducible.
+var seedOffset = map[string]uint64{
+	scenario.MeasureAbsorption: 0,
+	scenario.MeasureSuccess:    1,
+	scenario.MeasureDistance:   2,
+	scenario.MeasureOverhead:   3,
+	scenario.MeasureAblation:   4,
+	scenario.MeasureAdaptivity: 5,
+	scenario.MeasureTraffic:    6,
+}
+
+// spec translates the configuration into a declarative scenario spec for the
+// given measure, overriding the fault-count sweep when counts is non-nil.
+func (c Config) spec(measure string, counts []int) scenario.Spec {
+	if counts == nil {
+		counts = c.FaultCounts
+	}
+	minDist := c.MinDistance
+	if measure == scenario.MeasureDistance {
+		// E3 spans all distances; it uses the measure's own floor, not the
+		// config's pair filter, and the dumped spec records that.
+		minDist = 2
+	}
+	return scenario.Spec{
+		Mesh:   c.mesh(),
+		Faults: scenario.FaultSpec{Inject: c.inject(), Counts: counts},
+		Measure: scenario.MeasureSpec{
+			Kind:        measure,
+			Pairs:       c.Pairs,
+			MinDistance: minDist,
+		},
+		Seed:   c.Seed + seedOffset[measure],
+		Trials: c.Trials,
+	}
+}
+
+// run executes a spec whose parameters came from a Config. The config
+// surface cannot express an invalid spec, so failures are programming
+// errors.
+func run(spec scenario.Spec) *stats.Table {
+	sc, err := scenario.New(spec)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return rep.Table
+}
+
+// E1NonFaultyInclusion reproduces the paper's first metric: the average
 // number of non-faulty nodes included in fault regions, comparing the MCC
 // model against the two rectangular-faulty-block baselines.
 func E1NonFaultyInclusion(cfg Config) *stats.Table {
-	t := &stats.Table{
-		Title:   fmt.Sprintf("E1: healthy nodes absorbed by fault regions (%s mesh, %s faults, %d trials)", cfg.meshName(), cfg.workloadName(), cfg.Trials),
-		Columns: []string{"faults", "fault %", "MCC", "MCC regions", "RFB (bbox)", "FB (rule)", "MCC/RFB ratio"},
-	}
-	r := rng.New(cfg.Seed)
-	for _, n := range cfg.FaultCounts {
-		var mcc, mccRegions, rfb, rule stats.Summary
-		for trial := 0; trial < cfg.Trials; trial++ {
-			m := cfg.newMesh()
-			cfg.injector(n).Inject(m, r)
-			l := labeling.Compute(m, grid.PositiveOrientation)
-			cs := region.FindMCCs(l)
-			mcc.Add(float64(cs.TotalNonFaulty()))
-			mccRegions.Add(float64(cs.Len()))
-			rfb.Add(float64(block.Build(m, block.BoundingBox).TotalNonFaulty()))
-			rule.Add(float64(block.Build(m, block.ConvexityRule).TotalNonFaulty()))
-		}
-		ratio := 0.0
-		if rfb.Mean() > 0 {
-			ratio = mcc.Mean() / rfb.Mean()
-		}
-		t.AddRow(
-			fmt.Sprintf("%d", n),
-			stats.Pct(float64(n)/float64(cfg.newMesh().NodeCount())),
-			stats.F(mcc.Mean()),
-			stats.F(mccRegions.Mean()),
-			stats.F(rfb.Mean()),
-			stats.F(rule.Mean()),
-			stats.F(ratio),
-		)
-	}
-	t.AddNote("MCC counts useless + can't-reach nodes for the (+X,+Y,+Z) orientation; the paper's claim is MCC ≪ RFB.")
-	return t
+	return run(cfg.spec(scenario.MeasureAbsorption, nil))
 }
 
-// E2 SuccessRate reproduces the paper's second metric: the percentage of
+// E2SuccessRate reproduces the paper's second metric: the percentage of
 // source/destination pairs for which a minimal path can be routed, per
 // information model.
 func E2SuccessRate(cfg Config) *stats.Table {
-	t := &stats.Table{
-		Title: fmt.Sprintf("E2: minimal-routing success rate (%s mesh, %s faults, %d trials x %d pairs)",
-			cfg.meshName(), cfg.workloadName(), cfg.Trials, cfg.Pairs),
-		Columns: []string{"faults", "MCC model", "RFB (bbox)", "FB (rule)", "labels only", "local greedy", "optimal"},
-	}
-	r := rng.New(cfg.Seed + 1)
-	for _, n := range cfg.FaultCounts {
-		var mcc, rfb, rule, labelsOnly, greedy, optimal stats.Summary
-		for trial := 0; trial < cfg.Trials; trial++ {
-			m := cfg.newMesh()
-			cfg.injector(n).Inject(m, r)
-			bb := block.Build(m, block.BoundingBox)
-			cr := block.Build(m, block.ConvexityRule)
-			for pair := 0; pair < cfg.Pairs; pair++ {
-				s, d, l, ok := samplePair(r, m, cfg.MinDistance)
-				if !ok {
-					continue
-				}
-				cs := region.FindMCCs(l)
-				feasible := feasibility.GroundTruth(cs, s, d)
-				optimal.AddBool(feasible)
-
-				// MCC model: feasibility check + routing (Algorithm 6).
-				if feasibility.Theorem(cs, s, d) {
-					tr := routing.New(m, &routing.MCC{Set: cs}, nil).Route(s, d)
-					mcc.AddBool(tr.Succeeded())
-				} else {
-					mcc.AddBool(false)
-				}
-
-				// Rectangular faulty-block baselines: succeed when the block
-				// regions leave a monotone path open.
-				rfb.AddBool(!bb.Contains(s) && !bb.Contains(d) && !bb.BlockedByUnion(s, d))
-				rule.AddBool(!cr.Contains(s) && !cr.Contains(d) && !cr.BlockedByUnion(s, d))
-
-				// Labels only: avoid unsafe nodes with no region reasoning.
-				labelsOnly.AddBool(routing.New(m, &routing.Labeled{Labeling: l}, nil).Route(s, d).Succeeded())
-
-				// Local greedy floor baseline.
-				greedy.AddBool(routing.New(m, routing.LocalGreedy{}, nil).Route(s, d).Succeeded())
-			}
-		}
-		t.AddRow(
-			fmt.Sprintf("%d", n),
-			stats.Pct(mcc.Mean()),
-			stats.Pct(rfb.Mean()),
-			stats.Pct(rule.Mean()),
-			stats.Pct(labelsOnly.Mean()),
-			stats.Pct(greedy.Mean()),
-			stats.Pct(optimal.Mean()),
-		)
-	}
-	t.AddNote("'optimal' is the fraction of pairs with any minimal fault-free path; the MCC model is expected to match it.")
-	return t
+	return run(cfg.spec(scenario.MeasureSuccess, nil))
 }
 
-// E3 SuccessByDistance measures how the success rate degrades with the
+// E3SuccessByDistance measures how the success rate degrades with the
 // source/destination distance at a fixed fault count.
 func E3SuccessByDistance(cfg Config, faults int) *stats.Table {
-	t := &stats.Table{
-		Title:   fmt.Sprintf("E3: success rate vs distance (%s mesh, %d faults)", cfg.meshName(), faults),
-		Columns: []string{"distance bucket", "pairs", "MCC model", "RFB (bbox)", "local greedy"},
-	}
-	r := rng.New(cfg.Seed + 2)
-	diameter := cfg.newMesh().Diameter()
-	buckets := 4
-	type acc struct{ mcc, rfb, greedy stats.Summary }
-	accs := make([]acc, buckets)
-	for trial := 0; trial < cfg.Trials*cfg.Pairs; trial++ {
-		m := cfg.newMesh()
-		cfg.injector(faults).Inject(m, r)
-		bb := block.Build(m, block.BoundingBox)
-		s, d, l, ok := samplePair(r, m, 2)
-		if !ok {
-			continue
-		}
-		dist := grid.Manhattan(s, d)
-		bucket := (dist - 1) * buckets / diameter
-		if bucket >= buckets {
-			bucket = buckets - 1
-		}
-		cs := region.FindMCCs(l)
-		accs[bucket].mcc.AddBool(feasibility.Theorem(cs, s, d))
-		accs[bucket].rfb.AddBool(!bb.Contains(s) && !bb.Contains(d) && !bb.BlockedByUnion(s, d))
-		accs[bucket].greedy.AddBool(routing.New(m, routing.LocalGreedy{}, nil).Route(s, d).Succeeded())
-	}
-	for i := range accs {
-		lo := i*diameter/buckets + 1
-		hi := (i + 1) * diameter / buckets
-		cell := func(s *stats.Summary) string {
-			if s.N() == 0 {
-				return "n/a"
-			}
-			return stats.Pct(s.Mean())
-		}
-		t.AddRow(
-			fmt.Sprintf("%d-%d", lo, hi),
-			fmt.Sprintf("%d", accs[i].mcc.N()),
-			cell(&accs[i].mcc),
-			cell(&accs[i].rfb),
-			cell(&accs[i].greedy),
-		)
-	}
-	return t
+	return run(cfg.spec(scenario.MeasureDistance, []int{faults}))
 }
 
-// E4 MessageOverhead measures the number of messages the distributed
+// E4MessageOverhead measures the number of messages the distributed
 // information model exchanges: labelling announcements, identification
 // messages, boundary messages and the per-pair detection messages.
 func E4MessageOverhead(cfg Config) *stats.Table {
-	t := &stats.Table{
-		Title:   fmt.Sprintf("E4: information-model message overhead (%s mesh, %d trials)", cfg.meshName(), cfg.Trials),
-		Columns: []string{"faults", "label msgs", "identify msgs", "boundary msgs", "detect msgs/pair", "info nodes"},
-	}
-	r := rng.New(cfg.Seed + 3)
-	for _, n := range cfg.FaultCounts {
-		var label, ident, bound, detect, coverage stats.Summary
-		for trial := 0; trial < cfg.Trials; trial++ {
-			m := cfg.newMesh()
-			cfg.injector(n).Inject(m, r)
-			orient := grid.PositiveOrientation
-			lr := protocol.RunLabeling(m, orient)
-			label.Add(float64(lr.Stats.ByKind[protocol.KindLabel]))
-
-			l := labeling.Compute(m, orient)
-			cs := region.FindMCCs(l)
-			info := protocol.RunInformationModel(m, l, cs)
-			ident.Add(float64(info.IdentifyMessages))
-			bound.Add(float64(info.BoundaryMessages))
-			coverage.Add(float64(len(info.Records)))
-
-			s, d, lab, ok := samplePair(r, m, cfg.MinDistance)
-			if !ok {
-				continue
-			}
-			var det *protocol.DetectionResult
-			if m.Is2D() {
-				det = protocol.RunDetection2D(m, lab, s, d)
-			} else {
-				det = protocol.RunDetection3D(m, lab, s, d)
-			}
-			detect.Add(float64(det.ForwardHops + det.ReplyHops))
-		}
-		t.AddRow(
-			fmt.Sprintf("%d", n),
-			stats.F(label.Mean()),
-			stats.F(ident.Mean()),
-			stats.F(bound.Mean()),
-			stats.F(detect.Mean()),
-			stats.F(coverage.Mean()),
-		)
-	}
-	t.AddNote("'info nodes' is the number of nodes holding at least one MCC record after boundary construction.")
-	return t
+	return run(cfg.spec(scenario.MeasureOverhead, nil))
 }
 
-// E5 RegionAblation compares design choices: border policy, block model
+// E5RegionAblation compares design choices: border policy, block model
 // variants and how often a single MCC explains an infeasible pair.
 func E5RegionAblation(cfg Config) *stats.Table {
-	t := &stats.Table{
-		Title:   fmt.Sprintf("E5: region-size ablation (%s mesh, %d trials)", cfg.meshName(), cfg.Trials),
-		Columns: []string{"faults", "MCC border-safe", "MCC border-blocked", "RFB (bbox)", "FB (rule)", "single-MCC infeasibility"},
-	}
-	r := rng.New(cfg.Seed + 4)
-	for _, n := range cfg.FaultCounts {
-		var safe, blocked, rfb, rule, single stats.Summary
-		for trial := 0; trial < cfg.Trials; trial++ {
-			m := cfg.newMesh()
-			cfg.injector(n).Inject(m, r)
-			lSafe := labeling.Compute(m, grid.PositiveOrientation)
-			lBlocked := labeling.Compute(m, grid.PositiveOrientation, labeling.Options{Border: labeling.BorderBlocked})
-			safe.Add(float64(lSafe.NonFaultyUnsafeCount()))
-			blocked.Add(float64(lBlocked.NonFaultyUnsafeCount()))
-			rfb.Add(float64(block.Build(m, block.BoundingBox).TotalNonFaulty()))
-			rule.Add(float64(block.Build(m, block.ConvexityRule).TotalNonFaulty()))
-
-			s, d, l, ok := samplePair(r, m, cfg.MinDistance)
-			if !ok {
-				continue
-			}
-			cs := region.FindMCCs(l)
-			if !feasibility.GroundTruth(cs, s, d) {
-				single.AddBool(feasibility.SingleMCCExplains(cs, s, d))
-			}
-		}
-		singleCell := "n/a"
-		if single.N() > 0 {
-			singleCell = stats.Pct(single.Mean())
-		}
-		t.AddRow(
-			fmt.Sprintf("%d", n),
-			stats.F(safe.Mean()),
-			stats.F(blocked.Mean()),
-			stats.F(rfb.Mean()),
-			stats.F(rule.Mean()),
-			singleCell,
-		)
-	}
-	t.AddNote("'single-MCC infeasibility' = among infeasible pairs, how often one MCC alone blocks (the rest need merged boundary information); n/a when no infeasible pair was sampled.")
-	t.AddNote("border-blocked treats missing neighbours as faults; the far corner then satisfies the useless rule vacuously and the labels cascade across the mesh, which is exactly why the paper's definition (border-safe) is used everywhere else.")
-	return t
+	return run(cfg.spec(scenario.MeasureAblation, nil))
 }
 
-// E6 Adaptivity measures the routing flexibility each information model
+// E6Adaptivity measures the routing flexibility each information model
 // preserves: the number of distinct minimal paths that avoid the model's
 // fault regions, and the minimum number of allowed forwarding directions seen
 // along an MCC route.
 func E6Adaptivity(cfg Config, faults int) *stats.Table {
-	t := &stats.Table{
-		Title:   fmt.Sprintf("E6: routing adaptivity (%s mesh, %d faults)", cfg.meshName(), faults),
-		Columns: []string{"metric", "fault-free", "MCC model", "RFB (bbox)"},
-	}
-	r := rng.New(cfg.Seed + 5)
-	const pathCap = 1_000_000
-	var freePaths, mccPaths, rfbPaths, mccMinCand stats.Summary
-	for trial := 0; trial < cfg.Trials*cfg.Pairs; trial++ {
-		m := cfg.newMesh()
-		cfg.injector(faults).Inject(m, r)
-		s, d, l, ok := samplePair(r, m, cfg.MinDistance)
-		if !ok {
-			continue
-		}
-		cs := region.FindMCCs(l)
-		if !feasibility.Theorem(cs, s, d) {
-			continue
-		}
-		bb := block.Build(m, block.BoundingBox)
-		freePaths.Add(float64(minimal.CountPaths(m, minimal.AvoidNone, s, d, pathCap)))
-		mccPaths.Add(float64(minimal.CountPaths(m, func(p grid.Point) bool { return l.Unsafe(p) }, s, d, pathCap)))
-		rfbPaths.Add(float64(minimal.CountPaths(m, bb.Avoid(), s, d, pathCap)))
-		tr := routing.New(m, &routing.MCC{Set: cs}, nil).Route(s, d)
-		if tr.Succeeded() {
-			mccMinCand.Add(float64(tr.MinAdaptivity()))
-		}
-	}
-	t.AddRow("distinct minimal paths (mean, capped)", stats.F(freePaths.Mean()), stats.F(mccPaths.Mean()), stats.F(rfbPaths.Mean()))
-	t.AddRow("pairs measured", fmt.Sprintf("%d", freePaths.N()), fmt.Sprintf("%d", mccPaths.N()), fmt.Sprintf("%d", rfbPaths.N()))
-	t.AddRow("min forwarding candidates on MCC route", "-", stats.F(mccMinCand.Mean()), "-")
-	t.AddNote("path counts are capped at 1e6; the MCC column keeps more minimal paths alive than the RFB column.")
-	return t
+	return run(cfg.spec(scenario.MeasureAdaptivity, []int{faults}))
 }
 
 // TrafficConfig parameterises the E7 continuous-traffic experiment.
@@ -447,6 +214,28 @@ func DefaultTrafficConfig() TrafficConfig {
 	}
 }
 
+// TrafficSpec translates an E7 configuration into a declarative scenario
+// spec. Dumped to JSON, it reproduces the E7 table via `mcc run -spec`.
+func TrafficSpec(cfg Config, tc TrafficConfig) scenario.Spec {
+	return scenario.Spec{
+		Mesh:   cfg.mesh(),
+		Faults: scenario.FaultSpec{Inject: cfg.inject(), Counts: []int{tc.Faults}},
+		Models: scenario.ComponentsOf(tc.Models...),
+		Workload: scenario.WorkloadSpec{
+			Patterns: scenario.PatternComponents(tc.Patterns, tc.HotspotFraction),
+			Rates:    tc.Rates,
+		},
+		Measure: scenario.MeasureSpec{
+			Kind:   scenario.MeasureTraffic,
+			Warmup: tc.Warmup,
+			Window: tc.Window,
+		},
+		Seed:    cfg.Seed + seedOffset[scenario.MeasureTraffic],
+		Trials:  tc.Trials,
+		Workers: tc.Workers,
+	}
+}
+
 // E7Throughput measures sustained-load behaviour: for each traffic pattern ×
 // information model × injection rate it runs continuous traffic on freshly
 // faulted meshes and reports accepted throughput (deliveries per node per
@@ -454,68 +243,37 @@ func DefaultTrafficConfig() TrafficConfig {
 // parallel workers with per-trial derived seeds, so the same configuration
 // produces the same table at any worker count.
 func E7Throughput(cfg Config, tc TrafficConfig) (*stats.Table, error) {
-	t := &stats.Table{
-		Title: fmt.Sprintf("E7: continuous-traffic throughput/latency (%s mesh, %d faults, %d trials, warmup %d + window %d ticks)",
-			cfg.meshName(), tc.Faults, tc.Trials, tc.Warmup, tc.Window),
-		Columns: []string{"pattern", "model", "rate", "delivered", "throughput", "lat mean", "p50", "p95", "p99", "stuck", "lost"},
+	sc, err := scenario.New(TrafficSpec(cfg, tc))
+	if err != nil {
+		return nil, err
 	}
-	// Validate every name up front on a probe mesh so a typo fails fast
-	// instead of panicking inside a worker goroutine.
-	probe := cfg.newMesh()
-	for _, name := range tc.Patterns {
-		if _, err := traffic.PatternByName(name, probe, tc.HotspotFraction); err != nil {
-			return nil, err
-		}
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		return nil, err
 	}
-	for _, name := range tc.Models {
-		if _, err := traffic.ModelByName(name, core.NewModel(probe)); err != nil {
-			return nil, err
-		}
+	return rep.Table, nil
+}
+
+// SpecFor returns the declarative spec of the named experiment (e1..e7 or a
+// measure name) under the given configuration — the bridge between the flag
+// surface of `mcc bench` and spec files.
+func SpecFor(exp string, cfg Config, tc TrafficConfig) (scenario.Spec, error) {
+	e, err := scenario.Measures.Lookup(exp)
+	if err != nil {
+		return scenario.Spec{}, err
 	}
-	cell := 0
-	for _, patternName := range tc.Patterns {
-		for _, modelName := range tc.Models {
-			for _, rate := range tc.Rates {
-				cellSeed := rng.Derive(cfg.Seed+6, uint64(cell))
-				cell++
-				results := traffic.RunTrials(tc.Workers, tc.Trials, cellSeed, func(_ int, seed uint64) *traffic.Result {
-					m := cfg.newMesh()
-					cfg.injector(tc.Faults).Inject(m, rng.New(rng.Derive(seed, 1<<48)))
-					im, err := traffic.ModelByName(modelName, core.NewModel(m))
-					if err != nil {
-						panic(err)
-					}
-					pattern, err := traffic.PatternByName(patternName, m, tc.HotspotFraction)
-					if err != nil {
-						panic(err)
-					}
-					e := traffic.NewEngine(m, im, pattern, traffic.Options{
-						Rate:   rate,
-						Warmup: simnet.Time(tc.Warmup),
-						Window: simnet.Time(tc.Window),
-					})
-					return e.Run(seed)
-				})
-				agg := traffic.Collect(results)
-				t.AddRow(
-					patternName,
-					modelName,
-					fmt.Sprintf("%.3f", rate),
-					stats.Pct(agg.DeliveredRatio.Mean()),
-					fmt.Sprintf("%.4f", agg.Throughput.Mean()),
-					stats.F(agg.Latency.Mean()),
-					fmt.Sprintf("%d", agg.Latency.Percentile(0.50)),
-					fmt.Sprintf("%d", agg.Latency.Percentile(0.95)),
-					fmt.Sprintf("%d", agg.Latency.Percentile(0.99)),
-					fmt.Sprintf("%d", agg.Stuck),
-					fmt.Sprintf("%d", agg.Lost),
-				)
-			}
-		}
+	mid := 50
+	if len(cfg.FaultCounts) > 0 {
+		mid = cfg.FaultCounts[len(cfg.FaultCounts)/2]
 	}
-	t.AddNote("throughput is measured deliveries per healthy node per tick; latency percentiles are over packets injected inside the window.")
-	t.AddNote("'stuck' packets ran out of allowed forwarding directions; 'lost' packets were dropped by a node that died mid-flight.")
-	return t, nil
+	switch e.Name {
+	case scenario.MeasureTraffic:
+		return TrafficSpec(cfg, tc), nil
+	case scenario.MeasureDistance, scenario.MeasureAdaptivity:
+		return cfg.spec(e.Name, []int{mid}), nil
+	default:
+		return cfg.spec(e.Name, nil), nil
+	}
 }
 
 // RunAll executes every experiment with the given configuration and returns
@@ -542,4 +300,10 @@ func RunAll(cfg Config) []*stats.Table {
 		panic(err)
 	}
 	return append(tables, e7)
+}
+
+// String renders the configuration compactly (used in logs and errors).
+func (c Config) String() string {
+	return fmt.Sprintf("Config{%s, faults=%v, trials=%d, pairs=%d, seed=%d}",
+		c.mesh(), c.FaultCounts, c.Trials, c.Pairs, c.Seed)
 }

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"bytes"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
+
+	"mccmesh/internal/scenario"
 )
 
 // tinyConfig keeps the sweeps fast enough for the unit-test suite while still
@@ -222,6 +226,50 @@ func TestRunAll(t *testing.T) {
 		if !strings.Contains(tab.Render(), tab.Columns[0]) {
 			t.Errorf("table %q render missing its header", tab.Title)
 		}
+	}
+}
+
+// TestE7SpecMatchesCheckedInFile pins specs/e7.json to the spec `mcc bench
+// -exp e7 -dump-spec` produces with default flags, so the checked-in file is
+// guaranteed to reproduce the E7 table.
+func TestE7SpecMatchesCheckedInFile(t *testing.T) {
+	cfg := DefaultConfig()
+	tc := DefaultTrafficConfig()
+	tc.Faults = cfg.FaultCounts[len(cfg.FaultCounts)/2]
+	tc.Trials = cfg.Trials
+	spec, err := SpecFor("e7", cfg, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sc.WriteSpec(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkedIn, err := os.ReadFile("../../specs/e7.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(checkedIn) {
+		t.Errorf("specs/e7.json is stale; regenerate with `mcc bench -exp e7 -dump-spec`.\n--- code\n%s\n--- file\n%s", buf.String(), checkedIn)
+	}
+}
+
+// TestSpecForRejectsUnknownExperiment keeps the bench -dump-spec error path
+// actionable.
+func TestSpecForRejectsUnknownExperiment(t *testing.T) {
+	if _, err := SpecFor("e9", DefaultConfig(), DefaultTrafficConfig()); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	spec, err := SpecFor("e1", tinyConfig(), DefaultTrafficConfig())
+	if err != nil || spec.Measure.Kind != scenario.MeasureAbsorption {
+		t.Errorf("e1 alias: %v %v", spec.Measure.Kind, err)
+	}
+	if spec.Seed != tinyConfig().Seed {
+		t.Errorf("e1 spec seed %d, want the unshifted config seed %d", spec.Seed, tinyConfig().Seed)
 	}
 }
 

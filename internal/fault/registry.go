@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"fmt"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/registry"
+)
+
+// Ctor builds an injector from decoded spec parameters. The conventional
+// "count" parameter is the total number of faults to place; workload-specific
+// parameters refine how they are placed.
+type Ctor func(args registry.Args) (Injector, error)
+
+// Injectors is the fault-workload registry. Built-ins register below;
+// third-party injectors register the same way:
+//
+//	fault.Injectors.Register(registry.Entry[fault.Ctor]{Name: "mine", New: ...})
+var Injectors = registry.New[Ctor]("fault injector")
+
+func init() {
+	Injectors.Register(registry.Entry[Ctor]{
+		Name:   "uniform",
+		Doc:    "count distinct uniformly random node faults",
+		Params: []registry.Param{{Name: "count", Kind: registry.Int, Doc: "number of faults", Default: 0}},
+		New: func(args registry.Args) (Injector, error) {
+			count, err := args.Int("count", 0)
+			if err != nil {
+				return nil, err
+			}
+			if count < 0 {
+				return nil, fmt.Errorf("parameter %q: %d is negative", "count", count)
+			}
+			return Uniform{Count: count}, nil
+		},
+	})
+	Injectors.Register(registry.Entry[Ctor]{
+		Name: "clustered",
+		Doc:  "clusters of adjacent faults (spatially correlated failures)",
+		Params: []registry.Param{
+			{Name: "count", Kind: registry.Int, Doc: "total faults; clusters = ceil(count/size) unless given", Default: 0},
+			{Name: "size", Kind: registry.Int, Doc: "faults per cluster", Default: 5},
+			{Name: "clusters", Kind: registry.Int, Doc: "cluster count (overrides count)", Default: "derived"},
+		},
+		New: func(args registry.Args) (Injector, error) {
+			size, err := args.Int("size", 5)
+			if err != nil {
+				return nil, err
+			}
+			if size <= 0 {
+				return nil, fmt.Errorf("parameter %q: %d must be positive", "size", size)
+			}
+			count, err := args.Int("count", 0)
+			if err != nil {
+				return nil, err
+			}
+			clusters, err := args.Int("clusters", (count+size-1)/size)
+			if err != nil {
+				return nil, err
+			}
+			if clusters < 0 {
+				return nil, fmt.Errorf("parameter %q: %d is negative", "clusters", clusters)
+			}
+			return Clustered{Clusters: clusters, Size: size}, nil
+		},
+	})
+	Injectors.Register(registry.Entry[Ctor]{
+		Name:   "rate",
+		Doc:    "each node fails independently with probability p",
+		Params: []registry.Param{{Name: "p", Kind: registry.Float, Doc: "per-node fault probability", Default: 0}},
+		New: func(args registry.Args) (Injector, error) {
+			p, err := args.Float("p", 0)
+			if err != nil {
+				return nil, err
+			}
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("parameter %q: %v is not in [0,1]", "p", p)
+			}
+			return Rate{P: p}, nil
+		},
+	})
+	Injectors.Register(registry.Entry[Ctor]{
+		Name:   "links",
+		Doc:    "count random link faults (both endpoints marked faulty)",
+		Params: []registry.Param{{Name: "count", Kind: registry.Int, Doc: "number of link faults", Default: 0}},
+		New: func(args registry.Args) (Injector, error) {
+			count, err := args.Int("count", 0)
+			if err != nil {
+				return nil, err
+			}
+			if count < 0 {
+				return nil, fmt.Errorf("parameter %q: %d is negative", "count", count)
+			}
+			return Links{Count: count}, nil
+		},
+	})
+	Injectors.Register(registry.Entry[Ctor]{
+		Name: "block",
+		Doc:  "every node inside an axis-aligned box fails",
+		Params: []registry.Param{
+			{Name: "min", Kind: registry.Point, Doc: "box corner [x, y, z]"},
+			{Name: "max", Kind: registry.Point, Doc: "opposite box corner [x, y, z]"},
+		},
+		New: func(args registry.Args) (Injector, error) {
+			lo, err := args.PointAt("min", grid.Point{})
+			if err != nil {
+				return nil, err
+			}
+			hi, err := args.PointAt("max", lo)
+			if err != nil {
+				return nil, err
+			}
+			return Block{Box: grid.BoxOf(lo, hi)}, nil
+		},
+	})
+}
+
+// Build resolves an injector by name, validates its parameters against the
+// registered schema and constructs it.
+func Build(name string, args registry.Args) (Injector, error) {
+	e, err := Injectors.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	if err := e.CheckArgs(args); err != nil {
+		return nil, fmt.Errorf("fault: injector %q: %w", e.Name, err)
+	}
+	return e.New(args)
+}
+
+// Names lists the registered injector names accepted by Build.
+func Names() []string { return Injectors.Names() }

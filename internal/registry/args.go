@@ -1,0 +1,114 @@
+package registry
+
+import (
+	"fmt"
+	"math"
+
+	"mccmesh/internal/grid"
+)
+
+// Args carries the decoded JSON parameters of one component instance. Values
+// arrive as encoding/json decodes them (float64 for every number), and the
+// typed accessors perform the coercions a spec author expects: an integral
+// float is an int, an int is a float.
+type Args map[string]any
+
+// Int returns the named parameter as an int, or def when absent. It fails on
+// non-numeric values and on numbers with a fractional part.
+func (a Args) Int(name string, def int) (int, error) {
+	v, ok := a[name]
+	if !ok {
+		return def, nil
+	}
+	switch n := v.(type) {
+	case int:
+		return n, nil
+	case float64:
+		if n != math.Trunc(n) {
+			return 0, fmt.Errorf("parameter %q: %v is not an integer", name, n)
+		}
+		return int(n), nil
+	default:
+		return 0, fmt.Errorf("parameter %q: %T is not an integer", name, v)
+	}
+}
+
+// Float returns the named parameter as a float64, or def when absent.
+func (a Args) Float(name string, def float64) (float64, error) {
+	v, ok := a[name]
+	if !ok {
+		return def, nil
+	}
+	switch n := v.(type) {
+	case float64:
+		return n, nil
+	case int:
+		return float64(n), nil
+	default:
+		return 0, fmt.Errorf("parameter %q: %T is not a number", name, v)
+	}
+}
+
+// Bool returns the named parameter as a bool, or def when absent.
+func (a Args) Bool(name string, def bool) (bool, error) {
+	v, ok := a[name]
+	if !ok {
+		return def, nil
+	}
+	b, isBool := v.(bool)
+	if !isBool {
+		return false, fmt.Errorf("parameter %q: %T is not a bool", name, v)
+	}
+	return b, nil
+}
+
+// String returns the named parameter as a string, or def when absent.
+func (a Args) String(name string, def string) (string, error) {
+	v, ok := a[name]
+	if !ok {
+		return def, nil
+	}
+	s, isString := v.(string)
+	if !isString {
+		return "", fmt.Errorf("parameter %q: %T is not a string", name, v)
+	}
+	return s, nil
+}
+
+// PointAt returns the named parameter as a grid point decoded from a
+// [x, y] or [x, y, z] array, or def when absent.
+func (a Args) PointAt(name string, def grid.Point) (grid.Point, error) {
+	v, ok := a[name]
+	if !ok {
+		return def, nil
+	}
+	if p, isPoint := v.(grid.Point); isPoint {
+		return p, nil
+	}
+	arr, isArr := v.([]any)
+	if !isArr || len(arr) < 2 || len(arr) > 3 {
+		return grid.Point{}, fmt.Errorf("parameter %q: want a [x, y] or [x, y, z] array", name)
+	}
+	var coords [3]int
+	for i, elem := range arr {
+		tmp := Args{"c": elem}
+		c, err := tmp.Int("c", 0)
+		if err != nil {
+			return grid.Point{}, fmt.Errorf("parameter %q: element %d is not an integer", name, i)
+		}
+		coords[i] = c
+	}
+	return grid.Point{X: coords[0], Y: coords[1], Z: coords[2]}, nil
+}
+
+// With returns a copy of a with the named value set; a nil receiver is
+// allocated. The receiver is never mutated, so a shared base Args (e.g. a
+// spec component's params) can be specialised per cell.
+func (a Args) With(name string, v any) Args {
+	out := make(Args, len(a)+1)
+	for k, val := range a {
+		out[k] = val
+	}
+	out[name] = v
+	return out
+}

@@ -1,0 +1,246 @@
+// Package registry provides the generic name → constructor registries behind
+// the declarative scenario API. A Registry carries, for every entry, a
+// constructor plus a parameter schema, so registering a third-party traffic
+// pattern, information model or fault injector is one line and the CLI can
+// list every component with its knobs. Lookups fail with actionable errors:
+// an unknown name reports the closest registered name and the full list of
+// valid names.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind describes the JSON type of a parameter.
+type Kind string
+
+// Parameter kinds. JSON numbers decode as float64; Args coerces integral
+// floats back to int for Int parameters.
+const (
+	Int    Kind = "int"
+	Float  Kind = "float"
+	Bool   Kind = "bool"
+	String Kind = "string"
+	Point  Kind = "point" // a [x, y, z] coordinate array
+)
+
+// Param is one schema entry: a named, typed, documented parameter accepted by
+// a constructor.
+type Param struct {
+	// Name is the key expected in Args (lower-case by convention).
+	Name string `json:"name"`
+	// Kind is the parameter's JSON type.
+	Kind Kind `json:"kind"`
+	// Doc is a one-line description shown by `mcc list`.
+	Doc string `json:"doc,omitempty"`
+	// Default describes the value used when the parameter is absent (for
+	// documentation only; constructors apply their own defaults).
+	Default any `json:"default,omitempty"`
+}
+
+// Entry is one registered component: a constructor of type T plus the schema
+// of the parameters it accepts.
+type Entry[T any] struct {
+	// Name is the canonical registration name.
+	Name string
+	// Aliases are alternate names accepted by Lookup (e.g. "bit-reversal"
+	// for "bitrev").
+	Aliases []string
+	// Doc is a one-line description shown by `mcc list`.
+	Doc string
+	// Params is the schema of the parameters the constructor accepts.
+	Params []Param
+	// New is the constructor. Its signature is the registry's type parameter,
+	// so different registries can demand different context arguments (a mesh,
+	// a model, nothing) without interface juggling.
+	New T
+}
+
+// HasParam reports whether the entry's schema declares the named parameter.
+func (e *Entry[T]) HasParam(name string) bool {
+	for _, p := range e.Params {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckArgs validates the argument names against the entry's schema. Unknown
+// names fail with the closest schema name and the full parameter list, so a
+// typo in a spec file is a one-look fix.
+func (e *Entry[T]) CheckArgs(args Args) error {
+	for name := range args {
+		known := false
+		for _, p := range e.Params {
+			if p.Name == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			if len(e.Params) == 0 {
+				return fmt.Errorf("unknown parameter %q (%q takes no parameters)", name, e.Name)
+			}
+			valid := make([]string, len(e.Params))
+			for i, p := range e.Params {
+				valid[i] = p.Name
+			}
+			return fmt.Errorf("unknown parameter %q%s (valid: %s)", name, suggestion(name, valid), strings.Join(valid, ", "))
+		}
+	}
+	return nil
+}
+
+// Registry maps names to entries of one component family. The type parameter
+// is the constructor signature stored in each entry. The zero value is not
+// usable; call New.
+type Registry[T any] struct {
+	family  string // e.g. "traffic pattern", used in error messages
+	order   []string
+	entries map[string]*Entry[T]
+	aliases map[string]string
+}
+
+// New returns an empty registry for the named component family ("traffic
+// pattern", "information model", "fault injector", ...). The family name
+// appears in error messages.
+func New[T any](family string) *Registry[T] {
+	return &Registry[T]{
+		family:  family,
+		entries: map[string]*Entry[T]{},
+		aliases: map[string]string{},
+	}
+}
+
+// Register adds an entry. It panics when the name (or one of its aliases) is
+// already taken: component names are a global API surface, and a silent
+// overwrite would make behaviour depend on package-initialisation order.
+func (r *Registry[T]) Register(e Entry[T]) {
+	if e.Name == "" {
+		panic(fmt.Sprintf("registry: cannot register a %s with an empty name", r.family))
+	}
+	name := strings.ToLower(e.Name)
+	if _, dup := r.entries[name]; dup {
+		panic(fmt.Sprintf("registry: duplicate %s %q", r.family, name))
+	}
+	if prior, dup := r.aliases[name]; dup {
+		panic(fmt.Sprintf("registry: %s name %q already registered as an alias of %q", r.family, name, prior))
+	}
+	for _, alias := range e.Aliases {
+		alias = strings.ToLower(alias)
+		if _, dup := r.entries[alias]; dup {
+			panic(fmt.Sprintf("registry: %s alias %q collides with a registered name", r.family, alias))
+		}
+		if prior, dup := r.aliases[alias]; dup {
+			panic(fmt.Sprintf("registry: %s alias %q already registered for %q", r.family, alias, prior))
+		}
+	}
+	stored := e
+	stored.Name = name
+	r.entries[name] = &stored
+	r.order = append(r.order, name)
+	for _, alias := range e.Aliases {
+		r.aliases[strings.ToLower(alias)] = name
+	}
+}
+
+// Lookup resolves a name or alias (case-insensitively). Unknown names fail
+// with the closest registered name ("did you mean ...?") and the full list of
+// valid names.
+func (r *Registry[T]) Lookup(name string) (*Entry[T], error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if canonical, ok := r.aliases[key]; ok {
+		key = canonical
+	}
+	if e, ok := r.entries[key]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("unknown %s %q%s (valid: %s)",
+		r.family, name, suggestion(key, r.candidateNames()), strings.Join(r.Names(), ", "))
+}
+
+// Names returns the canonical registered names in sorted order.
+func (r *Registry[T]) Names() []string {
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	return names
+}
+
+// Entries returns every entry in sorted name order (for `mcc list`).
+func (r *Registry[T]) Entries() []*Entry[T] {
+	out := make([]*Entry[T], 0, len(r.order))
+	for _, name := range r.Names() {
+		out = append(out, r.entries[name])
+	}
+	return out
+}
+
+// Family returns the component family name the registry was created with.
+func (r *Registry[T]) Family() string { return r.family }
+
+// candidateNames returns every name and alias, for typo matching.
+func (r *Registry[T]) candidateNames() []string {
+	names := append([]string(nil), r.order...)
+	for alias := range r.aliases {
+		names = append(names, alias)
+	}
+	return names
+}
+
+// suggestion returns ` (did you mean %q?)` for the closest candidate within a
+// small edit distance, or the empty string when nothing is close enough.
+func suggestion(name string, candidates []string) string {
+	best, bestDist := "", 3 // accept at most two edits
+	sort.Strings(candidates)
+	for _, c := range candidates {
+		if d := editDistance(name, c); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (did you mean %q?)", best)
+}
+
+// editDistance is the Damerau–Levenshtein distance restricted to adjacent
+// transpositions, so the classic "hotpsot" typo counts as one edit.
+func editDistance(a, b string) int {
+	la, lb := len(a), len(b)
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if t := prev2[j-2] + 1; t < cur[j] {
+					cur[j] = t
+				}
+			}
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,186 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"mccmesh/internal/grid"
+)
+
+type thing struct{ fraction float64 }
+
+type ctor func(Args) (thing, error)
+
+func newTestRegistry() *Registry[ctor] {
+	r := New[ctor]("test widget")
+	r.Register(Entry[ctor]{
+		Name:   "hotspot",
+		Doc:    "one hot node",
+		Params: []Param{{Name: "fraction", Kind: Float}},
+		New: func(a Args) (thing, error) {
+			f, err := a.Float("fraction", 0.1)
+			return thing{fraction: f}, err
+		},
+	})
+	r.Register(Entry[ctor]{Name: "uniform", Aliases: []string{"random"}})
+	return r
+}
+
+func TestLookupAndAlias(t *testing.T) {
+	r := newTestRegistry()
+	if _, err := r.Lookup("hotspot"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("HOTSPOT"); err != nil {
+		t.Errorf("lookup should be case-insensitive: %v", err)
+	}
+	e, err := r.Lookup("random")
+	if err != nil || e.Name != "uniform" {
+		t.Errorf("alias lookup failed: %v %v", e, err)
+	}
+}
+
+func TestUnknownNameIsActionable(t *testing.T) {
+	r := newTestRegistry()
+	_, err := r.Lookup("hotpsot")
+	if err == nil {
+		t.Fatal("unknown name should error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `did you mean "hotspot"?`) {
+		t.Errorf("error should suggest the closest name: %q", msg)
+	}
+	if !strings.Contains(msg, "hotspot, uniform") {
+		t.Errorf("error should list the valid names: %q", msg)
+	}
+	if !strings.Contains(msg, "test widget") {
+		t.Errorf("error should name the component family: %q", msg)
+	}
+	// A name nothing like any entry gets the list but no suggestion.
+	_, err = r.Lookup("zzzzzzzz")
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("far-off name should not get a suggestion: %v", err)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := newTestRegistry()
+	cases := map[string]Entry[ctor]{
+		"duplicate name":        {Name: "hotspot"},
+		"name over alias":       {Name: "random"},
+		"alias over name":       {Name: "fresh", Aliases: []string{"uniform"}},
+		"alias over alias":      {Name: "fresh2", Aliases: []string{"random"}},
+		"empty name":            {Name: ""},
+		"case-insensitive dupe": {Name: "HotSpot"},
+	}
+	for label, e := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Register should panic", label)
+				}
+			}()
+			r.Register(e)
+		}()
+	}
+}
+
+func TestCheckArgs(t *testing.T) {
+	r := newTestRegistry()
+	e, _ := r.Lookup("hotspot")
+	if err := e.CheckArgs(Args{"fraction": 0.3}); err != nil {
+		t.Errorf("valid args rejected: %v", err)
+	}
+	err := e.CheckArgs(Args{"fractoin": 0.3})
+	if err == nil {
+		t.Fatal("unknown parameter should error")
+	}
+	if !strings.Contains(err.Error(), `did you mean "fraction"?`) {
+		t.Errorf("parameter error should suggest the closest name: %q", err)
+	}
+}
+
+func TestNamesAndEntriesSorted(t *testing.T) {
+	r := newTestRegistry()
+	names := r.Names()
+	if len(names) != 2 || names[0] != "hotspot" || names[1] != "uniform" {
+		t.Errorf("Names() = %v", names)
+	}
+	entries := r.Entries()
+	if len(entries) != 2 || entries[0].Name != "hotspot" {
+		t.Errorf("Entries() misordered: %v", entries)
+	}
+	if r.Family() != "test widget" {
+		t.Errorf("Family() = %q", r.Family())
+	}
+}
+
+func TestArgsCoercions(t *testing.T) {
+	a := Args{
+		"count":    float64(12), // how encoding/json delivers numbers
+		"rate":     0.5,
+		"whole":    3,
+		"flag":     true,
+		"label":    "x",
+		"target":   []any{float64(1), float64(2), float64(3)},
+		"halfOpen": 1.5,
+	}
+	if v, err := a.Int("count", 0); err != nil || v != 12 {
+		t.Errorf("Int coercion: %v %v", v, err)
+	}
+	if v, err := a.Int("missing", 7); err != nil || v != 7 {
+		t.Errorf("Int default: %v %v", v, err)
+	}
+	if _, err := a.Int("halfOpen", 0); err == nil {
+		t.Error("fractional float should not coerce to int")
+	}
+	if v, err := a.Float("whole", 0); err != nil || v != 3 {
+		t.Errorf("Float from int: %v %v", v, err)
+	}
+	if v, err := a.Bool("flag", false); err != nil || !v {
+		t.Errorf("Bool: %v %v", v, err)
+	}
+	if _, err := a.Bool("label", false); err == nil {
+		t.Error("string should not coerce to bool")
+	}
+	if v, err := a.String("label", ""); err != nil || v != "x" {
+		t.Errorf("String: %v %v", v, err)
+	}
+	if p, err := a.PointAt("target", grid.Point{}); err != nil || p != (grid.Point{X: 1, Y: 2, Z: 3}) {
+		t.Errorf("Point: %v %v", p, err)
+	}
+	if _, err := a.PointAt("rate", grid.Point{}); err == nil {
+		t.Error("scalar should not coerce to point")
+	}
+	var nilArgs Args
+	out := nilArgs.With("k", 1)
+	if out["k"] != 1 || nilArgs != nil {
+		t.Errorf("With on nil receiver: %v %v", out, nilArgs)
+	}
+	base := Args{"a": 1}
+	derived := base.With("b", 2)
+	if _, leaked := base["b"]; leaked {
+		t.Error("With must not mutate the receiver")
+	}
+	if derived["a"] != 1 || derived["b"] != 2 {
+		t.Errorf("With result wrong: %v", derived)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"hotspot", "hotspot", 0},
+		{"hotpsot", "hotspot", 1}, // adjacent transposition
+		{"uniform", "unifrom", 1},
+		{"mcc", "rfb", 3},
+		{"", "abc", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

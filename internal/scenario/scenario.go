@@ -1,0 +1,154 @@
+// Package scenario is the declarative experiment API: one JSON-serialisable
+// Spec describes a mesh, a fault workload, the information models under test,
+// a traffic workload and a measurement; a Scenario validates the spec against
+// the component registries (fault.Injectors, traffic.Models,
+// traffic.Patterns, scenario.Measures) and runs it to a structured Report.
+//
+// Every experiment of the evaluation harness (E1–E7) is a thin driver over
+// this package, every `mcc` subcommand parses and emits the same spec format,
+// and trial seeds derive purely from (spec seed, cell, trial), so a spec file
+// reproduces its tables bit-identically at any worker count.
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mccmesh/internal/core"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/stats"
+)
+
+// Scenario is a validated, runnable spec.
+type Scenario struct {
+	spec     Spec
+	observer Observer
+}
+
+// Option configures a Scenario under construction; see the With* functions.
+type Option func(*Scenario)
+
+// New validates spec (after applying opts and filling defaults) and returns
+// the runnable scenario.
+func New(spec Spec, opts ...Option) (*Scenario, error) {
+	sc := &Scenario{spec: spec}
+	for _, opt := range opts {
+		opt(sc)
+	}
+	sc.spec = sc.spec.withDefaults()
+	if err := sc.spec.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return sc, nil
+}
+
+// Build constructs a scenario from options alone (the functional-options
+// entrypoint behind mccmesh.NewScenario).
+func Build(opts ...Option) (*Scenario, error) { return New(Spec{}, opts...) }
+
+// Load reads a JSON spec and returns the validated scenario. Unknown JSON
+// fields are rejected so a misspelt key fails instead of silently running the
+// default.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("scenario: decoding spec: %w", err)
+	}
+	return New(spec)
+}
+
+// Spec returns the normalised spec (defaults filled in).
+func (sc *Scenario) Spec() Spec { return sc.spec }
+
+// WriteSpec pretty-prints the normalised spec as JSON, the exact format Load
+// accepts (`mcc ... -dump-spec`).
+func (sc *Scenario) WriteSpec(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sc.spec)
+}
+
+// Observe installs an observer that streams per-cell progress during Run.
+func (sc *Scenario) Observe(f Observer) { sc.observer = f }
+
+// Run executes the scenario's measure and returns the structured report. The
+// context is checked between cells; cancelling it abandons the run and
+// returns the context's error.
+func (sc *Scenario) Run(ctx context.Context) (*Report, error) {
+	e, err := Measures.Lookup(sc.spec.Measure.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	rep, err := e.New(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	rep.Spec = sc.spec
+	rep.Measure = e.Name
+	return rep, nil
+}
+
+// Report is the structured outcome of one scenario run: the rendered table
+// plus one Cell of raw values per sweep point.
+type Report struct {
+	// Spec is the normalised spec that produced the report.
+	Spec Spec `json:"spec"`
+	// Measure is the canonical measure name that ran.
+	Measure string `json:"measure"`
+	// Table is the experiment table, ready for Render or CSV.
+	Table *stats.Table `json:"table"`
+	// Cells are the per-sweep-point results in table-row order.
+	Cells []Cell `json:"cells,omitempty"`
+}
+
+// Cell is one sweep point of a report: the labels that identify it, the
+// formatted table row and (where the measure provides them) raw numeric
+// values keyed by metric name.
+type Cell struct {
+	// Index is the cell's position in the sweep (and in Table.Rows).
+	Index int `json:"index"`
+	// Pattern, Model and Rate identify a traffic cell.
+	Pattern string  `json:"pattern,omitempty"`
+	Model   string  `json:"model,omitempty"`
+	Rate    float64 `json:"rate,omitempty"`
+	// Faults identifies a fault-count-sweep cell.
+	Faults int `json:"faults,omitempty"`
+	// Row is the formatted table row of the cell.
+	Row []string `json:"row,omitempty"`
+	// Values are raw (unformatted) metrics keyed by name.
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// Event is one progress notification streamed to the observer: a cell is
+// about to run (Done == false) or has finished (Done == true, Row filled).
+type Event struct {
+	// Measure is the running measure's canonical name.
+	Measure string
+	// Cell and Total locate the cell within the sweep.
+	Cell, Total int
+	// Label identifies the cell ("uniform/mcc/0.010", "faults=50").
+	Label string
+	// Done distinguishes cell completion from cell start.
+	Done bool
+	// Row is the cell's formatted table row (completion events only).
+	Row []string
+}
+
+// Observer receives progress events during Run. Observers run synchronously
+// on the measure goroutine: keep them fast.
+type Observer func(Event)
+
+// emit sends an event to the observer, if any.
+func (sc *Scenario) emit(ev Event) {
+	if sc.observer != nil {
+		ev.Measure = sc.spec.Measure.Kind
+		sc.observer(ev)
+	}
+}
+
+// probeModel wraps a probe mesh for registry validation.
+func probeModel(m *mesh.Mesh) *core.Model { return core.NewModel(m) }

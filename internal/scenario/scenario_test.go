@@ -1,0 +1,530 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"mccmesh/internal/registry"
+	"mccmesh/internal/traffic"
+)
+
+// tinySpec is a fast multi-cell traffic scenario exercising parameterised
+// components and a mid-run fault schedule.
+func tinySpec() Spec {
+	return Spec{
+		Name:   "tiny",
+		Mesh:   Cube(7),
+		Faults: FaultSpec{Inject: C("uniform"), Counts: []int{10}},
+		Models: ComponentsOf("mcc", "rfb"),
+		Workload: WorkloadSpec{
+			Patterns: Components{
+				C("uniform"),
+				{Name: "hotspot", Params: map[string]any{"fraction": 0.2}},
+			},
+			Rates: []float64{0.02},
+		},
+		Measure: MeasureSpec{Kind: MeasureTraffic, Warmup: 10, Window: 60},
+		Seed:    42,
+		Trials:  3,
+		Workers: 1,
+	}
+}
+
+func mustRun(t *testing.T, sc *Scenario) *Report {
+	t.Helper()
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestTrafficReportShape(t *testing.T) {
+	sc, err := New(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := mustRun(t, sc)
+	if rep.Measure != MeasureTraffic {
+		t.Errorf("measure = %q", rep.Measure)
+	}
+	wantCells := 2 * 2 * 1 // patterns × models × rates
+	if len(rep.Cells) != wantCells || len(rep.Table.Rows) != wantCells {
+		t.Fatalf("got %d cells / %d rows, want %d", len(rep.Cells), len(rep.Table.Rows), wantCells)
+	}
+	for i, c := range rep.Cells {
+		if c.Index != i || c.Pattern == "" || c.Model == "" || c.Rate == 0 {
+			t.Errorf("cell %d incomplete: %+v", i, c)
+		}
+		if c.Values["throughput"] <= 0 {
+			t.Errorf("cell %d: no traffic flowed: %v", i, c.Values)
+		}
+		if len(c.Row) != len(rep.Table.Columns) {
+			t.Errorf("cell %d: row width %d != %d columns", i, len(c.Row), len(rep.Table.Columns))
+		}
+	}
+}
+
+// TestJSONRoundTripIdenticalReport is the scenario-API contract: a spec
+// survives encode → decode and the decoded spec reproduces the identical
+// report, regardless of the worker count.
+func TestJSONRoundTripIdenticalReport(t *testing.T) {
+	orig, err := New(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteSpec(&buf); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.String()
+
+	decoded, err := Load(strings.NewReader(encoded))
+	if err != nil {
+		t.Fatalf("round-trip decode failed: %v\nspec:\n%s", err, encoded)
+	}
+	// Workers is part of the spec but must not be part of the result:
+	// run the original serially and the decoded copy on eight workers.
+	decoded.spec.Workers = 8
+
+	repA := mustRun(t, orig)
+	repB := mustRun(t, decoded)
+	if repA.Table.CSV() != repB.Table.CSV() {
+		t.Errorf("round-tripped spec produced a different table:\n--- original (workers=1)\n%s\n--- decoded (workers=8)\n%s",
+			repA.Table.CSV(), repB.Table.CSV())
+	}
+	cellsA, _ := json.Marshal(repA.Cells)
+	cellsB, _ := json.Marshal(repB.Cells)
+	if string(cellsA) != string(cellsB) {
+		t.Errorf("round-tripped spec produced different cells:\n%s\n%s", cellsA, cellsB)
+	}
+	// A second encode of the decoded scenario is byte-identical: the dump
+	// format is canonical.
+	var buf2 bytes.Buffer
+	if err := decoded.WriteSpec(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	reEncoded := strings.ReplaceAll(buf2.String(), `"workers": 8`, `"workers": 1`)
+	if reEncoded != encoded {
+		t.Errorf("dump is not canonical:\n--- first\n%s\n--- second\n%s", encoded, buf2.String())
+	}
+}
+
+func TestFaultScheduleRuns(t *testing.T) {
+	spec := tinySpec()
+	spec.Faults.Schedule = []ScheduledFault{
+		{At: 30, Inject: Component{Name: "clustered", Params: map[string]any{"count": 5, "size": 5}}},
+	}
+	sc, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := mustRun(t, sc)
+	if len(rep.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	// The schedule must change the outcome relative to the static run.
+	static := mustRun(t, mustNew(t, tinySpec()))
+	if rep.Table.CSV() == static.Table.CSV() {
+		t.Error("mid-run fault schedule had no effect on the table")
+	}
+}
+
+func mustNew(t *testing.T, spec Spec, opts ...Option) *Scenario {
+	t.Helper()
+	sc, err := New(spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestRoutingMeasuresFromSpec(t *testing.T) {
+	for _, kind := range []string{MeasureAbsorption, MeasureSuccess, MeasureOverhead, MeasureAblation} {
+		sc := mustNew(t, Spec{
+			Mesh:    Cube(6),
+			Faults:  FaultSpec{Inject: C("uniform"), Counts: []int{4, 12}},
+			Measure: MeasureSpec{Kind: kind, Pairs: 3, MinDistance: 5},
+			Seed:    7,
+			Trials:  2,
+		})
+		rep := mustRun(t, sc)
+		if len(rep.Table.Rows) != 2 {
+			t.Errorf("%s: got %d rows, want one per fault count", kind, len(rep.Table.Rows))
+		}
+		if rep.Cells[0].Faults != 4 || rep.Cells[1].Faults != 12 {
+			t.Errorf("%s: cells mislabelled: %+v", kind, rep.Cells)
+		}
+	}
+	for _, kind := range []string{MeasureDistance, MeasureAdaptivity} {
+		sc := mustNew(t, Spec{
+			Mesh:    Cube(6),
+			Faults:  FaultSpec{Inject: C("uniform"), Counts: []int{10}},
+			Measure: MeasureSpec{Kind: kind, Pairs: 3, MinDistance: 5},
+			Seed:    7,
+			Trials:  2,
+		})
+		rep := mustRun(t, sc)
+		if len(rep.Table.Rows) == 0 {
+			t.Errorf("%s: empty table", kind)
+		}
+	}
+}
+
+func TestMeasureAliases(t *testing.T) {
+	sc := mustNew(t, Spec{
+		Mesh:    Cube(6),
+		Faults:  FaultSpec{Inject: C("uniform"), Counts: []int{4}},
+		Measure: MeasureSpec{Kind: "e1"},
+		Trials:  1,
+	})
+	rep := mustRun(t, sc)
+	if rep.Measure != MeasureAbsorption {
+		t.Errorf("alias e1 resolved to %q", rep.Measure)
+	}
+}
+
+func TestDefaultsFill(t *testing.T) {
+	sc := mustNew(t, Spec{Mesh: Cube(5)})
+	spec := sc.Spec()
+	if spec.Measure.Kind != MeasureTraffic || spec.Trials != 1 {
+		t.Errorf("defaults not applied: %+v", spec.Measure)
+	}
+	if len(spec.Models) != 1 || spec.Models[0].Name != "mcc" {
+		t.Errorf("default model: %v", spec.Models)
+	}
+	if len(spec.Workload.Patterns) != 1 || spec.Workload.Patterns[0].Name != "uniform" {
+		t.Errorf("default pattern: %v", spec.Workload.Patterns)
+	}
+	if len(spec.Workload.Rates) != 1 || spec.Workload.Rates[0] != 0.01 {
+		t.Errorf("default rates: %v", spec.Workload.Rates)
+	}
+	if spec.Faults.Inject.Name != "uniform" || len(spec.Faults.Counts) != 1 || spec.Faults.Counts[0] != 0 {
+		t.Errorf("default faults: %+v", spec.Faults)
+	}
+	if spec.Measure.Window != 256 {
+		t.Errorf("default window: %d", spec.Measure.Window)
+	}
+}
+
+// TestCountFreeInjectors covers injectors whose schema has no "count"
+// parameter: they must be usable as a scenario's static fault workload with
+// their params passed verbatim.
+func TestCountFreeInjectors(t *testing.T) {
+	sc := mustNew(t, Spec{
+		Mesh:    Cube(6),
+		Faults:  FaultSpec{Inject: Component{Name: "rate", Params: map[string]any{"p": 0.08}}},
+		Measure: MeasureSpec{Kind: MeasureAbsorption},
+		Seed:    3,
+		Trials:  2,
+	})
+	rep := mustRun(t, sc)
+	if len(rep.Table.Rows) != 1 {
+		t.Fatalf("rate-injector scenario produced %d rows", len(rep.Table.Rows))
+	}
+	sc = mustNew(t, Spec{
+		Mesh: Cube(6),
+		Faults: FaultSpec{Inject: Component{Name: "block", Params: map[string]any{
+			"min": []any{1, 1, 1}, "max": []any{2, 2, 2},
+		}}},
+		Measure: MeasureSpec{Kind: MeasureAbsorption},
+		Trials:  1,
+	})
+	mustRun(t, sc)
+}
+
+// TestMalformedInjectorCountIsRejected: a bad "count" on the injector must
+// fail validation, not silently produce an empty sweep.
+func TestMalformedInjectorCountIsRejected(t *testing.T) {
+	_, err := New(Spec{
+		Mesh:    Cube(6),
+		Faults:  FaultSpec{Inject: Component{Name: "uniform", Params: map[string]any{"count": 5.5}}},
+		Measure: MeasureSpec{Kind: MeasureAbsorption},
+	})
+	if err == nil || !strings.Contains(err.Error(), "not an integer") {
+		t.Errorf("fractional count should fail validation: %v", err)
+	}
+}
+
+// TestDistanceMeasureHonoursMinDistance: the spec field must change the
+// sampling (with a floor of 2 so distance buckets stay valid).
+func TestDistanceMeasureHonoursMinDistance(t *testing.T) {
+	run := func(minDist int) string {
+		sc := mustNew(t, Spec{
+			Mesh:    Cube(6),
+			Faults:  FaultSpec{Inject: C("uniform"), Counts: []int{8}},
+			Measure: MeasureSpec{Kind: MeasureDistance, Pairs: 6, MinDistance: minDist},
+			Seed:    5,
+			Trials:  4,
+		})
+		return mustRun(t, sc).Table.CSV()
+	}
+	if run(2) == run(14) {
+		t.Error("mindistance had no effect on the distance measure")
+	}
+	if run(0) != run(2) {
+		t.Error("mindistance below the floor should behave like the floor")
+	}
+}
+
+func TestCountFromInjectorParams(t *testing.T) {
+	sc := mustNew(t, Spec{
+		Mesh:   Cube(6),
+		Faults: FaultSpec{Inject: Component{Name: "uniform", Params: map[string]any{"count": 9}}},
+	})
+	if got := sc.Spec().Faults.Counts; len(got) != 1 || got[0] != 9 {
+		t.Errorf("count not derived from injector params: %v", got)
+	}
+}
+
+func TestValidationErrorsAreActionable(t *testing.T) {
+	base := tinySpec()
+
+	bad := base
+	bad.Workload.Patterns = ComponentsOf("hotpsot")
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), `did you mean "hotspot"?`) {
+		t.Errorf("pattern typo: %v", err)
+	}
+
+	bad = base
+	bad.Models = ComponentsOf("mc")
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), `did you mean "mcc"?`) {
+		t.Errorf("model typo: %v", err)
+	}
+
+	bad = base
+	bad.Faults.Inject = C("unifrom")
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), `did you mean "uniform"?`) {
+		t.Errorf("injector typo: %v", err)
+	}
+
+	bad = base
+	bad.Measure.Kind = "trafic"
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), `did you mean "traffic"?`) {
+		t.Errorf("measure typo: %v", err)
+	}
+
+	bad = base
+	bad.Workload.Patterns = Components{{Name: "hotspot", Params: map[string]any{"fractoin": 0.5}}}
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), `did you mean "fraction"?`) {
+		t.Errorf("param typo: %v", err)
+	}
+
+	bad = base
+	bad.Workload.Rates = []float64{1.5}
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), "(0,1]") {
+		t.Errorf("bad rate: %v", err)
+	}
+
+	bad = base
+	bad.Mesh = MeshSpec{X: 1, Y: 5}
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), "extents") {
+		t.Errorf("bad mesh: %v", err)
+	}
+
+	bad = base
+	bad.Faults.Counts = []int{10_000}
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("bad count: %v", err)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"mesh": {"x": 5, "y": 5}, "mush": 3}`))
+	if err == nil || !strings.Contains(err.Error(), "mush") {
+		t.Errorf("unknown field should be rejected: %v", err)
+	}
+	// The strictness must survive the component custom unmarshaler too:
+	// "parms" inside an inject object is a silent no-op unless rejected.
+	_, err = Load(strings.NewReader(`{"mesh": {"x": 5, "y": 5}, "faults": {"inject": {"name": "clustered", "parms": {"size": 10}}}}`))
+	if err == nil || !strings.Contains(err.Error(), "parms") {
+		t.Errorf("unknown component key should be rejected: %v", err)
+	}
+}
+
+// TestCountFreeInjectorLabels: tables for rate/block workloads must not claim
+// a fault count of 0.
+func TestCountFreeInjectorLabels(t *testing.T) {
+	sc := mustNew(t, Spec{
+		Mesh:    Cube(6),
+		Faults:  FaultSpec{Inject: Component{Name: "rate", Params: map[string]any{"p": 0.1}}},
+		Measure: MeasureSpec{Kind: MeasureAbsorption},
+		Seed:    3,
+		Trials:  2,
+	})
+	rep := mustRun(t, sc)
+	row := rep.Table.Rows[0]
+	if row[0] != "rate{p=0.1}" || row[1] != "n/a" {
+		t.Errorf("count-free workload mislabelled: %v", row[:2])
+	}
+	if !strings.Contains(mustRun(t, mustNew(t, Spec{
+		Mesh:    Cube(6),
+		Faults:  FaultSpec{Inject: Component{Name: "rate", Params: map[string]any{"p": 0.1}}},
+		Measure: MeasureSpec{Kind: MeasureTraffic, Window: 40},
+		Trials:  1,
+	})).Table.Title, "rate{p=0.1} faults") {
+		t.Error("traffic title should name the count-free injector")
+	}
+}
+
+// TestPatternComponentsCaseInsensitive: the legacy -hotspot knob attaches for
+// any casing, matching the case-insensitive registry lookup.
+func TestPatternComponentsCaseInsensitive(t *testing.T) {
+	cs := PatternComponents([]string{"Hotspot", "uniform"}, 0.4)
+	if cs[0].Params["fraction"] != 0.4 {
+		t.Errorf("fraction dropped for cased name: %+v", cs[0])
+	}
+	if cs[1].Params != nil {
+		t.Errorf("fraction leaked onto uniform: %+v", cs[1])
+	}
+}
+
+func TestComponentJSONForms(t *testing.T) {
+	var cs Components
+	if err := json.Unmarshal([]byte(`"uniform"`), &cs); err != nil || len(cs) != 1 || cs[0].Name != "uniform" {
+		t.Errorf("bare string: %v %v", cs, err)
+	}
+	if err := json.Unmarshal([]byte(`["uniform", {"name": "hotspot", "params": {"fraction": 0.3}}]`), &cs); err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 || cs[1].Params["fraction"] != 0.3 {
+		t.Errorf("mixed array: %+v", cs)
+	}
+	out, err := json.Marshal(cs)
+	if err != nil || string(out) != `["uniform",{"name":"hotspot","params":{"fraction":0.3}}]` {
+		t.Errorf("marshal: %s %v", out, err)
+	}
+}
+
+func TestObserverStreamsProgress(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	sc := mustNew(t, tinySpec(), WithObserver(func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}))
+	rep := mustRun(t, sc)
+	wantCells := len(rep.Cells)
+	if len(events) != 2*wantCells {
+		t.Fatalf("got %d events, want %d (start+done per cell)", len(events), 2*wantCells)
+	}
+	for i := 0; i < wantCells; i++ {
+		start, done := events[2*i], events[2*i+1]
+		if start.Done || !done.Done {
+			t.Errorf("cell %d: event order wrong: %+v %+v", i, start, done)
+		}
+		if start.Label == "" || start.Total != wantCells {
+			t.Errorf("cell %d: bad start event: %+v", i, start)
+		}
+		if len(done.Row) == 0 {
+			t.Errorf("cell %d: done event missing row", i)
+		}
+	}
+}
+
+func TestRunHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := mustNew(t, tinySpec())
+	if _, err := sc.Run(ctx); err == nil {
+		t.Error("cancelled context should abort the run")
+	}
+}
+
+func TestOptionsBuildScenario(t *testing.T) {
+	sc, err := Build(
+		WithName("opt"),
+		WithCube(7),
+		WithFaults("clustered", Params{"size": 4}),
+		WithFaultCounts(8),
+		WithFaultSchedule(40, "uniform", Params{"count": 3}),
+		WithModels("mcc"),
+		WithModel("rfb"),
+		WithPatterns("uniform"),
+		WithPattern("hotspot", Params{"fraction": 0.15}),
+		WithRates(0.02),
+		WithMeasure("traffic"),
+		WithWarmup(10),
+		WithWindow(50),
+		WithSeed(9),
+		WithTrials(2),
+		WithWorkers(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sc.Spec()
+	if spec.Name != "opt" || spec.Mesh != Cube(7) || spec.Seed != 9 || spec.Trials != 2 || spec.Workers != 3 {
+		t.Errorf("scalar options not applied: %+v", spec)
+	}
+	if spec.Faults.Inject.Name != "clustered" || len(spec.Faults.Schedule) != 1 {
+		t.Errorf("fault options not applied: %+v", spec.Faults)
+	}
+	if len(spec.Models) != 2 || len(spec.Workload.Patterns) != 2 {
+		t.Errorf("component options not applied: %+v", spec)
+	}
+	rep := mustRun(t, sc)
+	if len(rep.Cells) != 4 {
+		t.Errorf("got %d cells, want 4", len(rep.Cells))
+	}
+}
+
+// TestCheckedInSpecsLoad guards the spec files shipped in specs/: they must
+// stay loadable, and the smoke spec must reproduce identically across worker
+// counts through the exact path `mcc run -spec` uses.
+func TestCheckedInSpecsLoad(t *testing.T) {
+	load := func(path string, workers int) *Scenario {
+		t.Helper()
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		sc, err := Load(f)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		spec := sc.Spec()
+		spec.Workers = workers
+		return mustNew(t, spec)
+	}
+
+	// e7.json is the canonical default E7 experiment; running it takes
+	// minutes, so assert its shape rather than its table.
+	e7 := load("../../specs/e7.json", 0)
+	spec := e7.Spec()
+	if spec.Measure.Kind != MeasureTraffic || spec.Mesh != Cube(10) || spec.Trials != 30 {
+		t.Errorf("specs/e7.json drifted from the canonical E7 config: %+v", spec)
+	}
+	if len(spec.Workload.Patterns)*len(spec.Models)*len(spec.Workload.Rates) != 18 {
+		t.Errorf("specs/e7.json should describe 18 cells: %+v", spec)
+	}
+
+	// smoke.json is small enough to run: identical tables at 1 and 8 workers.
+	repA := mustRun(t, load("../../specs/smoke.json", 1))
+	repB := mustRun(t, load("../../specs/smoke.json", 8))
+	if repA.Table.CSV() != repB.Table.CSV() {
+		t.Errorf("specs/smoke.json not worker-count invariant:\n%s\n%s", repA.Table.CSV(), repB.Table.CSV())
+	}
+	if len(repA.Cells) != 8 { // 2 patterns × 2 models × 2 rates
+		t.Errorf("smoke spec produced %d cells, want 8", len(repA.Cells))
+	}
+}
+
+// TestBuiltinRegistriesRejectDuplicates registers a colliding name against
+// the real component registries and expects the panic that keeps the
+// component namespace unambiguous.
+func TestBuiltinRegistriesRejectDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a built-in pattern should panic")
+		}
+	}()
+	traffic.Patterns.Register(registry.Entry[traffic.PatternCtor]{Name: "uniform"})
+}

@@ -1,0 +1,390 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mccmesh/internal/fault"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/registry"
+	"mccmesh/internal/traffic"
+)
+
+// Spec is the declarative, JSON-serialisable description of one experiment:
+// a mesh, a fault workload, the information models under test, a traffic
+// workload, a measurement and the reproducibility knobs. Every experiment in
+// the repository (E1–E7) is expressible as a Spec, every `mcc` subcommand
+// parses and emits the same format, and a Spec run at workers=1 produces the
+// same Report as at workers=64.
+type Spec struct {
+	// Name optionally labels the scenario (echoed in reports and progress).
+	Name string `json:"name,omitempty"`
+	// Mesh is the topology under test.
+	Mesh MeshSpec `json:"mesh"`
+	// Faults describes the fault workload: the injector, the fault-count
+	// sweep and an optional mid-run schedule.
+	Faults FaultSpec `json:"faults,omitempty"`
+	// Models names the fault-information models under test (see the
+	// traffic.Models registry). Defaults to ["mcc"].
+	Models Components `json:"model,omitempty"`
+	// Workload is the traffic workload (patterns × injection rates), used by
+	// the "traffic" measure.
+	Workload WorkloadSpec `json:"workload,omitempty"`
+	// Measure selects what to measure and its parameters.
+	Measure MeasureSpec `json:"measure,omitempty"`
+	// Seed makes the whole scenario reproducible: every trial seed derives
+	// purely from (Seed, cell index, trial index).
+	Seed uint64 `json:"seed"`
+	// Trials is the number of random fault configurations per cell.
+	Trials int `json:"trials"`
+	// Workers shards trials across goroutines where the measure supports it
+	// (<= 0 selects GOMAXPROCS). Results are bit-identical for any value.
+	Workers int `json:"workers,omitempty"`
+}
+
+// MeshSpec names a 2-D or 3-D mesh topology. Z == 0 selects a 2-D mesh.
+type MeshSpec struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	Z int `json:"z,omitempty"`
+}
+
+// Cube returns the spec of a k × k × k mesh.
+func Cube(k int) MeshSpec { return MeshSpec{X: k, Y: k, Z: k} }
+
+// Square returns the spec of a k × k 2-D mesh.
+func Square(k int) MeshSpec { return MeshSpec{X: k, Y: k} }
+
+// Is2D reports whether the spec names a 2-D mesh.
+func (m MeshSpec) Is2D() bool { return m.Z == 0 }
+
+// String renders the topology as "10x10x10" / "16x16".
+func (m MeshSpec) String() string {
+	if m.Is2D() {
+		return fmt.Sprintf("%dx%d", m.X, m.Y)
+	}
+	return fmt.Sprintf("%dx%dx%d", m.X, m.Y, m.Z)
+}
+
+// New builds a fresh fault-free mesh of this topology.
+func (m MeshSpec) New() *mesh.Mesh {
+	if m.Is2D() {
+		return mesh.New2D(m.X, m.Y)
+	}
+	return mesh.New3D(m.X, m.Y, m.Z)
+}
+
+// NodeCount returns the number of nodes of the topology.
+func (m MeshSpec) NodeCount() int {
+	if m.Is2D() {
+		return m.X * m.Y
+	}
+	return m.X * m.Y * m.Z
+}
+
+func (m MeshSpec) validate() error {
+	if m.X < 2 || m.Y < 2 || (m.Z != 0 && m.Z < 2) {
+		return fmt.Errorf("mesh: invalid extents %s (want every extent >= 2; omit z for 2-D)", m)
+	}
+	return nil
+}
+
+// Component names one pluggable piece — a traffic pattern, an information
+// model or a fault injector — together with its parameters. In JSON it is
+// either a bare string ("hotspot") or an object
+// ({"name": "hotspot", "params": {"fraction": 0.2}}).
+type Component struct {
+	Name   string         `json:"name"`
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// C is a convenience constructor for a parameterless component.
+func C(name string) Component { return Component{Name: name} }
+
+// Args returns the component's parameters as registry arguments.
+func (c Component) Args() registry.Args { return registry.Args(c.Params) }
+
+// String renders the component compactly, e.g. `hotspot{fraction=0.2}`.
+func (c Component) String() string {
+	if len(c.Params) == 0 {
+		return c.Name
+	}
+	keys := make([]string, 0, len(c.Params))
+	for k := range c.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, c.Params[k])
+	}
+	return c.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// MarshalJSON emits the compact bare-string form when there are no
+// parameters, so dumped specs stay readable.
+func (c Component) MarshalJSON() ([]byte, error) {
+	if len(c.Params) == 0 {
+		return json.Marshal(c.Name)
+	}
+	type raw Component
+	return json.Marshal(raw(c))
+}
+
+// UnmarshalJSON accepts a bare string or the full object form. Unknown keys
+// in the object form are rejected — a custom unmarshaler does not inherit the
+// outer decoder's DisallowUnknownFields, so the strictness Load promises is
+// re-established here.
+func (c *Component) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err == nil {
+		*c = Component{Name: name}
+		return nil
+	}
+	type raw Component
+	var r raw
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("component: want a name string or {\"name\": ..., \"params\": ...}: %w", err)
+	}
+	*c = Component(r)
+	return nil
+}
+
+// Components is a list of components. In JSON it is a single component (bare
+// string or object) or an array of them.
+type Components []Component
+
+// Names returns the component names in order.
+func (cs Components) Names() []string {
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// ComponentsOf builds a parameterless component list from names.
+func ComponentsOf(names ...string) Components {
+	cs := make(Components, len(names))
+	for i, n := range names {
+		cs[i] = C(n)
+	}
+	return cs
+}
+
+// PatternComponents builds traffic-pattern components from names, attaching
+// the positional hotspot fraction (when non-zero) to the hotspot pattern —
+// the bridge from legacy flag surfaces (-hotspot) to parameterised
+// components.
+func PatternComponents(names []string, hotspotFraction float64) Components {
+	cs := ComponentsOf(names...)
+	for i, c := range cs {
+		// Name matching is case-insensitive everywhere else (registry
+		// lookups fold case), so the knob must attach for any casing too.
+		if strings.EqualFold(c.Name, "hotspot") && hotspotFraction != 0 {
+			cs[i].Params = map[string]any{"fraction": hotspotFraction}
+		}
+	}
+	return cs
+}
+
+// UnmarshalJSON accepts a single component or an array of components.
+func (cs *Components) UnmarshalJSON(data []byte) error {
+	var one Component
+	if err := json.Unmarshal(data, &one); err == nil {
+		*cs = Components{one}
+		return nil
+	}
+	type raw Components
+	var r raw
+	if err := json.Unmarshal(data, &r); err != nil {
+		return err
+	}
+	*cs = Components(r)
+	return nil
+}
+
+// FaultSpec describes the fault workload of a scenario.
+type FaultSpec struct {
+	// Inject is the injector applied before the run (see the fault.Injectors
+	// registry). Defaults to "uniform". Its "count" parameter is overridden
+	// per cell by Counts.
+	Inject Component `json:"inject,omitempty"`
+	// Counts is the fault-count sweep. Routing measures produce one cell per
+	// count; the traffic measure uses the first count as its static fault
+	// set. When empty it is derived from Inject's "count" parameter.
+	Counts []int `json:"counts,omitempty"`
+	// Schedule injects additional faults at fixed simulated times while
+	// traffic is in flight ("traffic" measure only).
+	Schedule []ScheduledFault `json:"schedule,omitempty"`
+}
+
+// ScheduledFault is one mid-run fault event.
+type ScheduledFault struct {
+	// At is the simulated tick of the injection.
+	At int `json:"at"`
+	// Inject is the injector to run (its "count" parameter is taken from its
+	// own params, e.g. {"name": "clustered", "params": {"count": 5}}).
+	Inject Component `json:"inject"`
+}
+
+// CountFree reports whether the static injector takes no "count" parameter
+// (rate, block): the number of faults is then decided by the injector itself
+// and Counts only sizes the sweep, so tables must not present its values as
+// fault counts.
+func (f FaultSpec) CountFree() bool {
+	e, err := fault.Injectors.Lookup(f.Inject.Name)
+	return err == nil && !e.HasParam("count")
+}
+
+// Injector builds the static injector for a cell with n faults. The cell
+// count is passed to injectors that declare a "count" parameter (uniform,
+// clustered, links); count-free injectors like rate and block take their
+// parameters verbatim.
+func (f FaultSpec) Injector(n int) (fault.Injector, error) {
+	args := f.Inject.Args()
+	if e, err := fault.Injectors.Lookup(f.Inject.Name); err == nil && e.HasParam("count") {
+		args = args.With("count", n)
+	}
+	return fault.Build(f.Inject.Name, args)
+}
+
+// WorkloadSpec describes the traffic workload: which patterns inject packets
+// and at which per-node rates. Only the "traffic" measure consumes it.
+type WorkloadSpec struct {
+	// Patterns names the traffic patterns (see the traffic.Patterns
+	// registry). Defaults to ["uniform"].
+	Patterns Components `json:"patterns,omitempty"`
+	// Rates is the sweep over the injection probability per node per tick.
+	// Defaults to [0.01].
+	Rates []float64 `json:"rates,omitempty"`
+}
+
+// MeasureSpec selects the measurement and its parameters. Kind names an entry
+// of the Measures registry; the remaining fields parameterise whichever
+// measure is selected (unused fields are ignored).
+type MeasureSpec struct {
+	// Kind is the measure name: absorption, success, distance, overhead,
+	// ablation, adaptivity or traffic (the default).
+	Kind string `json:"kind"`
+	// Pairs is the number of source/destination pairs sampled per trial
+	// (routing measures). Defaults to 10.
+	Pairs int `json:"pairs,omitempty"`
+	// MinDistance is the minimum Manhattan distance between sampled pairs.
+	MinDistance int `json:"mindistance,omitempty"`
+	// Warmup and Window are the traffic measurement timeline in ticks.
+	Warmup int `json:"warmup,omitempty"`
+	Window int `json:"window,omitempty"`
+	// LinkDelay and MaxEvents are passed to the simulator (traffic measure).
+	LinkDelay int `json:"linkdelay,omitempty"`
+	MaxEvents int `json:"maxevents,omitempty"`
+}
+
+// withDefaults returns a copy of the spec with every defaultable field
+// filled, so a minimal hand-written spec runs and a dumped spec is explicit.
+func (s Spec) withDefaults() Spec {
+	if s.Measure.Kind == "" {
+		s.Measure.Kind = MeasureTraffic
+	}
+	if s.Trials <= 0 {
+		s.Trials = 1
+	}
+	if s.Faults.Inject.Name == "" {
+		s.Faults.Inject.Name = "uniform"
+	}
+	if len(s.Faults.Counts) == 0 {
+		// A fixed count may live on the injector itself ("count" param).
+		n, err := s.Faults.Inject.Args().Int("count", 0)
+		if err == nil {
+			s.Faults.Counts = []int{n}
+		}
+	}
+	if len(s.Models) == 0 {
+		s.Models = Components{C("mcc")}
+	}
+	if s.Measure.Kind == MeasureTraffic {
+		if len(s.Workload.Patterns) == 0 {
+			s.Workload.Patterns = Components{C("uniform")}
+		}
+		if len(s.Workload.Rates) == 0 {
+			s.Workload.Rates = []float64{0.01}
+		}
+		if s.Measure.Window <= 0 {
+			s.Measure.Window = 256 // the traffic engine's own default
+		}
+		if s.Measure.Warmup < 0 {
+			s.Measure.Warmup = 0
+		}
+	} else {
+		if s.Measure.Pairs <= 0 {
+			s.Measure.Pairs = 10
+		}
+		if s.Measure.MinDistance < 0 {
+			s.Measure.MinDistance = 0
+		}
+	}
+	return s
+}
+
+// Validate checks the spec against the component registries and value
+// ranges, constructing every named component once on a probe mesh so a typo
+// or a bad parameter fails fast with an actionable message instead of
+// panicking inside a worker goroutine.
+func (s Spec) Validate() error {
+	if err := s.Mesh.validate(); err != nil {
+		return err
+	}
+	if _, err := Measures.Lookup(s.Measure.Kind); err != nil {
+		return err
+	}
+	probe := s.Mesh.New()
+	total := s.Mesh.NodeCount()
+	if len(s.Faults.Counts) == 0 {
+		// Counts can only be empty here when withDefaults failed to derive a
+		// count from the injector's own params; building the injector
+		// verbatim surfaces that malformed parameter.
+		if _, err := fault.Build(s.Faults.Inject.Name, s.Faults.Inject.Args()); err != nil {
+			return err
+		}
+	}
+	for _, n := range s.Faults.Counts {
+		if n < 0 || n >= total {
+			return fmt.Errorf("faults: count %d out of range for a %s mesh (%d nodes)", n, s.Mesh, total)
+		}
+		if _, err := s.Faults.Injector(n); err != nil {
+			return err
+		}
+	}
+	for _, ev := range s.Faults.Schedule {
+		if ev.At < 0 {
+			return fmt.Errorf("faults: schedule time %d is negative", ev.At)
+		}
+		if _, err := fault.Build(ev.Inject.Name, ev.Inject.Args()); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Models {
+		if _, err := traffic.BuildModel(c.Name, probeModel(probe), c.Args()); err != nil {
+			return err
+		}
+	}
+	if s.Measure.Kind == MeasureTraffic {
+		for _, c := range s.Workload.Patterns {
+			if _, err := traffic.BuildPattern(c.Name, probe, c.Args()); err != nil {
+				return err
+			}
+		}
+		for _, r := range s.Workload.Rates {
+			// The inverted comparison rejects NaN, which satisfies neither bound.
+			if !(r > 0 && r <= 1) {
+				return fmt.Errorf("workload: rate %v out of range (want a value in (0,1])", r)
+			}
+		}
+	}
+	return nil
+}

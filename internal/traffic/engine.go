@@ -46,6 +46,13 @@ type Options struct {
 	MaxEvents int
 	// Faults is the dynamic fault schedule.
 	Faults []FaultEvent
+	// PatternParams parameterises a pattern resolved by name (e.g.
+	// {"fraction": 0.2, "target": [5, 5, 5]} for hotspot); see the Patterns
+	// registry for each pattern's schema. It is consumed by callers that
+	// build the pattern for the engine — the facade's NewTrafficEngine and
+	// the scenario runner — and ignored when an explicit Pattern value is
+	// passed to NewEngine.
+	PatternParams map[string]any
 }
 
 // Result aggregates one engine run.

@@ -2,11 +2,11 @@ package traffic
 
 import (
 	"fmt"
-	"strings"
 
 	"mccmesh/internal/block"
 	"mccmesh/internal/core"
 	"mccmesh/internal/grid"
+	"mccmesh/internal/registry"
 	"mccmesh/internal/routing"
 )
 
@@ -143,29 +143,59 @@ func (localModel) Name() string                               { return "local" }
 func (localModel) Provider(grid.Orientation) routing.Provider { return routing.LocalGreedy{} }
 func (localModel) Invalidate()                                {}
 
+// ModelCtor builds an information model over a core.Model from decoded spec
+// parameters.
+type ModelCtor func(model *core.Model, args registry.Args) (InfoModel, error)
+
+// Models is the information-model registry. Built-ins register below;
+// third-party models register the same way:
+//
+//	traffic.Models.Register(registry.Entry[traffic.ModelCtor]{Name: "mine", New: ...})
+var Models = registry.New[ModelCtor]("information model")
+
+func init() {
+	register := func(name, doc string, build func(*core.Model) InfoModel) {
+		Models.Register(registry.Entry[ModelCtor]{
+			Name: name,
+			Doc:  doc,
+			New: func(model *core.Model, _ registry.Args) (InfoModel, error) {
+				return build(model), nil
+			},
+		})
+	}
+	register(core.ProviderMCC, "the paper's minimal-connected-component model", NewMCCModel)
+	register(core.ProviderRFB, "rectangular faulty blocks (bounding box)", func(m *core.Model) InfoModel {
+		return NewBlockModel(m, block.BoundingBox)
+	})
+	register(core.ProviderFBRule, "rectangular faulty blocks (convexity rule)", func(m *core.Model) InfoModel {
+		return NewBlockModel(m, block.ConvexityRule)
+	})
+	register(core.ProviderOracle, "omniscient reachability (theoretical optimum)", NewOracleModel)
+	register(core.ProviderLabels, "avoid unsafe labels, no region reasoning", NewLabeledModel)
+	register(core.ProviderLocal, "stateless local-greedy floor baseline", func(*core.Model) InfoModel {
+		return NewLocalModel()
+	})
+}
+
+// BuildModel resolves an information model by name, validates its parameters
+// against the registered schema and constructs it over model.
+func BuildModel(name string, model *core.Model, args registry.Args) (InfoModel, error) {
+	e, err := Models.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: %w", err)
+	}
+	if err := e.CheckArgs(args); err != nil {
+		return nil, fmt.Errorf("traffic: information model %q: %w", e.Name, err)
+	}
+	return e.New(model, args)
+}
+
 // ModelByName builds the named information model over a core.Model. Accepted
 // names: mcc, rfb (bounding-box blocks), fb-rule (convexity-rule blocks),
-// oracle, labels, local.
+// oracle, labels, local — plus anything registered in Models.
 func ModelByName(name string, model *core.Model) (InfoModel, error) {
-	switch strings.ToLower(name) {
-	case core.ProviderMCC:
-		return NewMCCModel(model), nil
-	case core.ProviderRFB:
-		return NewBlockModel(model, block.BoundingBox), nil
-	case core.ProviderFBRule:
-		return NewBlockModel(model, block.ConvexityRule), nil
-	case core.ProviderOracle:
-		return NewOracleModel(model), nil
-	case core.ProviderLabels:
-		return NewLabeledModel(model), nil
-	case core.ProviderLocal:
-		return NewLocalModel(), nil
-	default:
-		return nil, fmt.Errorf("traffic: unknown information model %q (want mcc, rfb, fb-rule, oracle, labels or local)", name)
-	}
+	return BuildModel(name, model, nil)
 }
 
 // ModelNames lists the information-model names accepted by ModelByName.
-func ModelNames() []string {
-	return []string{core.ProviderMCC, core.ProviderRFB, core.ProviderFBRule, core.ProviderOracle, core.ProviderLabels, core.ProviderLocal}
-}
+func ModelNames() []string { return Models.Names() }

@@ -15,10 +15,10 @@ package traffic
 import (
 	"fmt"
 	"math/bits"
-	"strings"
 
 	"mccmesh/internal/grid"
 	"mccmesh/internal/mesh"
+	"mccmesh/internal/registry"
 	"mccmesh/internal/rng"
 )
 
@@ -191,26 +191,93 @@ func (Neighbor) Dest(r *rng.Rand, m *mesh.Mesh, src grid.Point) (grid.Point, boo
 	return healthy[r.Intn(n)], true
 }
 
-// PatternByName returns the named built-in pattern. Hotspot aims at the mesh
-// centre with the given fraction (0 selects the default).
-func PatternByName(name string, m *mesh.Mesh, hotspotFraction float64) (Pattern, error) {
-	switch strings.ToLower(name) {
-	case "uniform":
-		return Uniform{}, nil
-	case "transpose":
-		return Transpose{}, nil
-	case "bitrev", "bit-reversal":
-		return BitReversal{}, nil
-	case "hotspot":
-		return Hotspot{Target: MeshCenter(m), Fraction: hotspotFraction}, nil
-	case "neighbor", "nearest-neighbor", "neighbour":
-		return Neighbor{}, nil
-	default:
-		return nil, fmt.Errorf("traffic: unknown pattern %q (want uniform, transpose, bitrev, hotspot or neighbor)", name)
-	}
+// PatternCtor builds a pattern over a mesh from decoded spec parameters.
+type PatternCtor func(m *mesh.Mesh, args registry.Args) (Pattern, error)
+
+// Patterns is the traffic-pattern registry. Built-ins register below;
+// third-party patterns register the same way:
+//
+//	traffic.Patterns.Register(registry.Entry[traffic.PatternCtor]{Name: "mine", New: ...})
+var Patterns = registry.New[PatternCtor]("traffic pattern")
+
+func init() {
+	Patterns.Register(registry.Entry[PatternCtor]{
+		Name: "uniform",
+		Doc:  "each packet targets a uniformly random healthy node",
+		New:  func(*mesh.Mesh, registry.Args) (Pattern, error) { return Uniform{}, nil },
+	})
+	Patterns.Register(registry.Entry[PatternCtor]{
+		Name: "transpose",
+		Doc:  "coordinate transpose (2-D) / rotation (3-D), scaled to the extents",
+		New:  func(*mesh.Mesh, registry.Args) (Pattern, error) { return Transpose{}, nil },
+	})
+	Patterns.Register(registry.Entry[PatternCtor]{
+		Name:    "bitrev",
+		Aliases: []string{"bit-reversal"},
+		Doc:     "per-axis bit-reversal, the adversarial dimension-ordered workload",
+		New:     func(*mesh.Mesh, registry.Args) (Pattern, error) { return BitReversal{}, nil },
+	})
+	Patterns.Register(registry.Entry[PatternCtor]{
+		Name: "hotspot",
+		Doc:  "a fraction of the traffic converges on one hot node",
+		Params: []registry.Param{
+			{Name: "fraction", Kind: registry.Float, Doc: "share of packets addressed to the hot node", Default: 0.1},
+			{Name: "target", Kind: registry.Point, Doc: "the hot node", Default: "mesh centre"},
+		},
+		New: func(m *mesh.Mesh, args registry.Args) (Pattern, error) {
+			fraction, err := args.Float("fraction", 0)
+			if err != nil {
+				return nil, err
+			}
+			if fraction < 0 || fraction > 1 {
+				return nil, fmt.Errorf("parameter %q: %v is not in [0,1]", "fraction", fraction)
+			}
+			target, err := args.PointAt("target", MeshCenter(m))
+			if err != nil {
+				return nil, err
+			}
+			if !m.InBounds(target) {
+				return nil, fmt.Errorf("parameter %q: %v is outside the mesh", "target", target)
+			}
+			return Hotspot{Target: target, Fraction: fraction}, nil
+		},
+	})
+	Patterns.Register(registry.Entry[PatternCtor]{
+		Name:    "neighbor",
+		Aliases: []string{"nearest-neighbor", "neighbour"},
+		Doc:     "each packet targets a random healthy direct neighbour",
+		New:     func(*mesh.Mesh, registry.Args) (Pattern, error) { return Neighbor{}, nil },
+	})
 }
 
-// PatternNames lists the built-in pattern names accepted by PatternByName.
-func PatternNames() []string {
-	return []string{"uniform", "transpose", "bitrev", "hotspot", "neighbor"}
+// BuildPattern resolves a pattern by name, validates its parameters against
+// the registered schema and constructs it over m.
+func BuildPattern(name string, m *mesh.Mesh, args registry.Args) (Pattern, error) {
+	e, err := Patterns.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: %w", err)
+	}
+	if err := e.CheckArgs(args); err != nil {
+		return nil, fmt.Errorf("traffic: pattern %q: %w", e.Name, err)
+	}
+	return e.New(m, args)
 }
+
+// PatternByName returns the named built-in pattern. Hotspot aims at the mesh
+// centre with the given fraction (0 selects the default). It is the
+// positional-argument form of BuildPattern.
+func PatternByName(name string, m *mesh.Mesh, hotspotFraction float64) (Pattern, error) {
+	var args registry.Args
+	if hotspotFraction != 0 {
+		args = registry.Args{"fraction": hotspotFraction}
+		if e, err := Patterns.Lookup(name); err == nil && e.CheckArgs(args) != nil {
+			// The pattern takes no fraction parameter; the legacy signature
+			// passed one to every pattern, so drop it rather than fail.
+			args = nil
+		}
+	}
+	return BuildPattern(name, m, args)
+}
+
+// PatternNames lists the registered pattern names accepted by PatternByName.
+func PatternNames() []string { return Patterns.Names() }

@@ -11,6 +11,7 @@ import (
 	"mccmesh/internal/minimal"
 	"mccmesh/internal/protocol"
 	"mccmesh/internal/region"
+	"mccmesh/internal/registry"
 	"mccmesh/internal/rng"
 	"mccmesh/internal/routing"
 	"mccmesh/internal/traffic"
@@ -105,6 +106,25 @@ func InjectClustered(m *Mesh, r *Rand, clusters, size int, protected ...Point) [
 	return fault.Clustered{Clusters: clusters, Size: size, Protected: protected}.Inject(m, r)
 }
 
+// UniformInjector returns an injector that places n uniformly random faults —
+// for FaultEvent schedules and other deferred injections.
+func UniformInjector(n int, protected ...Point) Injector {
+	return fault.Uniform{Count: n, Protected: protected}
+}
+
+// ClusteredInjector returns an injector that grows `clusters` clusters of
+// `size` adjacent faults — for FaultEvent schedules and other deferred
+// injections.
+func ClusteredInjector(clusters, size int, protected ...Point) Injector {
+	return fault.Clustered{Clusters: clusters, Size: size, Protected: protected}
+}
+
+// BuildInjector resolves a fault injector by registry name with parameters,
+// e.g. BuildInjector("rate", Params{"p": 0.02}); see FaultInjectorNames.
+func BuildInjector(name string, params Params) (Injector, error) {
+	return fault.Build(name, registry.Args(params))
+}
+
 // OrientationOf returns the orientation of travel from s to d.
 func OrientationOf(s, d Point) Orientation { return grid.OrientationOf(s, d) }
 
@@ -156,13 +176,15 @@ func AbsorbedHealthyNodes(m *Mesh, s, d Point) int {
 func Theorem(cs *ComponentSet, s, d Point) bool { return feasibility.Theorem(cs, s, d) }
 
 // NewTrafficEngine returns a continuous-traffic engine over m. The model and
-// pattern are resolved by name (see TrafficModelNames and TrafficPatternNames).
+// pattern are resolved by name (see TrafficModelNames and TrafficPatternNames)
+// and parameterised by opts.PatternParams — e.g. {"fraction": 0.2} tunes the
+// hotspot pattern exactly as the CLI's -hotspot flag does.
 func NewTrafficEngine(m *Mesh, model, pattern string, opts TrafficOptions) (*TrafficEngine, error) {
-	im, err := traffic.ModelByName(model, core.NewModel(m))
+	im, err := traffic.BuildModel(model, core.NewModel(m), nil)
 	if err != nil {
 		return nil, err
 	}
-	p, err := traffic.PatternByName(pattern, m, 0)
+	p, err := traffic.BuildPattern(pattern, m, registry.Args(opts.PatternParams))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,208 @@
+package mccmesh
+
+// This file is the facade of the declarative scenario API: one Spec (or one
+// chain of functional options) describes a whole experiment — mesh, fault
+// workload, information models, traffic workload, measurement — and Run
+// produces a structured Report, bit-identically at any worker count. The
+// implementation lives in internal/scenario; the component registries live in
+// internal/traffic and internal/fault and are extensible through the
+// Register* helpers below.
+
+import (
+	"io"
+
+	"mccmesh/internal/fault"
+	"mccmesh/internal/registry"
+	"mccmesh/internal/scenario"
+	"mccmesh/internal/traffic"
+)
+
+// Scenario API types, re-exported from internal/scenario.
+type (
+	// Scenario is a validated, runnable experiment description; see
+	// NewScenario and LoadScenario.
+	Scenario = scenario.Scenario
+	// ScenarioSpec is the JSON-serialisable experiment description.
+	ScenarioSpec = scenario.Spec
+	// ScenarioOption configures NewScenario; see the With* functions.
+	ScenarioOption = scenario.Option
+	// Report is the structured outcome of Scenario.Run: the rendered table
+	// plus one cell of raw values per sweep point.
+	Report = scenario.Report
+	// ReportCell is one sweep point of a Report.
+	ReportCell = scenario.Cell
+	// ScenarioEvent is one progress notification streamed to an Observer.
+	ScenarioEvent = scenario.Event
+	// Observer receives per-cell progress during Scenario.Run.
+	Observer = scenario.Observer
+	// Params carries component parameters for the With* options, e.g.
+	// Params{"fraction": 0.2}.
+	Params = scenario.Params
+	// MeshSpec, SpecComponent, SpecComponents, FaultSpec, ScheduledFault,
+	// WorkloadSpec and MeasureSpec are the Spec building blocks.
+	// (SpecComponent is scenario.Component renamed: the facade already uses
+	// Component for a single MCC fault region.)
+	MeshSpec       = scenario.MeshSpec
+	SpecComponent  = scenario.Component
+	SpecComponents = scenario.Components
+	FaultSpec      = scenario.FaultSpec
+	ScheduledFault = scenario.ScheduledFault
+	WorkloadSpec   = scenario.WorkloadSpec
+	MeasureSpec    = scenario.MeasureSpec
+)
+
+// Measure kinds accepted by WithMeasure / MeasureSpec.Kind, one per
+// experiment of the evaluation harness ("e1".."e7" work as aliases).
+const (
+	MeasureAbsorption = scenario.MeasureAbsorption
+	MeasureSuccess    = scenario.MeasureSuccess
+	MeasureDistance   = scenario.MeasureDistance
+	MeasureOverhead   = scenario.MeasureOverhead
+	MeasureAblation   = scenario.MeasureAblation
+	MeasureAdaptivity = scenario.MeasureAdaptivity
+	MeasureTraffic    = scenario.MeasureTraffic
+)
+
+// NewScenario builds a runnable scenario from functional options, validating
+// every component name and parameter against the registries before anything
+// runs. The zero scenario (no options) is a single-trial uniform-traffic run
+// under the MCC model — every option below overrides one aspect:
+//
+// Topology:
+//   - WithMesh(x, y, z)   — a 3-D mesh with the given extents
+//   - WithMesh2D(x, y)    — a 2-D mesh
+//   - WithCube(k)         — a k × k × k mesh
+//
+// Fault workload (names resolve in the fault-injector registry: uniform,
+// clustered, rate, links, block):
+//   - WithFaults(name, params...)            — the static injector, e.g.
+//     WithFaults("clustered", Params{"size": 5})
+//   - WithFaultCounts(counts...)             — the fault-count sweep (one
+//     table row per count for routing measures; the first count is the
+//     traffic measure's static fault set)
+//   - WithFaultSchedule(at, name, params...) — inject more faults at a
+//     simulated tick while traffic is in flight
+//
+// Information models (registry: mcc, rfb, fb-rule, oracle, labels, local):
+//   - WithModels(names...)        — the models under test
+//   - WithModel(name, params...)  — append one parameterised model
+//
+// Traffic workload (registry: uniform, transpose, bitrev, hotspot, neighbor):
+//   - WithPatterns(names...)       — the patterns to sweep
+//   - WithPattern(name, params...) — append one parameterised pattern, e.g.
+//     WithPattern("hotspot", Params{"fraction": 0.2})
+//   - WithRates(rates...)          — injection rates (packets/node/tick)
+//
+// Measurement (registry: absorption, success, distance, overhead, ablation,
+// adaptivity, traffic — aka e1..e7):
+//   - WithMeasure(kind)    — what to measure
+//   - WithPairs(n)         — source/destination pairs per trial (routing)
+//   - WithMinDistance(d)   — minimum Manhattan distance between pairs
+//   - WithWarmup(ticks)    — unmeasured traffic warmup
+//   - WithWindow(ticks)    — traffic measurement window
+//
+// Reproducibility and execution:
+//   - WithSeed(seed)     — every trial seed derives from it
+//   - WithTrials(n)      — fault configurations per sweep cell
+//   - WithWorkers(n)     — parallel trial workers (<= 0 → GOMAXPROCS);
+//     results are bit-identical for any value
+//   - WithObserver(f)    — stream per-cell progress events
+//   - WithName(s)        — label the scenario
+//   - WithSpec(spec)     — start from a full ScenarioSpec, then patch
+//
+// The resulting scenario runs with Run(ctx), which returns a *Report whose
+// Table is the experiment table and whose Cells carry the raw per-cell
+// values. The same description round-trips through JSON: Scenario.WriteSpec
+// emits the spec file format that LoadScenario (and `mcc run -spec`)
+// accepts.
+func NewScenario(opts ...ScenarioOption) (*Scenario, error) {
+	return scenario.Build(opts...)
+}
+
+// LoadScenario reads a JSON scenario spec (see NewScenario and the README's
+// "Scenario files" section) and returns the validated scenario. Unknown
+// fields, unknown component names and bad parameters are rejected with
+// actionable errors.
+func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
+
+// Functional options for NewScenario, re-exported from internal/scenario.
+// See NewScenario for the catalogue.
+func WithName(name string) ScenarioOption          { return scenario.WithName(name) }
+func WithMesh(x, y, z int) ScenarioOption          { return scenario.WithMesh(x, y, z) }
+func WithMesh2D(x, y int) ScenarioOption           { return scenario.WithMesh2D(x, y) }
+func WithCube(k int) ScenarioOption                { return scenario.WithCube(k) }
+func WithFaultCounts(counts ...int) ScenarioOption { return scenario.WithFaultCounts(counts...) }
+func WithModels(names ...string) ScenarioOption    { return scenario.WithModels(names...) }
+func WithPatterns(names ...string) ScenarioOption  { return scenario.WithPatterns(names...) }
+func WithRates(rates ...float64) ScenarioOption    { return scenario.WithRates(rates...) }
+func WithMeasure(kind string) ScenarioOption       { return scenario.WithMeasure(kind) }
+func WithPairs(pairs int) ScenarioOption           { return scenario.WithPairs(pairs) }
+func WithMinDistance(d int) ScenarioOption         { return scenario.WithMinDistance(d) }
+func WithWarmup(ticks int) ScenarioOption          { return scenario.WithWarmup(ticks) }
+func WithWindow(ticks int) ScenarioOption          { return scenario.WithWindow(ticks) }
+func WithSeed(seed uint64) ScenarioOption          { return scenario.WithSeed(seed) }
+func WithTrials(trials int) ScenarioOption         { return scenario.WithTrials(trials) }
+func WithWorkers(workers int) ScenarioOption       { return scenario.WithWorkers(workers) }
+func WithObserver(f Observer) ScenarioOption       { return scenario.WithObserver(f) }
+func WithSpec(spec ScenarioSpec) ScenarioOption    { return scenario.WithSpec(spec) }
+
+// WithFaults selects the static fault injector by registry name.
+func WithFaults(name string, params ...Params) ScenarioOption {
+	return scenario.WithFaults(name, params...)
+}
+
+// WithFaultSchedule injects the named fault workload at a simulated tick.
+func WithFaultSchedule(at int, name string, params ...Params) ScenarioOption {
+	return scenario.WithFaultSchedule(at, name, params...)
+}
+
+// WithModel appends one parameterised information model.
+func WithModel(name string, params ...Params) ScenarioOption {
+	return scenario.WithModel(name, params...)
+}
+
+// WithPattern appends one parameterised traffic pattern.
+func WithPattern(name string, params ...Params) ScenarioOption {
+	return scenario.WithPattern(name, params...)
+}
+
+// Registry surface: the types needed to register third-party components in
+// one line.
+type (
+	// RegistryArgs carries decoded component parameters into constructors.
+	RegistryArgs = registry.Args
+	// RegistryParam documents one parameter of a component's schema.
+	RegistryParam = registry.Param
+	// TrafficPatternEntry registers a traffic pattern (RegisterTrafficPattern).
+	TrafficPatternEntry = registry.Entry[traffic.PatternCtor]
+	// TrafficModelEntry registers an information model (RegisterTrafficModel).
+	TrafficModelEntry = registry.Entry[traffic.ModelCtor]
+	// FaultInjectorEntry registers a fault injector (RegisterFaultInjector).
+	FaultInjectorEntry = registry.Entry[fault.Ctor]
+)
+
+// RegisterTrafficPattern adds a traffic pattern to the registry consulted by
+// scenario specs, NewTrafficEngine and the CLI:
+//
+//	mccmesh.RegisterTrafficPattern(mccmesh.TrafficPatternEntry{
+//		Name: "ring",
+//		New: func(m *mccmesh.Mesh, _ mccmesh.RegistryArgs) (mccmesh.TrafficPattern, error) { ... },
+//	})
+//
+// It panics if the name is already taken.
+func RegisterTrafficPattern(e TrafficPatternEntry) { traffic.Patterns.Register(e) }
+
+// RegisterTrafficModel adds an information model to the registry consulted by
+// scenario specs, NewTrafficEngine and the CLI. It panics if the name is
+// already taken.
+func RegisterTrafficModel(e TrafficModelEntry) { traffic.Models.Register(e) }
+
+// RegisterFaultInjector adds a fault injector to the registry consulted by
+// scenario specs and the CLI. It panics if the name is already taken.
+func RegisterFaultInjector(e FaultInjectorEntry) { fault.Injectors.Register(e) }
+
+// FaultInjectorNames lists the registered fault-injector names.
+func FaultInjectorNames() []string { return fault.Names() }
+
+// ScenarioMeasureNames lists the registered measure kinds.
+func ScenarioMeasureNames() []string { return scenario.Measures.Names() }
