@@ -4,9 +4,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mccmesh/internal/experiments"
+	"mccmesh/internal/scenario"
 	"mccmesh/internal/stats"
 )
 
@@ -14,7 +18,9 @@ import (
 // keeps the historical per-experiment seed streams, so tables produced before
 // the scenario redesign still reproduce. With -dump-spec it emits the
 // declarative spec of one experiment; with -spec it runs a spec file like
-// `mcc run`.
+// `mcc run`. With -json it runs the event-core benchmark (the "bench"
+// measure) and writes BENCH_traffic.json; -cpuprofile/-memprofile capture
+// pprof profiles of whatever the invocation runs.
 func cmdBench(args []string) int {
 	fs := flag.NewFlagSet("mcc bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -32,13 +38,85 @@ func cmdBench(args []string) int {
 		workers   = fs.Int("workers", 0, "parallel trial workers for e7 (0 = GOMAXPROCS)")
 		specPath  = fs.String("spec", "", "run a scenario spec file instead (- = stdin)")
 		dump      = fs.Bool("dump-spec", false, "print the spec of the selected experiment (requires exactly one -exp) and exit")
+		jsonPath  = fs.String("json", "", "run the event-core benchmark (measure \"bench\") and write machine-readable results to this file, e.g. BENCH_traffic.json")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail("bench", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail("bench", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(stderr, "mcc bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects out of the profile
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(stderr, "mcc bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *jsonPath != "" {
+		// The benchmark is defined by the (default or loaded) spec alone;
+		// silently ignoring a table flag like -dim would misreport what ran.
+		if err := rejectFlagClash(fs, "json", "benchmark settings come from -spec",
+			"spec", "cpuprofile", "memprofile", "csv", "dump-spec"); err != nil {
+			return fail("bench", err)
+		}
+		var sc *scenario.Scenario
+		var err error
+		if *specPath != "" {
+			sc, err = loadSpec(*specPath)
+		} else {
+			sc, err = newScenario(scenario.BenchSpec())
+		}
+		if err != nil {
+			return fail("bench", err)
+		}
+		// Fail fast on a non-bench spec: running a full traffic sweep only to
+		// discover there are no benchmark results would waste the whole run
+		// (and truncate the output file).
+		if e, err := scenario.Measures.Lookup(sc.Spec().Measure.Kind); err != nil || e.Name != scenario.MeasureBench {
+			return fail("bench", fmt.Errorf("-json needs a %q-measure spec, got measure %q", scenario.MeasureBench, sc.Spec().Measure.Kind))
+		}
+		if *dump {
+			return dumpSpec(sc)
+		}
+		rep, err := sc.Run(context.Background())
+		if err != nil {
+			return fail("bench", err)
+		}
+		printTable(rep.Table, *csv)
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return fail("bench", err)
+		}
+		defer f.Close()
+		if err := scenario.WriteBenchJSON(f, rep); err != nil {
+			return fail("bench", err)
+		}
+		fmt.Fprintf(stderr, "mcc bench: wrote %s\n", *jsonPath)
+		return 0
+	}
+
 	if *specPath != "" {
-		if err := rejectFlagSpecClash(fs, "dump-spec", "workers", "csv"); err != nil {
+		if err := rejectFlagSpecClash(fs, "dump-spec", "workers", "csv", "cpuprofile", "memprofile"); err != nil {
 			return fail("bench", err)
 		}
 		sc, err := loadSpecWithWorkers(*specPath, fs, *workers)

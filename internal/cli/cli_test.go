@@ -176,3 +176,51 @@ func TestSimClusteredSetup(t *testing.T) {
 		t.Errorf("clustered sim: %d %q", code, out)
 	}
 }
+
+func TestBenchJSONWritesBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(spec, []byte(`{
+  "name": "tiny-bench",
+  "mesh": {"x": 5, "y": 5, "z": 5},
+  "faults": {"inject": "uniform", "counts": [5]},
+  "model": "local",
+  "workload": {"patterns": "uniform", "rates": [0.05]},
+  "measure": {"kind": "bench", "warmup": 5, "window": 40},
+  "seed": 3,
+  "trials": 1
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_traffic.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, stdout, errOut := capture(t, "bench", "-spec", spec, "-json", out, "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("bench -json exited %d: %s", code, errOut)
+	}
+	if !strings.Contains(stdout, "events/sec") {
+		t.Errorf("bench table missing from stdout: %q", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("BENCH file not written: %v", err)
+	}
+	for _, key := range []string{"events_per_sec", "ns_per_packet", "allocs_per_packet"} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("BENCH json misses %q", key)
+		}
+	}
+	for _, prof := range []string{cpu, mem} {
+		if st, err := os.Stat(prof); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s not written (err=%v)", prof, err)
+		}
+	}
+}
+
+func TestBenchJSONRejectsTableFlags(t *testing.T) {
+	code, _, errOut := capture(t, "bench", "-json", filepath.Join(t.TempDir(), "b.json"), "-dim", "12")
+	if code == 0 || !strings.Contains(errOut, "-dim") {
+		t.Errorf("bench -json -dim should be rejected: code=%d err=%q", code, errOut)
+	}
+}

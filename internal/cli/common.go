@@ -29,11 +29,12 @@ func loadSpec(path string) (*scenario.Scenario, error) {
 	return sc, nil
 }
 
-// rejectFlagSpecClash errors when any flag outside the allowed set was given
-// together with -spec: the scenario is the file, and silently ignoring a flag
-// would misreport what ran. "spec" itself is always allowed.
-func rejectFlagSpecClash(fs *flag.FlagSet, allowed ...string) error {
-	ok := map[string]bool{"spec": true}
+// rejectFlagClash errors when any flag outside the allowed set was given
+// together with the named driving flag (-spec, -json): the run is defined by
+// that flag's input, and silently ignoring another flag would misreport what
+// ran. The driving flag itself is always allowed.
+func rejectFlagClash(fs *flag.FlagSet, driver, hint string, allowed ...string) error {
+	ok := map[string]bool{driver: true}
 	for _, a := range allowed {
 		ok[a] = true
 	}
@@ -44,9 +45,14 @@ func rejectFlagSpecClash(fs *flag.FlagSet, allowed ...string) error {
 		}
 	})
 	if len(clash) > 0 {
-		return fmt.Errorf("%s cannot be combined with -spec (edit the spec file instead)", strings.Join(clash, ", "))
+		return fmt.Errorf("%s cannot be combined with -%s (%s)", strings.Join(clash, ", "), driver, hint)
 	}
 	return nil
+}
+
+// rejectFlagSpecClash is rejectFlagClash for the -spec driving flag.
+func rejectFlagSpecClash(fs *flag.FlagSet, allowed ...string) error {
+	return rejectFlagClash(fs, "spec", "edit the spec file instead", allowed...)
 }
 
 // loadSpecWithWorkers loads a spec file and applies a -workers override (the

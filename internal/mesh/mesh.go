@@ -3,6 +3,12 @@
 // whose addresses differ by one in exactly one dimension, and a mutable set of
 // faulty nodes. Link faults are modelled, as in the paper, by disabling the
 // adjacent nodes (see package fault).
+//
+// Internally the mesh is index-first: every node has a dense int32 ID (its
+// row-major index), the topology is precomputed as a per-node neighbour table
+// of IDs, fault status lives in a bitset, and the ID → coordinate mapping is a
+// table lookup. The grid.Point API remains the public face; the hot paths of
+// package simnet and the traffic engine run entirely on the dense IDs.
 package mesh
 
 import (
@@ -10,6 +16,10 @@ import (
 
 	"mccmesh/internal/grid"
 )
+
+// NoNeighbor marks a missing neighbour in the dense neighbour table: the
+// direction leaves the mesh.
+const NoNeighbor int32 = -1
 
 // Dims describes the extent of a mesh along each axis. A 2-D mesh has Z == 1.
 type Dims struct {
@@ -38,9 +48,17 @@ func (d Dims) Valid() bool { return d.X >= 1 && d.Y >= 1 && d.Z >= 1 }
 //
 // The zero value is not usable; construct meshes with New2D or New3D.
 type Mesh struct {
-	dims   Dims
-	faulty []bool
+	dims Dims
+	// faulty is a bitset over dense node IDs (bit i = node i is faulty).
+	faulty []uint64
 	nfault int
+	// points maps dense node ID to coordinates (the inverse of Index).
+	points []grid.Point
+	// nbr is the neighbour table: nbr[id*6+d] is the dense ID of the
+	// neighbour of node id in direction d, or NoNeighbor. The table depends
+	// only on the topology, never on fault status, so it is immutable after
+	// construction.
+	nbr []int32
 }
 
 // New3D returns a fault-free 3-D mesh with the given extents.
@@ -62,10 +80,30 @@ func newMesh(d Dims) *Mesh {
 	if !d.Valid() {
 		panic(fmt.Sprintf("mesh: invalid dimensions %v", d))
 	}
-	return &Mesh{
+	n := d.Nodes()
+	m := &Mesh{
 		dims:   d,
-		faulty: make([]bool, d.Nodes()),
+		faulty: make([]uint64, (n+63)/64),
+		points: make([]grid.Point, n),
+		nbr:    make([]int32, n*grid.NumDirections),
 	}
+	for i := 0; i < n; i++ {
+		x := i % d.X
+		rest := i / d.X
+		m.points[i] = grid.Point{X: x, Y: rest % d.Y, Z: rest / d.Y}
+	}
+	for i := 0; i < n; i++ {
+		p := m.points[i]
+		for dir := 0; dir < grid.NumDirections; dir++ {
+			q := grid.Step(p, grid.Direction(dir))
+			if m.InBounds(q) {
+				m.nbr[i*grid.NumDirections+dir] = int32(q.X + d.X*(q.Y+d.Y*q.Z))
+			} else {
+				m.nbr[i*grid.NumDirections+dir] = NoNeighbor
+			}
+		}
+	}
+	return m
 }
 
 // Dims returns the mesh dimensions.
@@ -92,7 +130,7 @@ func (m *Mesh) Directions() []grid.Direction {
 }
 
 // NodeCount returns the total number of nodes.
-func (m *Mesh) NodeCount() int { return m.dims.Nodes() }
+func (m *Mesh) NodeCount() int { return len(m.points) }
 
 // FaultCount returns the number of faulty nodes.
 func (m *Mesh) FaultCount() int { return m.nfault }
@@ -117,25 +155,37 @@ func (m *Mesh) Index(p grid.Point) int {
 	return p.X + m.dims.X*(p.Y+m.dims.Y*p.Z)
 }
 
-// Point is the inverse of Index.
-func (m *Mesh) Point(idx int) grid.Point {
-	x := idx % m.dims.X
-	idx /= m.dims.X
-	y := idx % m.dims.Y
-	z := idx / m.dims.Y
-	return grid.Point{X: x, Y: y, Z: z}
+// ID returns the dense node ID of p, or NoNeighbor when p is out of bounds.
+// It is the non-panicking form of Index used on the simulator's fast path.
+func (m *Mesh) ID(p grid.Point) int32 {
+	if !m.InBounds(p) {
+		return NoNeighbor
+	}
+	return int32(p.X + m.dims.X*(p.Y+m.dims.Y*p.Z))
+}
+
+// Point is the inverse of Index: a table lookup, not arithmetic.
+func (m *Mesh) Point(idx int) grid.Point { return m.points[idx] }
+
+// NeighborID returns the dense ID of the neighbour of node id in direction d,
+// or NoNeighbor when that direction leaves the mesh. The underlying table is
+// precomputed once per topology; fault status is not consulted.
+func (m *Mesh) NeighborID(id int32, d grid.Direction) int32 {
+	return m.nbr[int(id)*grid.NumDirections+int(d)]
 }
 
 // SetFaulty marks p as faulty (true) or healthy (false).
 func (m *Mesh) SetFaulty(p grid.Point, faulty bool) {
 	idx := m.Index(p)
-	if m.faulty[idx] == faulty {
+	word, bit := idx>>6, uint64(1)<<(idx&63)
+	if m.faulty[word]&bit != 0 == faulty {
 		return
 	}
-	m.faulty[idx] = faulty
 	if faulty {
+		m.faulty[word] |= bit
 		m.nfault++
 	} else {
+		m.faulty[word] &^= bit
 		m.nfault--
 	}
 }
@@ -153,23 +203,25 @@ func (m *Mesh) IsFaulty(p grid.Point) bool {
 	if !m.InBounds(p) {
 		return false
 	}
-	return m.faulty[m.Index(p)]
+	return m.FaultyAt(p.X + m.dims.X*(p.Y+m.dims.Y*p.Z))
 }
 
 // IsHealthy reports whether p is an in-bounds, non-faulty node.
 func (m *Mesh) IsHealthy(p grid.Point) bool {
-	return m.InBounds(p) && !m.faulty[m.Index(p)]
+	return m.InBounds(p) && !m.IsFaulty(p)
 }
 
 // FaultyAt reports the fault flag by dense index.
-func (m *Mesh) FaultyAt(idx int) bool { return m.faulty[idx] }
+func (m *Mesh) FaultyAt(idx int) bool {
+	return m.faulty[idx>>6]&(uint64(1)<<(idx&63)) != 0
+}
 
 // Faults returns the coordinates of all faulty nodes in index order.
 func (m *Mesh) Faults() []grid.Point {
 	out := make([]grid.Point, 0, m.nfault)
-	for i, f := range m.faulty {
-		if f {
-			out = append(out, m.Point(i))
+	for i := range m.points {
+		if m.FaultyAt(i) {
+			out = append(out, m.points[i])
 		}
 	}
 	return out
@@ -178,14 +230,15 @@ func (m *Mesh) Faults() []grid.Point {
 // ClearFaults removes every fault.
 func (m *Mesh) ClearFaults() {
 	for i := range m.faulty {
-		m.faulty[i] = false
+		m.faulty[i] = 0
 	}
 	m.nfault = 0
 }
 
-// Clone returns a deep copy of the mesh.
+// Clone returns a deep copy of the mesh. The immutable topology tables
+// (points, neighbour IDs) are shared; the fault bitset is copied.
 func (m *Mesh) Clone() *Mesh {
-	c := &Mesh{dims: m.dims, faulty: make([]bool, len(m.faulty)), nfault: m.nfault}
+	c := &Mesh{dims: m.dims, faulty: make([]uint64, len(m.faulty)), nfault: m.nfault, points: m.points, nbr: m.nbr}
 	copy(c.faulty, m.faulty)
 	return c
 }
@@ -212,8 +265,9 @@ func (m *Mesh) Neighbor(p grid.Point, d grid.Direction) (grid.Point, bool) {
 // Degree returns the number of in-bounds neighbours of p.
 func (m *Mesh) Degree(p grid.Point) int {
 	n := 0
+	base := m.Index(p) * grid.NumDirections
 	for _, d := range m.Directions() {
-		if m.InBounds(grid.Step(p, d)) {
+		if m.nbr[base+int(d)] != NoNeighbor {
 			n++
 		}
 	}
@@ -222,17 +276,17 @@ func (m *Mesh) Degree(p grid.Point) int {
 
 // ForEach calls fn for every node of the mesh in index order.
 func (m *Mesh) ForEach(fn func(grid.Point)) {
-	for i := range m.faulty {
-		fn(m.Point(i))
+	for _, p := range m.points {
+		fn(p)
 	}
 }
 
 // HealthyNodes returns all non-faulty node coordinates in index order.
 func (m *Mesh) HealthyNodes() []grid.Point {
 	out := make([]grid.Point, 0, m.NodeCount()-m.nfault)
-	for i, f := range m.faulty {
-		if !f {
-			out = append(out, m.Point(i))
+	for i, p := range m.points {
+		if !m.FaultyAt(i) {
+			out = append(out, p)
 		}
 	}
 	return out

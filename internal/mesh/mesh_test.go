@@ -163,3 +163,55 @@ func TestAxesDirections(t *testing.T) {
 		t.Error("Directions wrong")
 	}
 }
+
+func TestNeighborTableMatchesGeometry(t *testing.T) {
+	for _, m := range []*Mesh{New2D(4, 3), New3D(3, 4, 5)} {
+		for i := 0; i < m.NodeCount(); i++ {
+			p := m.Point(i)
+			if got := m.ID(p); got != int32(i) {
+				t.Fatalf("ID(%v) = %d, want %d", p, got, i)
+			}
+			for _, d := range grid.Directions3D {
+				q := grid.Step(p, d)
+				want := NoNeighbor
+				if m.InBounds(q) {
+					want = int32(m.Index(q))
+				}
+				if got := m.NeighborID(int32(i), d); got != want {
+					t.Errorf("NeighborID(%v, %v) = %d, want %d", p, d, got, want)
+				}
+			}
+		}
+		if m.ID(grid.Point{X: -1}) != NoNeighbor {
+			t.Error("ID of an out-of-bounds point must be NoNeighbor")
+		}
+	}
+}
+
+func TestFaultBitset(t *testing.T) {
+	m := New3D(5, 5, 5) // 125 nodes spans two bitset words
+	pts := []grid.Point{{}, {X: 4, Y: 4, Z: 4}, {X: 2, Y: 3, Z: 1}, {X: 0, Y: 0, Z: 3}}
+	m.AddFaults(pts...)
+	if m.FaultCount() != len(pts) {
+		t.Fatalf("FaultCount = %d, want %d", m.FaultCount(), len(pts))
+	}
+	for _, p := range pts {
+		if !m.IsFaulty(p) || !m.FaultyAt(m.Index(p)) {
+			t.Errorf("%v should be faulty", p)
+		}
+	}
+	// Double-set must not double-count.
+	m.SetFaulty(pts[0], true)
+	if m.FaultCount() != len(pts) {
+		t.Errorf("idempotent SetFaulty changed the count to %d", m.FaultCount())
+	}
+	c := m.Clone()
+	m.SetFaulty(pts[1], false)
+	if m.FaultCount() != len(pts)-1 || !c.IsFaulty(pts[1]) {
+		t.Error("Clone must not share fault state")
+	}
+	m.ClearFaults()
+	if m.FaultCount() != 0 || m.IsFaulty(pts[2]) {
+		t.Error("ClearFaults left residue")
+	}
+}

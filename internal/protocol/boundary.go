@@ -233,7 +233,7 @@ func RunInformationModel(m *mesh.Mesh, lab *labeling.Labeling, cs *region.Compon
 		}
 	}
 
-	stats := net.Run()
+	stats := mustRun(net)
 
 	res := &InfoResult{
 		Records:          make(map[int][]int),

@@ -194,7 +194,7 @@ func RunDetection2D(m *mesh.Mesh, lab *labeling.Labeling, s, d grid.Point) *Dete
 	net := simnet.New(m, h)
 	net.Post(s, KindDetect, detectMsg{Source: s, Dest: d, Prefer: grid.AxisY, Detour: grid.AxisX, ID: 0})
 	net.Post(s, KindDetect, detectMsg{Source: s, Dest: d, Prefer: grid.AxisX, Detour: grid.AxisY, ID: 1})
-	stats := net.Run()
+	stats := mustRun(net)
 
 	res := &DetectionResult{Feasible: true, ForwardHops: h.forwardHops, ReplyHops: h.replyHops, Stats: stats}
 	for id := 0; id < 2; id++ {
@@ -222,7 +222,7 @@ func RunDetection3D(m *mesh.Mesh, lab *labeling.Labeling, s, d grid.Point) *Dete
 	for _, sw := range sweeps {
 		net.Post(s, KindDetect, sw)
 	}
-	stats := net.Run()
+	stats := mustRun(net)
 
 	res := &DetectionResult{Feasible: true, ForwardHops: h.forwardHops, ReplyHops: h.replyHops, Stats: stats}
 	for i := range sweeps {

@@ -174,7 +174,7 @@ func RunLabeling(m *mesh.Mesh, orient grid.Orientation, opts ...labeling.Options
 	}
 	h := &labelHandler{orient: orient, border: border}
 	net := simnet.New(m, h)
-	stats := net.Run()
+	stats := mustRun(net)
 
 	res := &LabelingResult{
 		Statuses: make([]labeling.Status, m.NodeCount()),

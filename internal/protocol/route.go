@@ -126,7 +126,7 @@ func RunRouting(m *mesh.Mesh, lab *labeling.Labeling, cs *region.ComponentSet, r
 	h := &routeHandler{lab: lab, cs: cs, records: records, orient: grid.OrientationOf(s, d)}
 	net := simnet.New(m, h)
 	net.Post(s, KindRoute, routeMsg{Source: s, Dest: d})
-	stats := net.Run()
+	stats := mustRun(net)
 	res := &RouteResult{
 		Delivered: h.delivered,
 		Path:      h.path,

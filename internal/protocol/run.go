@@ -1,0 +1,16 @@
+package protocol
+
+import "mccmesh/internal/simnet"
+
+// mustRun drains a protocol network to quiescence. The distributed protocols
+// are bounded (every message makes progress on a finite mesh), so exhausting
+// the simulator's event budget here is a protocol bug, not an overload
+// condition — unlike the traffic engine, which surfaces the budget error to
+// its caller, the protocol runners treat it as fatal.
+func mustRun(net *simnet.Network) simnet.Stats {
+	stats, err := net.Run()
+	if err != nil {
+		panic(err)
+	}
+	return stats
+}

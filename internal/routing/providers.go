@@ -31,6 +31,46 @@ func InvalidateCaches(provs ...Provider) {
 	}
 }
 
+// fieldCache memoises reachability fields per destination. CanReach(v) for a
+// point inside a field's box depends only on the cells between v and the
+// destination — never on the source the field was built from — so reusing a
+// field across packets (and across sources) is exact, not approximate. The
+// single-slot caches this replaces were exact too but thrashed as soon as two
+// packets with different destinations interleaved, which is the steady state
+// of the traffic engine; keying by destination removes the per-hop rebuild
+// from the forwarding fast path.
+type fieldCache struct {
+	entries map[grid.Point]fieldEntry
+}
+
+type fieldEntry struct {
+	src   grid.Point
+	field *minimal.Field
+}
+
+// fieldCacheMax bounds the per-provider cache; on overflow the cache is
+// cleared wholesale (eviction order cannot affect results, only speed).
+const fieldCacheMax = 1024
+
+// lookup returns the cached field for destination d if it covers v, building
+// one from (u, d) otherwise.
+func (c *fieldCache) lookup(u, v, d grid.Point, build func(u, d grid.Point) *minimal.Field) *minimal.Field {
+	if e, ok := c.entries[d]; ok && grid.BoxOf(e.src, d).Contains(v) {
+		return e.field
+	}
+	if c.entries == nil {
+		c.entries = make(map[grid.Point]fieldEntry, 16)
+	} else if len(c.entries) >= fieldCacheMax {
+		clear(c.entries)
+	}
+	f := build(u, d)
+	c.entries[d] = fieldEntry{src: u, field: f}
+	return f
+}
+
+// invalidate drops every cached field.
+func (c *fieldCache) invalidate() { c.entries = nil }
+
 // Oracle is the omniscient provider: it permits a step exactly when a
 // minimal path from the neighbour to the destination avoiding all faulty
 // nodes still exists. It realises the theoretical optimum every model is
@@ -38,25 +78,20 @@ func InvalidateCaches(provs ...Provider) {
 type Oracle struct {
 	Mesh *mesh.Mesh
 
-	cacheDst grid.Point
-	cacheSrc grid.Point
-	field    *minimal.Field
+	cache fieldCache
 }
 
 // Name implements Provider.
 func (o *Oracle) Name() string { return "oracle" }
 
 // InvalidateCache implements CacheInvalidator.
-func (o *Oracle) InvalidateCache() { o.field = nil }
+func (o *Oracle) InvalidateCache() { o.cache.invalidate() }
 
 // Allowed implements Provider.
 func (o *Oracle) Allowed(u, v, d grid.Point) bool {
-	if o.field == nil || o.cacheDst != d || !grid.BoxOf(o.cacheSrc, d).Contains(v) {
-		o.cacheDst = d
-		o.cacheSrc = u
-		o.field = minimal.Reachability(o.Mesh, minimal.AvoidFaulty(o.Mesh), u, d)
-	}
-	return o.field.CanReach(v)
+	return o.cache.lookup(u, v, d, func(u, d grid.Point) *minimal.Field {
+		return minimal.Reachability(o.Mesh, minimal.AvoidFaulty(o.Mesh), u, d)
+	}).CanReach(v)
 }
 
 // MCC is the paper's fault-information provider backed by globally known MCC
@@ -69,8 +104,7 @@ func (o *Oracle) Allowed(u, v, d grid.Point) bool {
 type MCC struct {
 	Set *region.ComponentSet
 
-	cacheSrc, cacheDst grid.Point
-	field              *minimal.Field
+	cache fieldCache
 }
 
 // Name implements Provider.
@@ -86,11 +120,7 @@ func (p *MCC) Allowed(u, v, d grid.Point) bool {
 			return false
 		}
 	}
-	if p.field == nil || p.cacheDst != d || !grid.BoxOf(p.cacheSrc, d).Contains(v) {
-		p.cacheSrc, p.cacheDst = u, d
-		p.field = p.Set.UnionField(u, d)
-	}
-	return p.field.CanReach(v)
+	return p.cache.lookup(u, v, d, p.Set.UnionField).CanReach(v)
 }
 
 // Records is the boundary-information provider: each node holds only the MCC
@@ -161,8 +191,7 @@ func (p *Records) Allowed(u, v, d grid.Point) bool {
 type Block struct {
 	Regions *block.Regions
 
-	cacheSrc, cacheDst grid.Point
-	field              *minimal.Field
+	cache fieldCache
 }
 
 // Name implements Provider.
@@ -173,8 +202,7 @@ func (p *Block) Allowed(u, v, d grid.Point) bool {
 	if p.Regions.Contains(v) && v != d {
 		return false
 	}
-	if p.field == nil || p.cacheDst != d || !grid.BoxOf(p.cacheSrc, d).Contains(v) {
-		p.cacheSrc, p.cacheDst = u, d
+	return p.cache.lookup(u, v, d, func(u, d grid.Point) *minimal.Field {
 		avoid := p.Regions.Avoid()
 		if p.Regions.Contains(d) {
 			// The destination sits inside a block (it is healthy but the
@@ -183,9 +211,8 @@ func (p *Block) Allowed(u, v, d grid.Point) bool {
 			inner := avoid
 			avoid = func(q grid.Point) bool { return q != d && inner(q) }
 		}
-		p.field = minimal.Reachability(p.Regions.Mesh, avoid, u, d)
-	}
-	return p.field.CanReach(v)
+		return minimal.Reachability(p.Regions.Mesh, avoid, u, d)
+	}).CanReach(v)
 }
 
 // LocalGreedy is the floor baseline: it only knows the fault status of the

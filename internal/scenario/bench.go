@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"mccmesh/internal/core"
+	"mccmesh/internal/registry"
+	"mccmesh/internal/rng"
+	"mccmesh/internal/simnet"
+	"mccmesh/internal/stats"
+	"mccmesh/internal/traffic"
+)
+
+// MeasureBench is the canonical name of the benchmark measure.
+const MeasureBench = "bench"
+
+func init() {
+	Measures.Register(registry.Entry[MeasureFn]{
+		Name: MeasureBench, Aliases: []string{"perf"},
+		Doc: "event-core benchmark: events/sec, ns/packet and allocs/packet over a traffic run",
+		New: measureBench,
+	})
+}
+
+// BenchResult is the machine-readable outcome of one benchmark cell, the
+// schema of BENCH_traffic.json. Rates are averaged over the spec's trials;
+// alloc counts come from runtime.MemStats deltas around the timed runs, so a
+// benchmark process should keep concurrent allocation noise (parallel
+// workers, other goroutines) out of the measurement — the measure therefore
+// always runs its trials sequentially, ignoring Spec.Workers.
+type BenchResult struct {
+	// Mesh, Pattern, Model and Rate echo the benchmarked configuration.
+	Mesh    string  `json:"mesh"`
+	Pattern string  `json:"pattern"`
+	Model   string  `json:"model"`
+	Rate    float64 `json:"rate"`
+	// Faults is the static fault count; Warmup/Window the simulated timeline.
+	Faults int    `json:"faults"`
+	Warmup int    `json:"warmup"`
+	Window int    `json:"window"`
+	Trials int    `json:"trials"`
+	Seed   uint64 `json:"seed"`
+	// Events and Packets total the simulator events and delivered packets of
+	// the timed runs; ElapsedSec is their wall-clock total.
+	Events     int     `json:"events"`
+	Packets    int     `json:"packets"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// EventsPerSec, NsPerPacket and AllocsPerPacket are the headline rates:
+	// simulator events processed per wall-clock second, wall-clock
+	// nanoseconds per delivered packet (all of its hops included), and heap
+	// allocations per delivered packet (amortising the per-trial setup).
+	EventsPerSec    float64 `json:"events_per_sec"`
+	NsPerPacket     float64 `json:"ns_per_packet"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+}
+
+// BenchFile is the on-disk shape of BENCH_traffic.json: one entry per
+// benchmark cell, in sweep order.
+type BenchFile struct {
+	Cells []BenchResult `json:"cells"`
+}
+
+// WriteBenchJSON writes the benchmark cells of a report (which must come from
+// the bench measure) as indented JSON, the BENCH_traffic.json format.
+func WriteBenchJSON(w io.Writer, rep *Report) error {
+	if len(rep.bench) == 0 {
+		return fmt.Errorf("scenario: report of measure %q carries no benchmark results (want the %q measure)", rep.Measure, MeasureBench)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BenchFile{Cells: rep.bench})
+}
+
+// BenchResults returns the per-cell benchmark results of a report produced by
+// the bench measure, in cell order.
+func (rep *Report) BenchResults() []BenchResult { return rep.bench }
+
+// measureBench times the continuous-traffic hot path — the same engine, model
+// and pattern construction as the traffic measure — and reports wall-clock
+// rates instead of simulated-traffic statistics. One cell per pattern × model
+// × rate combination.
+func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
+	spec := sc.spec
+	faults := sc.firstCount()
+	t := &stats.Table{
+		Title: fmt.Sprintf("bench: event-core throughput (%s mesh, %s faults, %d trials, warmup %d + window %d ticks)",
+			spec.Mesh, sc.faultLabel(faults), spec.Trials, spec.Measure.Warmup, spec.Measure.Window),
+		Columns: []string{"pattern", "model", "rate", "events", "packets", "events/sec", "ns/packet", "allocs/packet"},
+	}
+	rep := &Report{Table: t}
+	injector := sc.injectorFor(faults)
+	total := len(spec.Workload.Patterns) * len(spec.Models) * len(spec.Workload.Rates)
+	cell := 0
+	for _, pattern := range spec.Workload.Patterns {
+		for _, model := range spec.Models {
+			for _, rate := range spec.Workload.Rates {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				label := fmt.Sprintf("%s/%s/%.3f", pattern.Name, model.Name, rate)
+				sc.emit(Event{Cell: cell, Total: total, Label: label})
+				cellSeed := rng.Derive(spec.Seed, uint64(cell))
+
+				res := BenchResult{
+					Mesh: spec.Mesh.String(), Pattern: pattern.Name, Model: model.Name,
+					Rate: rate, Faults: faults,
+					Warmup: spec.Measure.Warmup, Window: spec.Measure.Window,
+					Trials: spec.Trials, Seed: spec.Seed,
+				}
+				var ms0, ms1 runtime.MemStats
+				runtime.ReadMemStats(&ms0)
+				start := time.Now()
+				for trial := 0; trial < spec.Trials; trial++ {
+					seed := rng.Derive(cellSeed, uint64(trial))
+					m := spec.Mesh.New()
+					injector.Inject(m, rng.New(rng.Derive(seed, 1<<48)))
+					im, err := traffic.BuildModel(model.Name, core.NewModel(m), model.Args())
+					if err != nil {
+						return nil, err // unreachable after Validate
+					}
+					p, err := traffic.BuildPattern(pattern.Name, m, pattern.Args())
+					if err != nil {
+						return nil, err // unreachable after Validate
+					}
+					e := traffic.NewEngine(m, im, p, traffic.Options{
+						Rate:      rate,
+						Warmup:    simnet.Time(spec.Measure.Warmup),
+						Window:    simnet.Time(spec.Measure.Window),
+						LinkDelay: simnet.Time(spec.Measure.LinkDelay),
+						MaxEvents: spec.Measure.MaxEvents,
+					})
+					r := e.Run(seed)
+					if r.Err != nil {
+						return nil, fmt.Errorf("bench cell %s: %w", label, r.Err)
+					}
+					res.Events += r.Events
+					res.Packets += r.Delivered
+				}
+				elapsed := time.Since(start)
+				runtime.ReadMemStats(&ms1)
+
+				res.ElapsedSec = elapsed.Seconds()
+				if res.ElapsedSec > 0 {
+					res.EventsPerSec = float64(res.Events) / res.ElapsedSec
+				}
+				if res.Packets > 0 {
+					res.NsPerPacket = float64(elapsed.Nanoseconds()) / float64(res.Packets)
+					res.AllocsPerPacket = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Packets)
+				}
+				row := []string{
+					pattern.Name, model.Name, fmt.Sprintf("%.3f", rate),
+					fmt.Sprintf("%d", res.Events),
+					fmt.Sprintf("%d", res.Packets),
+					fmt.Sprintf("%.0f", res.EventsPerSec),
+					fmt.Sprintf("%.0f", res.NsPerPacket),
+					fmt.Sprintf("%.2f", res.AllocsPerPacket),
+				}
+				t.AddRow(row...)
+				rep.Cells = append(rep.Cells, Cell{
+					Index: cell, Pattern: pattern.Name, Model: model.Name, Rate: rate, Faults: faults, Row: row,
+					Values: map[string]float64{
+						"events":            float64(res.Events),
+						"packets":           float64(res.Packets),
+						"events_per_sec":    res.EventsPerSec,
+						"ns_per_packet":     res.NsPerPacket,
+						"allocs_per_packet": res.AllocsPerPacket,
+					},
+				})
+				rep.bench = append(rep.bench, res)
+				sc.emit(Event{Cell: cell, Total: total, Label: label, Done: true, Row: row})
+				cell++
+			}
+		}
+	}
+	t.AddNote("wall-clock rates; trial results (simulated traffic) are identical to the traffic measure for the same spec.")
+	t.AddNote("allocs/packet amortises per-trial setup (mesh, model, engine) over the delivered packets of the cell.")
+	return rep, nil
+}
+
+// BenchSpec returns the default benchmark spec: the 16x16x16 hotspot run on
+// the paper's MCC model that PERFORMANCE.md tracks. Callers override it via
+// -spec.
+func BenchSpec() Spec {
+	return Spec{
+		Name: "bench-traffic",
+		Mesh: Cube(16),
+		Faults: FaultSpec{
+			Inject: C("uniform"),
+			Counts: []int{120},
+		},
+		Models: Components{C("mcc")},
+		Workload: WorkloadSpec{
+			Patterns: Components{C("hotspot")},
+			Rates:    []float64{0.02},
+		},
+		Measure: MeasureSpec{
+			Kind:      MeasureBench,
+			Warmup:    50,
+			Window:    500,
+			MaxEvents: 50_000_000,
+		},
+		Seed:   20050507,
+		Trials: 3,
+	}
+}

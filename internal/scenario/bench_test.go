@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// tinyBenchSpec is a fast bench-measure scenario.
+func tinyBenchSpec() Spec {
+	return Spec{
+		Name:     "tiny-bench",
+		Mesh:     Cube(6),
+		Faults:   FaultSpec{Inject: C("uniform"), Counts: []int{8}},
+		Models:   ComponentsOf("local"),
+		Workload: WorkloadSpec{Patterns: ComponentsOf("uniform"), Rates: []float64{0.05}},
+		Measure:  MeasureSpec{Kind: MeasureBench, Warmup: 10, Window: 60},
+		Seed:     99,
+		Trials:   2,
+	}
+}
+
+func TestBenchMeasureProducesRates(t *testing.T) {
+	sc, err := New(tinyBenchSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := rep.BenchResults()
+	if len(results) != 1 {
+		t.Fatalf("got %d bench results, want 1", len(results))
+	}
+	r := results[0]
+	if r.Events <= 0 || r.Packets <= 0 {
+		t.Fatalf("bench cell measured nothing: %+v", r)
+	}
+	if r.EventsPerSec <= 0 || r.NsPerPacket <= 0 {
+		t.Errorf("rates not computed: %+v", r)
+	}
+	if r.Mesh != "6x6x6" || r.Pattern != "uniform" || r.Model != "local" {
+		t.Errorf("configuration echo wrong: %+v", r)
+	}
+	if len(rep.Cells) != 1 || rep.Cells[0].Values["events"] != float64(r.Events) {
+		t.Errorf("report cells out of sync with bench results: %+v", rep.Cells)
+	}
+}
+
+func TestWriteBenchJSONRoundTrips(t *testing.T) {
+	sc, err := New(tinyBenchSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var file BenchFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("BENCH json does not parse: %v", err)
+	}
+	if len(file.Cells) != 1 || file.Cells[0].Events != rep.BenchResults()[0].Events {
+		t.Fatalf("round-trip lost data: %+v", file)
+	}
+	for _, key := range []string{"events_per_sec", "ns_per_packet", "allocs_per_packet"} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("BENCH json misses %q", key)
+		}
+	}
+}
+
+func TestWriteBenchJSONRejectsOtherMeasures(t *testing.T) {
+	sc, err := New(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBenchJSON(&bytes.Buffer{}, rep); err == nil {
+		t.Fatal("WriteBenchJSON should reject a traffic-measure report")
+	}
+}
+
+// TestBenchSpecValid pins the default benchmark configuration: it must
+// validate (CI runs it head-less) and aim at the reference workload.
+func TestBenchSpecValid(t *testing.T) {
+	sc, err := New(BenchSpec())
+	if err != nil {
+		t.Fatalf("default bench spec does not validate: %v", err)
+	}
+	spec := sc.Spec()
+	if spec.Mesh != Cube(16) || spec.Measure.Kind != MeasureBench {
+		t.Errorf("reference workload drifted: %+v", spec)
+	}
+}
+
+// TestTrafficCellSurvivesEventBudget: a cell whose trials exhaust the event
+// budget must fail that cell (visible row + Cell.Err) without failing the
+// report, the sweep, or the process.
+func TestTrafficCellSurvivesEventBudget(t *testing.T) {
+	spec := tinySpec()
+	spec.Measure.MaxEvents = 50 // guaranteed exhaustion
+	sc, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatalf("budget exhaustion must not fail the run: %v", err)
+	}
+	if len(rep.Cells) == 0 {
+		t.Fatal("no cells reported")
+	}
+	for _, c := range rep.Cells {
+		if c.Err == "" {
+			t.Errorf("cell %d should carry the budget error", c.Index)
+		}
+		if len(c.Row) > 3 && !strings.Contains(c.Row[3], "FAILED") {
+			t.Errorf("cell %d row should read FAILED: %v", c.Index, c.Row)
+		}
+	}
+	if !strings.Contains(rep.Table.Render(), "event budget exhausted") {
+		t.Error("table should mention the budget error")
+	}
+}

@@ -552,6 +552,25 @@ func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 					return e.Run(seed)
 				})
 				agg := traffic.Collect(results)
+				if agg.Err != nil {
+					// A trial aborted (event budget exhausted): fail this cell
+					// visibly but keep the sweep alive — a runaway cell must
+					// not cost the report its other cells, let alone the
+					// process.
+					row := []string{
+						pattern.Name, model.Name, fmt.Sprintf("%.3f", rate),
+						fmt.Sprintf("FAILED (%d/%d trials): %v", agg.Failed, agg.Trials, agg.Err),
+						"-", "-", "-", "-", "-", "-", "-",
+					}
+					t.AddRow(row...)
+					rep.Cells = append(rep.Cells, Cell{
+						Index: cell, Pattern: pattern.Name, Model: model.Name, Rate: rate, Faults: faults, Row: row,
+						Err: agg.Err.Error(),
+					})
+					sc.emit(Event{Cell: cell, Total: total, Label: label, Done: true, Row: row})
+					cell++
+					continue
+				}
 				row := []string{
 					pattern.Name,
 					model.Name,

@@ -103,6 +103,9 @@ type Report struct {
 	Table *stats.Table `json:"table"`
 	// Cells are the per-sweep-point results in table-row order.
 	Cells []Cell `json:"cells,omitempty"`
+	// bench holds the machine-readable results of the bench measure (see
+	// BenchResults); other measures leave it nil.
+	bench []BenchResult
 }
 
 // Cell is one sweep point of a report: the labels that identify it, the
@@ -121,6 +124,9 @@ type Cell struct {
 	Row []string `json:"row,omitempty"`
 	// Values are raw (unformatted) metrics keyed by name.
 	Values map[string]float64 `json:"values,omitempty"`
+	// Err is set when the cell failed (e.g. a trial exhausted the simulator's
+	// event budget); the rest of the sweep still runs.
+	Err string `json:"error,omitempty"`
 }
 
 // Event is one progress notification streamed to the observer: a cell is

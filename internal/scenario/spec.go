@@ -307,7 +307,7 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Models) == 0 {
 		s.Models = Components{C("mcc")}
 	}
-	if s.Measure.Kind == MeasureTraffic {
+	if s.Measure.Kind == MeasureTraffic || s.Measure.Kind == MeasureBench {
 		if len(s.Workload.Patterns) == 0 {
 			s.Workload.Patterns = Components{C("uniform")}
 		}
@@ -373,7 +373,7 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
-	if s.Measure.Kind == MeasureTraffic {
+	if s.Measure.Kind == MeasureTraffic || s.Measure.Kind == MeasureBench {
 		for _, c := range s.Workload.Patterns {
 			if _, err := traffic.BuildPattern(c.Name, probe, c.Args()); err != nil {
 				return err

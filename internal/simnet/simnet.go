@@ -5,10 +5,26 @@
 // labelling, identification, boundary construction, detection and routing —
 // run on top of it, and the experiments use its statistics to measure the
 // information model's message overhead.
+//
+// # Fast path
+//
+// Internally the simulator is index-first: nodes are addressed by their dense
+// mesh ID (int32), envelope kinds are interned to small integer KindIDs (the
+// string-keyed Stats.ByKind map is materialised once when Stats is read), and
+// the event queue is a calendar queue — a ring of per-tick buckets whose
+// backing arrays are recycled across ticks, with a binary-heap fallback for
+// far-future events (distant timers, Network.At control callbacks). Events are
+// stored by value in the buckets, so the steady-state hot path of one event —
+// enqueue, bucket append, dequeue, deliver — performs no allocation.
+//
+// Handlers that need the same discipline (the traffic engine) use the Ref
+// fast path: Context.SendRef / Context.AfterRef carry an opaque int32 payload
+// reference into the envelope instead of an `any` box, and the handler
+// resolves the reference against its own typed pool.
 package simnet
 
 import (
-	"container/heap"
+	"errors"
 	"fmt"
 
 	"mccmesh/internal/grid"
@@ -18,6 +34,19 @@ import (
 // Time is simulated time in abstract ticks.
 type Time int64
 
+// KindID is an interned envelope kind. IDs are per-Network, dense and small;
+// intern kinds once with Network.Kind and compare/switch on the ID instead of
+// the string on hot paths.
+type KindID int32
+
+// NoRef is the Ref value of envelopes sent without a payload reference.
+const NoRef int32 = -1
+
+// ErrEventBudget is returned (wrapped) by Run and Drain when the configured
+// MaxEvents budget is exhausted — almost always a protocol livelock or an
+// undersized budget for the offered load.
+var ErrEventBudget = errors.New("simnet: event budget exhausted")
+
 // Envelope is a message in flight or being delivered.
 type Envelope struct {
 	// From and To are the sending and receiving nodes. Timer events have
@@ -25,13 +54,16 @@ type Envelope struct {
 	From, To grid.Point
 	// Kind classifies the message for statistics ("label", "detect", ...).
 	Kind string
+	// KindID is the interned form of Kind, stable within one Network.
+	KindID KindID
 	// Payload is the protocol-specific content.
 	Payload any
+	// Ref is the opaque payload reference of the zero-alloc fast path
+	// (Context.SendRef / Context.AfterRef), or NoRef. The simulator never
+	// interprets it; the sending handler resolves it against its own pool.
+	Ref int32
 	// SendTime and DeliverTime bracket the link traversal.
 	SendTime, DeliverTime Time
-	// Hop is the hop index of the message within its protocol flow, if the
-	// sender sets it (diagnostic only).
-	Hop int
 }
 
 // Handler is the per-node protocol logic. A single Handler value is shared by
@@ -68,6 +100,12 @@ type Options struct {
 	LinkDelay Time
 	// MaxEvents aborts runaway protocols. Defaults to 4_000_000.
 	MaxEvents int
+
+	// farThreshold forces events further than this many ticks in the future
+	// onto the heap fallback instead of the calendar ring. Zero selects the
+	// ring width. It exists so tests can compare the calendar's event order
+	// against the pure-heap reference; production code leaves it alone.
+	farThreshold Time
 }
 
 // Network is the simulator instance.
@@ -78,8 +116,20 @@ type Network struct {
 
 	now   Time
 	seq   int64
-	queue eventQueue
+	queue calendarQueue
 	stats Stats
+
+	// kindIDs interns kind strings; kindNames and byKind are indexed by KindID.
+	kindIDs   map[string]KindID
+	kindNames []string
+	byKind    []int
+
+	// boxed holds `any` payloads and At callbacks outside the (pointer-free)
+	// event queue; boxedFree is its slot free-list. Ref-based sends never
+	// touch it.
+	boxed     []any
+	boxedFree []int32
+
 	store []map[string]any
 	ctxs  []Context
 }
@@ -96,19 +146,75 @@ func New(m *mesh.Mesh, handler Handler, opts ...Options) *Network {
 	if o.MaxEvents <= 0 {
 		o.MaxEvents = 4_000_000
 	}
+	if o.farThreshold <= 0 || o.farThreshold > wheelSize {
+		o.farThreshold = wheelSize
+	}
 	n := &Network{
 		mesh:    m,
 		handler: handler,
 		opts:    o,
-		stats:   Stats{ByKind: make(map[string]int)},
+		kindIDs: make(map[string]KindID, 8),
 		store:   make([]map[string]any, m.NodeCount()),
 		ctxs:    make([]Context, m.NodeCount()),
 	}
+	n.queue.init()
+	// KindID 0 is reserved for control events so Stats never reports them as
+	// deliveries of a user kind.
+	n.intern("control")
 	for i := range n.ctxs {
-		n.ctxs[i] = Context{net: n, self: m.Point(i)}
+		n.ctxs[i] = Context{net: n, self: m.Point(i), selfID: int32(i)}
 	}
 	return n
 }
+
+const kindControl KindID = 0
+
+// box parks a payload (or control callback) in the side table and returns its
+// slot, reusing freed slots. nil payloads are not boxed.
+func (n *Network) box(v any) int32 {
+	if v == nil {
+		return noBox
+	}
+	if k := len(n.boxedFree); k > 0 {
+		idx := n.boxedFree[k-1]
+		n.boxedFree = n.boxedFree[:k-1]
+		n.boxed[idx] = v
+		return idx
+	}
+	n.boxed = append(n.boxed, v)
+	return int32(len(n.boxed) - 1)
+}
+
+// unbox retrieves and releases a boxed payload.
+func (n *Network) unbox(idx int32) any {
+	if idx == noBox {
+		return nil
+	}
+	v := n.boxed[idx]
+	n.boxed[idx] = nil
+	n.boxedFree = append(n.boxedFree, idx)
+	return v
+}
+
+// intern returns the stable KindID of name, allocating one on first use.
+func (n *Network) intern(name string) KindID {
+	if id, ok := n.kindIDs[name]; ok {
+		return id
+	}
+	id := KindID(len(n.kindNames))
+	n.kindIDs[name] = id
+	n.kindNames = append(n.kindNames, name)
+	n.byKind = append(n.byKind, 0)
+	return id
+}
+
+// Kind interns an envelope kind and returns its dense ID. Handlers on the
+// fast path intern their kinds once (at Init) and pass the IDs to SendRef,
+// SendDirRef and AfterRef.
+func (n *Network) Kind(name string) KindID { return n.intern(name) }
+
+// KindName returns the string form of an interned kind.
+func (n *Network) KindName(id KindID) string { return n.kindNames[id] }
 
 // Mesh returns the underlying mesh.
 func (n *Network) Mesh() *mesh.Mesh { return n.mesh }
@@ -116,12 +222,15 @@ func (n *Network) Mesh() *mesh.Mesh { return n.mesh }
 // Now returns the current simulated time.
 func (n *Network) Now() Time { return n.now }
 
-// Stats returns a copy of the accumulated statistics.
+// Stats returns a copy of the accumulated statistics, materialising the
+// ByKind map from the interned per-kind counters.
 func (n *Network) Stats() Stats {
 	s := n.stats
-	s.ByKind = make(map[string]int, len(n.stats.ByKind))
-	for k, v := range n.stats.ByKind {
-		s.ByKind[k] = v
+	s.ByKind = make(map[string]int, len(n.byKind))
+	for id, count := range n.byKind {
+		if count > 0 {
+			s.ByKind[n.kindNames[id]] = count
+		}
 	}
 	return s
 }
@@ -140,9 +249,12 @@ func (n *Network) Store(p grid.Point) map[string]any {
 // Post injects an external event addressed to node p at the current time
 // (plus one link delay), e.g. the arrival of a routing request at the source.
 func (n *Network) Post(p grid.Point, kind string, payload any) {
-	n.enqueue(Envelope{
-		From: p, To: p, Kind: kind, Payload: payload,
-		SendTime: n.now, DeliverTime: n.now,
+	id := n.mesh.ID(p)
+	n.enqueue(event{
+		time: n.now, sendTime: n.now,
+		from: id, to: id,
+		kind: n.intern(kind), ref: NoRef,
+		box: n.box(payload),
 	})
 }
 
@@ -154,17 +266,18 @@ func (n *Network) At(t Time, fn func()) {
 	if t < n.now {
 		t = n.now
 	}
-	n.seq++
-	heap.Push(&n.queue, &event{
-		env: Envelope{Kind: "control", SendTime: n.now, DeliverTime: t},
-		seq: n.seq,
-		fn:  fn,
+	n.enqueue(event{
+		time: t, sendTime: n.now,
+		from: mesh.NoNeighbor, to: mesh.NoNeighbor,
+		kind: kindControl, ref: NoRef,
+		box: n.box(fn), ctrl: true,
 	})
 }
 
-// Run initialises every healthy node and processes events until the network is
-// quiescent or the event budget is exhausted. It returns the final statistics.
-func (n *Network) Run() Stats {
+// Run initialises every healthy node and processes events until the network
+// is quiescent. It returns the final statistics, and a non-nil error wrapping
+// ErrEventBudget if the event budget was exhausted before quiescence.
+func (n *Network) Run() (Stats, error) {
 	for i := 0; i < n.mesh.NodeCount(); i++ {
 		if n.mesh.FaultyAt(i) {
 			continue
@@ -175,47 +288,92 @@ func (n *Network) Run() Stats {
 }
 
 // Drain processes queued events without re-initialising nodes. It is used to
-// continue a simulation after posting additional external events.
-func (n *Network) Drain() Stats {
-	for len(n.queue) > 0 {
-		if n.stats.Events >= n.opts.MaxEvents {
-			panic(fmt.Sprintf("simnet: event budget %d exhausted (protocol livelock?)", n.opts.MaxEvents))
+// continue a simulation after posting additional external events. When the
+// event budget runs out it stops and returns the statistics so far together
+// with an error wrapping ErrEventBudget.
+func (n *Network) Drain() (Stats, error) {
+	for n.queue.pending() {
+		t := n.queue.nextTime(n.now)
+		n.queue.migrate(t, n.opts.farThreshold)
+		bucket := &n.queue.ring[t&wheelMask]
+		// The bucket may grow while it is drained: same-tick events appended
+		// during processing (After(0), At(now), Post) carry larger sequence
+		// numbers and belong at the tail, so re-reading len each iteration
+		// preserves the (time, seq) order exactly.
+		for i := 0; i < len(*bucket); i++ {
+			if n.stats.Events >= n.opts.MaxEvents {
+				// Drop the processed prefix so a (hypothetical) further Drain
+				// does not replay it.
+				n.queue.consume(bucket, i)
+				return n.Stats(), fmt.Errorf("%w: budget %d at t=%d (protocol livelock or undersized MaxEvents?)",
+					ErrEventBudget, n.opts.MaxEvents, n.now)
+			}
+			ev := (*bucket)[i] // copy: the append above may move the slice
+			n.now = t
+			n.stats.Events++
+			n.stats.FinalTime = t
+			n.process(ev)
 		}
-		ev := heap.Pop(&n.queue).(*event)
-		n.now = ev.env.DeliverTime
-		n.stats.Events++
-		n.stats.FinalTime = n.now
-		if ev.fn != nil {
-			n.stats.Control++
-			ev.fn()
-			continue
-		}
-		to := ev.env.To
-		if !n.mesh.InBounds(to) || n.mesh.IsFaulty(to) {
-			n.stats.Dropped++
-			continue
-		}
-		n.stats.Delivered++
-		n.stats.ByKind[ev.env.Kind]++
-		n.handler.Receive(&n.ctxs[n.mesh.Index(to)], ev.env)
+		n.queue.consume(bucket, len(*bucket))
 	}
-	return n.Stats()
+	return n.Stats(), nil
 }
 
-func (n *Network) enqueue(env Envelope) {
+// process dispatches one dequeued event.
+func (n *Network) process(ev event) {
+	if ev.ctrl {
+		n.stats.Control++
+		n.unbox(ev.box).(func())()
+		return
+	}
+	if ev.to == mesh.NoNeighbor || n.mesh.FaultyAt(int(ev.to)) {
+		n.stats.Dropped++
+		n.unbox(ev.box) // release the payload of the dropped message
+		return
+	}
+	n.stats.Delivered++
+	n.byKind[ev.kind]++
+	n.handler.Receive(&n.ctxs[ev.to], Envelope{
+		From:        n.pointOf(ev.from),
+		To:          n.mesh.Point(int(ev.to)),
+		Kind:        n.kindNames[ev.kind],
+		KindID:      ev.kind,
+		Payload:     n.unbox(ev.box),
+		Ref:         ev.ref,
+		SendTime:    ev.sendTime,
+		DeliverTime: ev.time,
+	})
+}
+
+// pointOf maps a dense ID back to coordinates, tolerating the out-of-mesh
+// marker (control events, senders of dropped posts).
+func (n *Network) pointOf(id int32) grid.Point {
+	if id == mesh.NoNeighbor {
+		return grid.Point{}
+	}
+	return n.mesh.Point(int(id))
+}
+
+// enqueue assigns the next sequence number and buckets the event.
+func (n *Network) enqueue(ev event) {
 	n.seq++
-	heap.Push(&n.queue, &event{env: env, seq: n.seq})
+	ev.seq = n.seq
+	n.queue.push(ev, n.now, n.opts.farThreshold)
 }
 
 // Context gives a handler access to its node's identity, local store and
 // communication primitives.
 type Context struct {
-	net  *Network
-	self grid.Point
+	net    *Network
+	self   grid.Point
+	selfID int32
 }
 
 // Self returns the node this context belongs to.
 func (c *Context) Self() grid.Point { return c.self }
+
+// SelfID returns the dense mesh ID of the node this context belongs to.
+func (c *Context) SelfID() int32 { return c.selfID }
 
 // Time returns the current simulated time.
 func (c *Context) Time() Time { return c.net.now }
@@ -232,11 +390,11 @@ func (c *Context) Store() map[string]any { return c.net.Store(c.self) }
 // missing. Nodes are assumed to know the liveness of their direct neighbours
 // (the paper's base assumption).
 func (c *Context) NeighborFaulty(dir grid.Direction) bool {
-	q := grid.Step(c.self, dir)
-	if !c.net.mesh.InBounds(q) {
+	q := c.net.mesh.NeighborID(c.selfID, dir)
+	if q == mesh.NoNeighbor {
 		return true
 	}
-	return c.net.mesh.IsFaulty(q)
+	return c.net.mesh.FaultyAt(int(q))
 }
 
 // Send transmits a message to a neighbouring node. It panics if to is not a
@@ -245,20 +403,45 @@ func (c *Context) Send(to grid.Point, kind string, payload any) {
 	if grid.Manhattan(c.self, to) != 1 {
 		panic(fmt.Sprintf("simnet: %v attempted a non-local send to %v", c.self, to))
 	}
-	c.net.enqueue(Envelope{
-		From: c.self, To: to, Kind: kind, Payload: payload,
-		SendTime: c.net.now, DeliverTime: c.net.now + c.net.opts.LinkDelay,
+	c.net.enqueue(event{
+		time: c.net.now + c.net.opts.LinkDelay, sendTime: c.net.now,
+		from: c.selfID, to: c.net.mesh.ID(to),
+		kind: c.net.intern(kind), ref: NoRef,
+		box: c.net.box(payload),
 	})
 }
 
 // SendDir transmits a message to the neighbour in the given direction and
 // reports whether such a neighbour exists.
 func (c *Context) SendDir(dir grid.Direction, kind string, payload any) bool {
-	q := grid.Step(c.self, dir)
-	if !c.net.mesh.InBounds(q) {
+	to := c.net.mesh.NeighborID(c.selfID, dir)
+	if to == mesh.NoNeighbor {
 		return false
 	}
-	c.Send(q, kind, payload)
+	c.net.enqueue(event{
+		time: c.net.now + c.net.opts.LinkDelay, sendTime: c.net.now,
+		from: c.selfID, to: to,
+		kind: c.net.intern(kind), ref: NoRef,
+		box: c.net.box(payload),
+	})
+	return true
+}
+
+// SendRef transmits a payload reference to the neighbour in the given
+// direction and reports whether such a neighbour exists. It is the zero-alloc
+// fast path: kind must be interned with Network.Kind, and ref is an opaque
+// handle the receiving handler resolves against its own pool (it arrives in
+// Envelope.Ref; Envelope.Payload stays nil).
+func (c *Context) SendRef(dir grid.Direction, kind KindID, ref int32) bool {
+	to := c.net.mesh.NeighborID(c.selfID, dir)
+	if to == mesh.NoNeighbor {
+		return false
+	}
+	c.net.enqueue(event{
+		time: c.net.now + c.net.opts.LinkDelay, sendTime: c.net.now,
+		from: c.selfID, to: to,
+		kind: kind, ref: ref, box: noBox,
+	})
 	return true
 }
 
@@ -276,46 +459,24 @@ func (c *Context) Broadcast(kind string, payload any) int {
 
 // After schedules a local timer event delivered to this node after delay.
 func (c *Context) After(delay Time, kind string, payload any) {
+	c.after(delay, c.net.intern(kind), NoRef, payload)
+}
+
+// AfterRef schedules a local timer carrying a payload reference instead of a
+// boxed payload — the timer counterpart of SendRef.
+func (c *Context) AfterRef(delay Time, kind KindID, ref int32) {
+	c.after(delay, kind, ref, nil)
+}
+
+func (c *Context) after(delay Time, kind KindID, ref int32, payload any) {
 	if delay < 0 {
 		delay = 0
 	}
 	c.net.stats.Timers++
-	c.net.enqueue(Envelope{
-		From: c.self, To: c.self, Kind: kind, Payload: payload,
-		SendTime: c.net.now, DeliverTime: c.net.now + delay,
+	c.net.enqueue(event{
+		time: c.net.now + delay, sendTime: c.net.now,
+		from: c.selfID, to: c.selfID,
+		kind: kind, ref: ref,
+		box: c.net.box(payload),
 	})
-}
-
-// --- event queue -------------------------------------------------------------
-
-type event struct {
-	env Envelope
-	seq int64
-	// fn, when non-nil, marks a control event: Drain runs it instead of
-	// delivering env to a node.
-	fn func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].env.DeliverTime != q[j].env.DeliverTime {
-		return q[i].env.DeliverTime < q[j].env.DeliverTime
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
 }

@@ -1,11 +1,24 @@
 package simnet
 
 import (
+	"errors"
+	"fmt"
+	"reflect"
 	"testing"
 
 	"mccmesh/internal/grid"
 	"mccmesh/internal/mesh"
 )
+
+// mustRun drains a network in a test that does not expect budget exhaustion.
+func mustRun(t *testing.T, net *Network) Stats {
+	t.Helper()
+	stats, err := net.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return stats
+}
 
 // floodHandler floods a token to every node and records the hop distance at
 // which each node first saw it.
@@ -26,7 +39,7 @@ func TestFloodReachesEveryHealthyNode(t *testing.T) {
 	m.AddFaults(grid.Point{X: 1, Y: 1, Z: 1})
 	net := New(m, floodHandler{})
 	net.Post(grid.Point{}, "flood", "token")
-	stats := net.Run()
+	stats := mustRun(t, net)
 
 	reached := 0
 	m.ForEach(func(p grid.Point) {
@@ -53,7 +66,7 @@ func TestFloodTimeEqualsDistance(t *testing.T) {
 	net := New(m, floodHandler{})
 	src := grid.Point{}
 	net.Post(src, "flood", nil)
-	net.Run()
+	mustRun(t, net)
 	m.ForEach(func(p grid.Point) {
 		seen, ok := net.Store(p)["seen"].(Time)
 		if !ok {
@@ -91,7 +104,7 @@ func TestDeterministicOrdering(t *testing.T) {
 		m := mesh.New2D(3, 3)
 		net := New(m, pingPong{limit: 10})
 		net.Post(grid.Point{X: 1, Y: 1}, "start", nil)
-		return net.Run()
+		return mustRun(t, net)
 	}
 	a, b := run(), run()
 	if a.Delivered != b.Delivered || a.FinalTime != b.FinalTime || a.Events != b.Events {
@@ -105,7 +118,7 @@ func TestDeterministicOrdering(t *testing.T) {
 func TestSendRejectsNonNeighbors(t *testing.T) {
 	m := mesh.New2D(4, 4)
 	net := New(m, floodHandler{})
-	ctx := &Context{net: net, self: grid.Point{}}
+	ctx := &Context{net: net, self: grid.Point{}, selfID: 0}
 	defer func() {
 		if recover() == nil {
 			t.Error("Send to a non-neighbour should panic")
@@ -117,7 +130,7 @@ func TestSendRejectsNonNeighbors(t *testing.T) {
 func TestSendDirOffMesh(t *testing.T) {
 	m := mesh.New2D(3, 3)
 	net := New(m, floodHandler{})
-	ctx := &Context{net: net, self: grid.Point{}}
+	ctx := &Context{net: net, self: grid.Point{}, selfID: 0}
 	if ctx.SendDir(grid.XNeg, "x", nil) {
 		t.Error("SendDir off the mesh should report false")
 	}
@@ -143,7 +156,7 @@ func TestTimers(t *testing.T) {
 	fired := 0
 	net := New(m, timerHandler{fired: &fired})
 	net.Post(grid.Point{X: 1, Y: 1}, "start", nil)
-	stats := net.Run()
+	stats := mustRun(t, net)
 	if fired != 1 {
 		t.Errorf("timer fired %d times, want 1", fired)
 	}
@@ -166,7 +179,7 @@ func TestAtRunsControlCallbacksInTimeOrder(t *testing.T) {
 		m.SetFaulty(grid.Point{X: 2, Y: 1}, true)
 	})
 	net.Post(grid.Point{X: 1, Y: 1}, "start", nil)
-	stats := net.Run()
+	stats := mustRun(t, net)
 	if len(times) != 2 || times[0] != 3 || times[1] != 7 {
 		t.Errorf("control callbacks ran at %v, want [3 7]", times)
 	}
@@ -188,7 +201,7 @@ func TestAtClampsPastTimes(t *testing.T) {
 	net := New(m, floodHandler{})
 	fired := false
 	net.At(-5, func() { fired = true })
-	net.Run()
+	mustRun(t, net)
 	if !fired {
 		t.Error("control callback scheduled in the past should still run")
 	}
@@ -198,7 +211,7 @@ func TestNeighborFaulty(t *testing.T) {
 	m := mesh.New2D(3, 3)
 	m.AddFaults(grid.Point{X: 1, Y: 0})
 	net := New(m, floodHandler{})
-	ctx := &Context{net: net, self: grid.Point{}}
+	ctx := &Context{net: net, self: grid.Point{}, selfID: 0}
 	if !ctx.NeighborFaulty(grid.XPos) {
 		t.Error("faulty neighbour not reported")
 	}
@@ -210,14 +223,188 @@ func TestNeighborFaulty(t *testing.T) {
 	}
 }
 
-func TestEventBudgetPanics(t *testing.T) {
+func TestEventBudgetReturnsError(t *testing.T) {
 	m := mesh.New2D(3, 3)
 	net := New(m, pingPong{limit: 1 << 30}, Options{MaxEvents: 100})
 	net.Post(grid.Point{X: 1, Y: 1}, "start", nil)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected the event budget to abort the runaway protocol")
+	stats, err := net.Run()
+	if !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("Run error = %v, want ErrEventBudget", err)
+	}
+	if stats.Events != 100 {
+		t.Errorf("processed %d events before aborting, want exactly the budget 100", stats.Events)
+	}
+}
+
+// --- equal-time ordering and calendar/heap equivalence -----------------------
+
+// order is one recorded delivery/control occurrence.
+type order struct {
+	T    Time
+	Kind string
+	Node grid.Point
+	Seq  int // payload sequence stamped by the sender
+}
+
+// mixHandler exercises every scheduling surface at once: sends, zero-delay
+// timers, same-tick posts and far-future timers, each stamped so the exact
+// interleave is observable.
+type mixHandler struct {
+	log *[]order
+	n   int
+}
+
+func (h *mixHandler) Init(ctx *Context) {}
+
+func (h *mixHandler) Receive(ctx *Context, env Envelope) {
+	*h.log = append(*h.log, order{T: ctx.Time(), Kind: env.Kind, Node: ctx.Self(), Seq: env.Payload.(int)})
+	if len(*h.log) > 400 {
+		return
+	}
+	h.n++
+	// Deterministic pseudo-random fan-out: a mix of near sends, equal-time
+	// timers and far-future timers (beyond the calendar window, to force the
+	// heap fallback and its migration path).
+	switch h.n % 4 {
+	case 0:
+		ctx.SendDir(grid.Direction(h.n%4), "send", h.n)
+		ctx.After(0, "zero-timer", h.n)
+	case 1:
+		ctx.After(Time(h.n%7), "timer", h.n)
+	case 2:
+		ctx.SendDir(grid.Direction((h.n+1)%4), "send", h.n)
+		ctx.SendDir(grid.Direction((h.n+2)%4), "send", h.n)
+	case 3:
+		ctx.After(wheelSize+Time(h.n%500), "far-timer", h.n)
+	}
+}
+
+// runMix drives the mix workload over a network with the given options and
+// returns the recorded event order.
+func runMix(t *testing.T, opts Options) []order {
+	t.Helper()
+	m := mesh.New2D(4, 4)
+	var log []order
+	net := New(m, &mixHandler{log: &log}, opts)
+	net.Post(grid.Point{X: 1, Y: 1}, "start", 0)
+	net.Post(grid.Point{X: 2, Y: 2}, "start", 0)
+	net.At(2, func() { log = append(log, order{T: net.Now(), Kind: "control", Seq: -1}) })
+	net.At(wheelSize+100, func() { log = append(log, order{T: net.Now(), Kind: "control", Seq: -2}) })
+	if _, err := net.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return log
+}
+
+// TestCalendarMatchesHeapOrder is the scheduler-equivalence regression test:
+// the calendar queue must reproduce, event for event, the order produced by
+// the pure binary-heap scheduler (farThreshold: 1 sends every event through
+// the heap fallback, which pops in exactly the old heap's (time, seq) order).
+func TestCalendarMatchesHeapOrder(t *testing.T) {
+	calendar := runMix(t, Options{})
+	heap := runMix(t, Options{farThreshold: 1})
+	if len(calendar) == 0 {
+		t.Fatal("workload recorded no events")
+	}
+	if !reflect.DeepEqual(calendar, heap) {
+		for i := range calendar {
+			if i >= len(heap) || calendar[i] != heap[i] {
+				t.Fatalf("event %d diverges: calendar=%+v heap=%+v", i, calendar[i], heap[i])
+			}
 		}
-	}()
-	net.Run()
+		t.Fatalf("calendar recorded %d events, heap %d", len(calendar), len(heap))
+	}
+}
+
+// seqHandler records the interleave of equal-time events.
+type seqHandler struct{ log *[]string }
+
+func (seqHandler) Init(ctx *Context) {}
+
+func (h seqHandler) Receive(ctx *Context, env Envelope) {
+	*h.log = append(*h.log, fmt.Sprintf("%s@%d", env.Kind, ctx.Time()))
+	if env.Kind == "start" {
+		// All three of these land on the same future tick; among equal times,
+		// scheduling order must win regardless of event class.
+		ctx.SendDir(grid.XPos, "send-a", nil) // scheduled 1st, t+1
+		ctx.After(1, "timer-b", nil)          // scheduled 2nd, t+1
+		ctx.SendDir(grid.YPos, "send-c", nil) // scheduled 3rd, t+1
+	}
+}
+
+// TestEqualTimeOrderingAcrossEventClasses pins the tie-break discipline the
+// paper experiments rely on: time first, then scheduling sequence — with At
+// control callbacks interleaved by the same rule.
+func TestEqualTimeOrderingAcrossEventClasses(t *testing.T) {
+	m := mesh.New2D(3, 3)
+	var log []string
+	net := New(m, seqHandler{log: &log})
+	net.Post(grid.Point{}, "start", nil)
+	// Control callback scheduled after Post but before the handler runs: at
+	// t=1 it must therefore run before the handler's three t=1 events... no —
+	// it is scheduled second overall (seq 2), after the Post (seq 1), while
+	// the sends are scheduled during delivery of the Post (seq 3..5).
+	net.At(1, func() { log = append(log, fmt.Sprintf("control@%d", net.Now())) })
+	if _, err := net.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"start@0", "control@1", "send-a@1", "timer-b@1", "send-c@1"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("equal-time order = %v, want %v", log, want)
+	}
+}
+
+// refHandler exercises the SendRef/AfterRef fast path.
+type refHandler struct {
+	kind  KindID
+	seen  *[]int32
+	limit int
+}
+
+func (h *refHandler) Init(ctx *Context) {}
+
+func (h *refHandler) Receive(ctx *Context, env Envelope) {
+	if env.KindID != h.kind {
+		return
+	}
+	*h.seen = append(*h.seen, env.Ref)
+	if len(*h.seen) >= h.limit {
+		return
+	}
+	ctx.SendRef(grid.XPos, h.kind, env.Ref+1)
+}
+
+func TestSendRefCarriesReferences(t *testing.T) {
+	m := mesh.New2D(8, 1)
+	var seen []int32
+	h := &refHandler{seen: &seen, limit: 5}
+	net := New(m, h)
+	h.kind = net.Kind("ref")
+	ctx := &Context{net: net, self: grid.Point{}, selfID: 0}
+	if !ctx.SendRef(grid.XPos, h.kind, 7) {
+		t.Fatal("SendRef to a valid neighbour should succeed")
+	}
+	stats := mustRun(t, net)
+	want := []int32{7, 8, 9, 10, 11}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("refs = %v, want %v", seen, want)
+	}
+	if stats.ByKind["ref"] != 5 {
+		t.Errorf("ByKind[ref] = %d, want 5 (interned kinds must materialise in Stats)", stats.ByKind["ref"])
+	}
+}
+
+func TestKindInterning(t *testing.T) {
+	m := mesh.New2D(2, 2)
+	net := New(m, floodHandler{})
+	a := net.Kind("alpha")
+	if net.Kind("alpha") != a {
+		t.Error("interning the same kind twice must return the same ID")
+	}
+	if net.KindName(a) != "alpha" {
+		t.Errorf("KindName(%d) = %q, want alpha", a, net.KindName(a))
+	}
+	if b := net.Kind("beta"); b == a {
+		t.Error("distinct kinds must get distinct IDs")
+	}
 }

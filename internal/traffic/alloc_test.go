@@ -1,0 +1,47 @@
+package traffic_test
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSteadyStateAllocsPerPacket guards the zero-alloc hot path: one
+// steady-state packet hop — timer pop, injection draw, candidate-direction
+// fill, policy pick, ref send, delivery — must not allocate. The whole-run
+// budget below amortises the bounded per-run setup (node RNG table, context
+// table, calendar buckets, packet-pool growth) over the delivered packets;
+// before the index-first refactor this workload allocated ~30 heap objects
+// per delivered packet, so the 0.25 ceiling has an order of magnitude of
+// slack against accounting noise while still failing on any per-hop or
+// per-packet allocation that sneaks back in.
+func TestSteadyStateAllocsPerPacket(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race instruments allocations; alloc accounting is only meaningful without it")
+	}
+	if testing.Short() {
+		t.Skip("multi-second traffic run")
+	}
+	// Warm global state (registry lookups, lazy tables) out of the measurement.
+	if res := benchEngine(t, "local", 11, 100).Run(11); res.Err != nil || res.Delivered == 0 {
+		t.Fatalf("warmup run failed: delivered=%d err=%v", res.Delivered, res.Err)
+	}
+
+	e := benchEngine(t, "local", 11, 500)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res := e.Run(11)
+	runtime.ReadMemStats(&after)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Delivered < 10_000 {
+		t.Fatalf("workload too small to be meaningful: delivered %d packets", res.Delivered)
+	}
+	perPacket := float64(after.Mallocs-before.Mallocs) / float64(res.Delivered)
+	t.Logf("delivered %d packets over %d events, %.4f allocs/packet",
+		res.Delivered, res.Events, perPacket)
+	if perPacket > 0.25 {
+		t.Errorf("steady-state hot path allocates: %.4f allocs per delivered packet (want <= 0.25) — "+
+			"a per-hop or per-packet allocation crept back into simnet or the engine", perPacket)
+	}
+}

@@ -1,0 +1,58 @@
+package traffic_test
+
+// Benchmarks for the continuous-traffic hot path on the PERFORMANCE.md
+// reference workload: a 16x16x16 mesh, ~3% uniform faults, hotspot traffic at
+// rate 0.02. `go test -bench Hotspot -benchtime 3x ./internal/traffic` is the
+// quick reproduction; `mcc bench -json BENCH_traffic.json` is the
+// machine-readable one.
+
+import (
+	"testing"
+
+	"mccmesh/internal/core"
+	"mccmesh/internal/fault"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/rng"
+	"mccmesh/internal/simnet"
+	"mccmesh/internal/traffic"
+)
+
+// benchEngine builds the reference workload for one trial.
+func benchEngine(tb testing.TB, model string, seed uint64, window simnet.Time) *traffic.Engine {
+	m := mesh.New3D(16, 16, 16)
+	fault.Uniform{Count: 120}.Inject(m, rng.New(rng.Derive(seed, 1<<48)))
+	im, err := traffic.ModelByName(model, core.NewModel(m))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p, err := traffic.PatternByName("hotspot", m, 0.1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return traffic.NewEngine(m, im, p, traffic.Options{
+		Rate: 0.02, Warmup: 50, Window: window, MaxEvents: 50_000_000,
+	})
+}
+
+func benchHotspot16(b *testing.B, model string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := benchEngine(b, model, 7, 500).Run(7)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Delivered == 0 {
+			b.Fatal("no traffic delivered")
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+	}
+}
+
+// BenchmarkHotspot16MCC is the headline benchmark: the paper's MCC
+// information model under hotspot load.
+func BenchmarkHotspot16MCC(b *testing.B) { benchHotspot16(b, "mcc") }
+
+// BenchmarkHotspot16Local isolates the event-core + engine overhead: the
+// stateless local-greedy model makes no information-model queries beyond a
+// constant-time check.
+func BenchmarkHotspot16Local(b *testing.B) { benchHotspot16(b, "local") }

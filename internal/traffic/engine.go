@@ -83,6 +83,12 @@ type Result struct {
 	Hops    stats.Histogram
 	// Events is the total number of simulator events processed.
 	Events int
+	// Err is non-nil when the simulator aborted the trial — today that means
+	// the event budget ran out (errors.Is(Err, simnet.ErrEventBudget)). The
+	// counters above cover the prefix that did run; sweep aggregation
+	// (Collect) and the scenario report surface the failure per cell instead
+	// of killing the process.
+	Err error
 }
 
 // Throughput returns the accepted traffic: measured deliveries per healthy
@@ -134,28 +140,56 @@ func NewEngine(m *mesh.Mesh, model InfoModel, pattern Pattern, opts Options) *En
 type run struct {
 	e       *Engine
 	res     *Result
-	nodeRng []*rng.Rand
+	nodeRng []rng.Rand
 	policy  routing.Policy
 	horizon simnet.Time
 	nextID  int
-	dirs    []grid.Direction // scratch for CandidateDirs
+
+	// kinds are interned once per run so the hot path never touches strings.
+	injectID, packetID simnet.KindID
+
+	// pool holds every in-flight packet by value; envelopes carry pool
+	// indices (simnet's Ref fast path) instead of boxed copies. free is the
+	// free-list of released slots. Packets dropped inside the simulator (a
+	// node on their path died) leak their slot until the run ends, which is
+	// bounded by the fault schedule.
+	pool []packet
+	free []int32
+
+	dirs []grid.Direction // scratch for CandidateDirs, cap 6
 }
 
-// packet travels as the envelope payload; the orientation is fixed at the
-// source exactly as in Router.Route.
+// packet is the typed, pooled payload of one in-flight packet; the
+// orientation is fixed at the source exactly as in Router.Route.
 type packet struct {
 	id     int
 	src    grid.Point
 	dst    grid.Point
+	dstID  int32
 	orient grid.Orientation
 	inject simnet.Time
 	hops   int
 }
 
+// alloc reserves a pool slot, reusing a released one when available.
+func (st *run) alloc() int32 {
+	if n := len(st.free); n > 0 {
+		ref := st.free[n-1]
+		st.free = st.free[:n-1]
+		return ref
+	}
+	st.pool = append(st.pool, packet{})
+	return int32(len(st.pool) - 1)
+}
+
+// release returns a pool slot to the free-list.
+func (st *run) release(ref int32) { st.free = append(st.free, ref) }
+
 // Run executes one trial with the given seed and returns its measurements.
 // Everything — injection gaps, destinations, tie-breaking, fault placement —
 // derives deterministically from the seed, so identical seeds give identical
-// results wherever the trial runs.
+// results wherever the trial runs. A trial that exhausts the simulator's
+// event budget reports the failure in Result.Err instead of panicking.
 func (e *Engine) Run(seed uint64) *Result {
 	res := &Result{
 		Model:        e.model.Name(),
@@ -168,17 +202,21 @@ func (e *Engine) Run(seed uint64) *Result {
 	st := &run{
 		e:       e,
 		res:     res,
-		nodeRng: make([]*rng.Rand, e.mesh.NodeCount()),
+		nodeRng: make([]rng.Rand, e.mesh.NodeCount()),
 		policy:  e.opts.Policy,
 		horizon: e.opts.Warmup + e.opts.Window,
+		pool:    make([]packet, 0, 1024),
+		dirs:    make([]grid.Direction, 0, 6),
 	}
 	for i := range st.nodeRng {
-		st.nodeRng[i] = rng.New(rng.Derive(seed, uint64(i)))
+		st.nodeRng[i].Seed(rng.Derive(seed, uint64(i)))
 	}
 	if st.policy == nil {
 		st.policy = routing.Seeded{Seed: rng.Derive(seed, 1<<40)}
 	}
 	net := simnet.New(e.mesh, st, simnet.Options{LinkDelay: e.opts.LinkDelay, MaxEvents: e.opts.MaxEvents})
+	st.injectID = net.Kind(kindInject)
+	st.packetID = net.Kind(kindPacket)
 	for i, ev := range e.opts.Faults {
 		evRng := rng.New(rng.Derive(seed, uint64(1)<<32+uint64(i)))
 		net.At(ev.At, func() {
@@ -186,7 +224,8 @@ func (e *Engine) Run(seed uint64) *Result {
 			e.model.Invalidate()
 		})
 	}
-	sim := net.Run()
+	sim, err := net.Run()
+	res.Err = err
 	res.FinalTime = sim.FinalTime
 	res.Events = sim.Events
 	res.Lost = res.Injected - res.Delivered - res.Stuck
@@ -203,9 +242,9 @@ func (st *run) scheduleInjection(ctx *simnet.Context) {
 	if ctx.Time() >= st.horizon {
 		return
 	}
-	r := st.nodeRng[ctx.Mesh().Index(ctx.Self())]
+	r := &st.nodeRng[ctx.SelfID()]
 	gap := geometricGap(r, st.e.opts.Rate)
-	ctx.After(gap, kindInject, nil)
+	ctx.AfterRef(gap, st.injectID, simnet.NoRef)
 }
 
 // geometricGap samples the tick count until the next success of a Bernoulli
@@ -224,19 +263,20 @@ func geometricGap(r *rng.Rand, rate float64) simnet.Time {
 	return simnet.Time(gap)
 }
 
-// Receive implements simnet.Handler.
+// Receive implements simnet.Handler. It dispatches on the interned KindID;
+// packet envelopes carry a pool reference, never a boxed payload.
 func (st *run) Receive(ctx *simnet.Context, env simnet.Envelope) {
-	switch env.Kind {
-	case kindInject:
+	switch env.KindID {
+	case st.injectID:
 		st.inject(ctx)
 		st.scheduleInjection(ctx)
-	case kindPacket:
-		p := env.Payload.(packet)
-		if ctx.Self() == p.dst {
-			st.deliver(ctx, p)
+	case st.packetID:
+		ref := env.Ref
+		if st.pool[ref].dstID == ctx.SelfID() {
+			st.deliver(ctx, ref)
 			return
 		}
-		st.forward(ctx, p)
+		st.forward(ctx, ref)
 	default:
 		panic(fmt.Sprintf("traffic: unexpected envelope kind %q", env.Kind))
 	}
@@ -249,47 +289,55 @@ func (st *run) inject(ctx *simnet.Context) {
 		return
 	}
 	st.res.Offered++
-	r := st.nodeRng[ctx.Mesh().Index(ctx.Self())]
-	d, ok := st.e.pattern.Dest(r, ctx.Mesh(), ctx.Self())
+	r := &st.nodeRng[ctx.SelfID()]
+	self := ctx.Self()
+	d, ok := st.e.pattern.Dest(r, ctx.Mesh(), self)
 	if !ok {
 		st.res.Skipped++
 		return
 	}
-	p := packet{
+	ref := st.alloc()
+	st.pool[ref] = packet{
 		id:     st.nextID,
-		src:    ctx.Self(),
+		src:    self,
 		dst:    d,
-		orient: grid.OrientationOf(ctx.Self(), d),
+		dstID:  int32(ctx.Mesh().Index(d)),
+		orient: grid.OrientationOf(self, d),
 		inject: ctx.Time(),
 	}
 	st.nextID++
 	st.res.Injected++
-	if p.inject >= st.e.opts.Warmup {
+	if ctx.Time() >= st.e.opts.Warmup {
 		st.res.MeasuredInjected++
 	}
-	st.forward(ctx, p)
+	st.forward(ctx, ref)
 }
 
 // forward advances a packet one hop using the information model, or records it
 // as stuck when every preferred direction is excluded.
-func (st *run) forward(ctx *simnet.Context, p packet) {
-	prov := st.e.model.Provider(p.orient)
-	st.dirs = routing.CandidateDirs(ctx.Mesh(), prov, p.orient, ctx.Self(), p.dst, st.dirs[:0])
+func (st *run) forward(ctx *simnet.Context, ref int32) {
+	pk := &st.pool[ref]
+	prov := st.e.model.Provider(pk.orient)
+	self := ctx.Self()
+	st.dirs = routing.CandidateDirs(ctx.Mesh(), prov, pk.orient, self, pk.dst, st.dirs[:0])
 	if len(st.dirs) == 0 {
 		st.res.Stuck++
+		st.release(ref)
 		return
 	}
-	pick := st.policy.Pick(ctx.Self(), p.dst, st.dirs)
-	p.hops++
-	ctx.SendDir(st.dirs[pick], kindPacket, p)
+	pick := st.policy.Pick(self, pk.dst, st.dirs)
+	pk.hops++
+	ctx.SendRef(st.dirs[pick], st.packetID, ref)
 }
 
-// deliver records a completed packet.
-func (st *run) deliver(ctx *simnet.Context, p packet) {
+// deliver records a completed packet and releases its pool slot.
+func (st *run) deliver(ctx *simnet.Context, ref int32) {
+	pk := &st.pool[ref]
 	st.res.Delivered++
-	if p.inject >= st.e.opts.Warmup {
+	if pk.inject >= st.e.opts.Warmup {
 		st.res.MeasuredDelivered++
-		st.res.Latency.Add(int(ctx.Time() - p.inject))
-		st.res.Hops.Add(p.hops)
+		st.res.Latency.Add(int(ctx.Time() - pk.inject))
+		st.res.Hops.Add(pk.hops)
 	}
+	st.release(ref)
 }

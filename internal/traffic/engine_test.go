@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"mccmesh/internal/grid"
 	"mccmesh/internal/mesh"
 	"mccmesh/internal/rng"
+	"mccmesh/internal/simnet"
 )
 
 // newTrialEngine builds a mesh with `faults` uniform faults drawn from the
@@ -166,5 +168,24 @@ func TestEngineStuckUnderLocalGreedy(t *testing.T) {
 	}
 	if mcc.DeliveredRatio() < greedy.DeliveredRatio() {
 		t.Errorf("MCC delivered %.3f < local greedy %.3f", mcc.DeliveredRatio(), greedy.DeliveredRatio())
+	}
+}
+
+// TestEventBudgetSurfacesInResult: a trial that exhausts the simulator's
+// event budget must come back as a Result with Err set (and the counters of
+// the prefix that ran), not as a panic, and Collect must aggregate the
+// failure.
+func TestEventBudgetSurfacesInResult(t *testing.T) {
+	e := newTrialEngine(t, "local", 0, 5, Options{Rate: 0.5, Window: 200, MaxEvents: 64})
+	res := e.Run(5)
+	if !errors.Is(res.Err, simnet.ErrEventBudget) {
+		t.Fatalf("Result.Err = %v, want simnet.ErrEventBudget", res.Err)
+	}
+	if res.Events != 64 {
+		t.Errorf("Events = %d, want exactly the budget 64", res.Events)
+	}
+	agg := Collect([]*Result{res, e.Run(6)})
+	if agg.Failed == 0 || agg.Err == nil {
+		t.Errorf("Collect must surface failed trials: %+v", agg)
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package traffic_test
+
+// raceEnabled reports that this test binary was built with -race, which
+// instruments allocations and would break exact alloc accounting.
+const raceEnabled = false

@@ -60,6 +60,10 @@ type Aggregate struct {
 	Latency, Hops stats.Histogram
 	// Injected, Delivered, Stuck and Lost total the packet counts.
 	Injected, Delivered, Stuck, Lost int
+	// Failed counts trials that aborted (Result.Err != nil); Err keeps the
+	// first such error so callers can fail the sweep cell with a cause.
+	Failed int
+	Err    error
 }
 
 // Collect merges per-trial results in slice order (deterministic for any
@@ -75,6 +79,12 @@ func Collect(results []*Result) *Aggregate {
 		agg.Delivered += r.Delivered
 		agg.Stuck += r.Stuck
 		agg.Lost += r.Lost
+		if r.Err != nil {
+			agg.Failed++
+			if agg.Err == nil {
+				agg.Err = r.Err
+			}
+		}
 	}
 	return agg
 }
