@@ -270,6 +270,19 @@ func (r *Regions) Contains(p grid.Point) bool {
 	return r.Mesh.InBounds(p) && r.inBlock[r.Mesh.Index(p)] >= 0
 }
 
+// ContainsID reports block membership by dense node ID (the index-first fast
+// path of the routing baseline).
+func (r *Regions) ContainsID(id int32) bool {
+	return id >= 0 && r.inBlock[id] >= 0
+}
+
+// AvoidID returns an ID-addressed obstacle test rejecting every block node;
+// it matches minimal.AvoidID and reads the block table directly.
+func (r *Regions) AvoidID() func(id int32) bool {
+	inBlock := r.inBlock
+	return func(id int32) bool { return inBlock[id] >= 0 }
+}
+
 // BlockOf returns the block containing p, or nil.
 func (r *Regions) BlockOf(p grid.Point) *Block {
 	if !r.Mesh.InBounds(p) {

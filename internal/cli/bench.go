@@ -39,6 +39,7 @@ func cmdBench(args []string) int {
 		specPath  = fs.String("spec", "", "run a scenario spec file instead (- = stdin)")
 		dump      = fs.Bool("dump-spec", false, "print the spec of the selected experiment (requires exactly one -exp) and exit")
 		jsonPath  = fs.String("json", "", "run the event-core benchmark (measure \"bench\") and write machine-readable results to this file, e.g. BENCH_traffic.json")
+		baseline  = fs.String("baseline", "", "with -json: print per-cell events/sec and allocs/packet deltas against this committed BENCH_traffic.json")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
@@ -76,7 +77,7 @@ func cmdBench(args []string) int {
 		// The benchmark is defined by the (default or loaded) spec alone;
 		// silently ignoring a table flag like -dim would misreport what ran.
 		if err := rejectFlagClash(fs, "json", "benchmark settings come from -spec",
-			"spec", "cpuprofile", "memprofile", "csv", "dump-spec"); err != nil {
+			"spec", "cpuprofile", "memprofile", "csv", "dump-spec", "baseline"); err != nil {
 			return fail("bench", err)
 		}
 		var sc *scenario.Scenario
@@ -112,7 +113,15 @@ func cmdBench(args []string) int {
 			return fail("bench", err)
 		}
 		fmt.Fprintf(stderr, "mcc bench: wrote %s\n", *jsonPath)
+		if *baseline != "" {
+			if err := printBenchDelta(rep.BenchResults(), *baseline); err != nil {
+				return fail("bench", err)
+			}
+		}
 		return 0
+	}
+	if *baseline != "" {
+		return fail("bench", fmt.Errorf("-baseline requires -json (it compares event-core benchmark cells)"))
 	}
 
 	if *specPath != "" {
@@ -212,6 +221,41 @@ func cmdBench(args []string) int {
 		printTable(table, *csv)
 	}
 	return 0
+}
+
+// printBenchDelta prints, per benchmark cell, how the fresh run compares to a
+// committed baseline file (events/sec speedup, allocs/packet change). Cells
+// missing from the baseline — e.g. a model added to the default spec after
+// the baseline was committed — are reported as new rather than failing the
+// run, so the delta step keeps working across spec evolution.
+func printBenchDelta(cells []scenario.BenchResult, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base, err := scenario.ReadBenchJSON(f)
+	if err != nil {
+		return err
+	}
+	byKey := make(map[string]scenario.BenchResult, len(base.Cells))
+	for _, c := range base.Cells {
+		byKey[c.Key()] = c
+	}
+	fmt.Fprintf(stdout, "delta vs %s:\n", path)
+	for _, c := range cells {
+		b, ok := byKey[c.Key()]
+		if !ok || b.EventsPerSec <= 0 {
+			fmt.Fprintf(stdout, "  %-32s %10.0f events/sec  %6.2f allocs/pkt  (no baseline cell)\n",
+				c.Key(), c.EventsPerSec, c.AllocsPerPacket)
+			continue
+		}
+		fmt.Fprintf(stdout, "  %-32s %10.0f events/sec (%+.1f%%, %.2fx)  allocs/pkt %.2f -> %.2f\n",
+			c.Key(), c.EventsPerSec,
+			100*(c.EventsPerSec-b.EventsPerSec)/b.EventsPerSec, c.EventsPerSec/b.EventsPerSec,
+			b.AllocsPerPacket, c.AllocsPerPacket)
+	}
+	return nil
 }
 
 // printTable renders a table to stdout in the selected format.

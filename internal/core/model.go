@@ -57,12 +57,39 @@ func NewModel(m *mesh.Mesh, opts ...labeling.Options) *Model {
 func (mo *Model) Mesh() *mesh.Mesh { return mo.m }
 
 // Invalidate drops every cached labelling and region set; call it after
-// changing the mesh's fault set.
+// changing the mesh's fault set. When the change is purely additive (new
+// faults on a live mesh), ApplyFaults is the cheaper path: it updates the
+// caches in place instead of dropping them.
 func (mo *Model) Invalidate() {
 	mo.labelings = [8]*labeling.Labeling{}
 	mo.regions = [8]*region.ComponentSet{}
 	mo.info = [8]*protocol.InfoResult{}
 	mo.blocks = make(map[block.Model]*block.Regions)
+}
+
+// ApplyFaults incrementally absorbs newly injected faults (already marked on
+// the mesh) into the cached fault information: each cached labelling relabels
+// only the neighbourhood the new faults touch (labeling.AddFaults) and each
+// cached region set re-extracts its components in place
+// (region.ComponentSet.Refresh), so pointers handed out to routing providers
+// stay valid. Block snapshots and protocol info have no incremental form and
+// are dropped for lazy rebuild. Only fault *additions* are supported; after
+// clearing or arbitrary edits, call Invalidate.
+func (mo *Model) ApplyFaults(pts []grid.Point) {
+	for _, l := range mo.labelings {
+		if l != nil {
+			l.AddFaults(pts)
+		}
+	}
+	for _, cs := range mo.regions {
+		if cs != nil {
+			cs.Refresh()
+		}
+	}
+	mo.info = [8]*protocol.InfoResult{}
+	if len(mo.blocks) > 0 {
+		mo.blocks = make(map[block.Model]*block.Regions)
+	}
 }
 
 // Labeling returns the (cached) labelling for an orientation.

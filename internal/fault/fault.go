@@ -9,8 +9,17 @@ import (
 
 	"mccmesh/internal/grid"
 	"mccmesh/internal/mesh"
+	"mccmesh/internal/nodeset"
 	"mccmesh/internal/rng"
 )
+
+// protectedSet collects the in-bounds protected points into a bitset over m's
+// dense node IDs — the one helper behind every injector's Protected option.
+// Out-of-bounds points are dropped: they name no node, so nothing needs
+// protecting. The nil/empty case costs nothing and Has reports false.
+func protectedSet(m *mesh.Mesh, pts []grid.Point) *nodeset.Set {
+	return nodeset.FromPoints(m, pts)
+}
 
 // Injector mutates a mesh by marking nodes faulty.
 type Injector interface {
@@ -32,20 +41,18 @@ func (u Uniform) Name() string { return fmt.Sprintf("uniform(%d)", u.Count) }
 
 // Inject implements Injector.
 func (u Uniform) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
-	protected := make(map[grid.Point]bool, len(u.Protected))
-	for _, p := range u.Protected {
-		protected[p] = true
-	}
+	protected := protectedSet(m, u.Protected)
 	total := m.NodeCount()
-	if u.Count < 0 || u.Count > total-len(protected) {
-		panic(fmt.Sprintf("fault: cannot place %d faults in %d eligible nodes", u.Count, total-len(protected)))
+	if u.Count < 0 || u.Count > total-protected.Len() {
+		panic(fmt.Sprintf("fault: cannot place %d faults in %d eligible nodes", u.Count, total-protected.Len()))
 	}
 	placed := make([]grid.Point, 0, u.Count)
 	for len(placed) < u.Count {
-		p := m.Point(r.Intn(total))
-		if protected[p] || m.IsFaulty(p) {
+		idx := r.Intn(total)
+		if protected.Has(int32(idx)) || m.FaultyAt(idx) {
 			continue
 		}
+		p := m.Point(idx)
 		m.SetFaulty(p, true)
 		placed = append(placed, p)
 	}
@@ -64,13 +71,10 @@ func (w Rate) Name() string { return fmt.Sprintf("rate(%.3f)", w.P) }
 
 // Inject implements Injector.
 func (w Rate) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
-	protected := make(map[grid.Point]bool, len(w.Protected))
-	for _, p := range w.Protected {
-		protected[p] = true
-	}
+	protected := protectedSet(m, w.Protected)
 	var placed []grid.Point
 	m.ForEach(func(p grid.Point) {
-		if protected[p] || m.IsFaulty(p) {
+		if protected.Has(m.ID(p)) || m.IsFaulty(p) {
 			return
 		}
 		if r.Float64() < w.P {
@@ -96,10 +100,7 @@ func (c Clustered) Name() string { return fmt.Sprintf("clustered(%dx%d)", c.Clus
 
 // Inject implements Injector.
 func (c Clustered) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
-	protected := make(map[grid.Point]bool, len(c.Protected))
-	for _, p := range c.Protected {
-		protected[p] = true
-	}
+	protected := protectedSet(m, c.Protected)
 	var placed []grid.Point
 	var scratch []grid.Point
 	for i := 0; i < c.Clusters; i++ {
@@ -107,9 +108,9 @@ func (c Clustered) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
 		var seed grid.Point
 		found := false
 		for attempt := 0; attempt < 64*m.NodeCount(); attempt++ {
-			p := m.Point(r.Intn(m.NodeCount()))
-			if !protected[p] && !m.IsFaulty(p) {
-				seed, found = p, true
+			idx := r.Intn(m.NodeCount())
+			if !protected.Has(int32(idx)) && !m.FaultyAt(idx) {
+				seed, found = m.Point(idx), true
 				break
 			}
 		}
@@ -125,7 +126,7 @@ func (c Clustered) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
 			for _, q := range cluster {
 				for _, d := range m.Directions() {
 					n, ok := m.Neighbor(q, d)
-					if ok && !m.IsFaulty(n) && !protected[n] {
+					if ok && !m.IsFaulty(n) && !protected.Has(m.ID(n)) {
 						scratch = append(scratch, n)
 					}
 				}
@@ -175,10 +176,7 @@ func (l Links) Name() string { return fmt.Sprintf("links(%d)", l.Count) }
 
 // Inject implements Injector.
 func (l Links) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
-	protected := make(map[grid.Point]bool, len(l.Protected))
-	for _, p := range l.Protected {
-		protected[p] = true
-	}
+	protected := protectedSet(m, l.Protected)
 	dirs := m.Directions()
 	var placed []grid.Point
 	for i := 0; i < l.Count; i++ {
@@ -189,7 +187,7 @@ func (l Links) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
 			p := m.Point(r.Intn(m.NodeCount()))
 			d := dirs[r.Intn(len(dirs))]
 			q, ok := m.Neighbor(p, d)
-			if !ok || protected[p] || protected[q] {
+			if !ok || protected.Has(m.ID(p)) || protected.Has(m.ID(q)) {
 				continue
 			}
 			if !m.IsFaulty(p) {

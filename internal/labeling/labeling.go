@@ -85,15 +85,19 @@ type Options struct {
 }
 
 // Labeling is the result of running the labelling procedure over a mesh for a
-// fixed orientation.
+// fixed orientation. The status array is indexed by dense node ID; the
+// worklist fixpoint runs entirely on IDs through the mesh's precomputed
+// neighbour table. A Labeling can be updated in place after new faults are
+// injected with AddFaults, which relabels only the affected neighbourhood.
 type Labeling struct {
 	mesh    *mesh.Mesh
 	orient  grid.Orientation
 	opts    Options
 	status  []Status
 	counts  [4]int
-	rounds  int // number of fixpoint sweeps performed (diagnostic)
 	updated int // number of label promotions beyond the initial faulty marking
+
+	queue []int32 // worklist scratch, reused across AddFaults calls
 }
 
 // Compute runs the labelling procedure (Algorithm 1 in 2-D, Algorithm 4 in
@@ -119,89 +123,143 @@ func Compute(m *mesh.Mesh, orient grid.Orientation, opts ...Options) *Labeling {
 func (l *Labeling) run() {
 	m := l.mesh
 	// Step 1: label all faulty nodes faulty, everything else safe.
+	l.counts = [4]int{}
 	for i := 0; i < m.NodeCount(); i++ {
 		if m.FaultyAt(i) {
 			l.status[i] = Faulty
+			l.counts[Faulty]++
 		} else {
 			l.status[i] = Safe
-		}
-	}
-
-	axes := m.Axes()
-
-	// blockedForward reports whether, for the purpose of the Useless rule, the
-	// forward neighbour of p on axis a counts as blocked.
-	blockedForward := func(p grid.Point, a grid.Axis) bool {
-		q := l.orient.Ahead(p, a)
-		if !m.InBounds(q) {
-			return l.opts.Border == BorderBlocked
-		}
-		s := l.status[m.Index(q)]
-		return s == Faulty || s == Useless
-	}
-	blockedBackward := func(p grid.Point, a grid.Axis) bool {
-		q := l.orient.Behind(p, a)
-		if !m.InBounds(q) {
-			return l.opts.Border == BorderBlocked
-		}
-		s := l.status[m.Index(q)]
-		return s == Faulty || s == CantReach
-	}
-
-	// Worklist fixpoint: whenever a node's label is promoted, its backward
-	// (resp. forward) neighbours may now satisfy the Useless (resp. CantReach)
-	// rule, so only those need re-examination.
-	queue := make([]grid.Point, 0, m.FaultCount()*2)
-	enqueueAround := func(p grid.Point) {
-		for _, d := range m.Directions() {
-			if q, ok := m.Neighbor(p, d); ok {
-				queue = append(queue, q)
-			}
+			l.counts[Safe]++
 		}
 	}
 
 	// Seed: every healthy node must be examined once (a node can be useless
 	// purely because of mesh borders under BorderBlocked, or because of
-	// directly adjacent faults).
-	m.ForEach(func(p grid.Point) { queue = append(queue, p) })
+	// directly adjacent faults). The queue pops LIFO, so node N-1 goes first —
+	// the order the map-backed implementation used.
+	if cap(l.queue) < m.NodeCount() {
+		l.queue = make([]int32, 0, m.NodeCount())
+	}
+	queue := l.queue[:0]
+	for i := 0; i < m.NodeCount(); i++ {
+		queue = append(queue, int32(i))
+	}
+	l.fixpoint(queue)
+}
+
+// fixpoint drains an ID worklist: whenever a node's label is promoted, its
+// neighbours may now satisfy the Useless (resp. CantReach) rule, so only those
+// need re-examination. Labels only move away from Safe, so each node is
+// promoted at most once; the queue scratch is retained on l for reuse.
+func (l *Labeling) fixpoint(queue []int32) {
+	m := l.mesh
+	axes := m.Axes()
+	dirs := m.Directions()
+	borderBlocked := l.opts.Border == BorderBlocked
+
+	// blockedForward reports whether, for the purpose of the Useless rule, the
+	// forward neighbour of id on axis a counts as blocked.
+	blockedForward := func(id int32, a grid.Axis) bool {
+		q := m.NeighborID(id, l.orient.Forward(a))
+		if q == mesh.NoNeighbor {
+			return borderBlocked
+		}
+		s := l.status[q]
+		return s == Faulty || s == Useless
+	}
+	blockedBackward := func(id int32, a grid.Axis) bool {
+		q := m.NeighborID(id, l.orient.Backward(a))
+		if q == mesh.NoNeighbor {
+			return borderBlocked
+		}
+		s := l.status[q]
+		return s == Faulty || s == CantReach
+	}
+	enqueueAround := func(id int32) {
+		for _, d := range dirs {
+			if q := m.NeighborID(id, d); q != mesh.NoNeighbor {
+				queue = append(queue, q)
+			}
+		}
+	}
 
 	for len(queue) > 0 {
-		p := queue[len(queue)-1]
+		id := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		idx := m.Index(p)
-		if l.status[idx] != Safe {
+		if l.status[id] != Safe {
 			continue
 		}
 		useless := true
 		for _, a := range axes {
-			if !blockedForward(p, a) {
+			if !blockedForward(id, a) {
 				useless = false
 				break
 			}
 		}
 		if useless {
-			l.status[idx] = Useless
-			l.updated++
-			enqueueAround(p)
+			l.promote(id, Useless)
+			enqueueAround(id)
 			continue
 		}
 		cantReach := true
 		for _, a := range axes {
-			if !blockedBackward(p, a) {
+			if !blockedBackward(id, a) {
 				cantReach = false
 				break
 			}
 		}
 		if cantReach {
-			l.status[idx] = CantReach
-			l.updated++
-			enqueueAround(p)
+			l.promote(id, CantReach)
+			enqueueAround(id)
 		}
 	}
+	l.queue = queue[:0]
+}
 
-	for _, s := range l.status {
-		l.counts[s]++
+// promote moves a Safe node to an unsafe label, maintaining the counts.
+func (l *Labeling) promote(id int32, s Status) {
+	l.status[id] = s
+	l.counts[Safe]--
+	l.counts[s]++
+	l.updated++
+}
+
+// AddFaults updates the labelling in place after the listed nodes turned
+// faulty, relabelling only the affected neighbourhood: the new faults switch
+// to Faulty and the worklist fixpoint reruns seeded from their neighbours,
+// instead of recomputing the whole mesh. Adding faults can only promote
+// labels (a node's forward/backward neighbours only become more blocked), so
+// the incremental pass reaches the same fixpoint invariants as a full
+// recompute: every labelled node satisfies its rule, every Safe node fails
+// both — and with them the same unsafe set, faulty set and absorbed-healthy
+// count (TestAddFaultsMatchesFullRecompute pins this on randomized fault
+// sequences). The one seam order can show through is the useless vs
+// can't-reach *split* of a node whose rules both fire: the label records
+// which rule was checked first, and routing only ever consumes "unsafe". The
+// mesh must already carry the new faults (mesh.SetFaulty first — the fault
+// injectors do this); out-of-bounds points are ignored.
+func (l *Labeling) AddFaults(pts []grid.Point) {
+	m := l.mesh
+	queue := l.queue[:0]
+	for _, p := range pts {
+		id := m.ID(p)
+		if id == mesh.NoNeighbor || l.status[id] == Faulty {
+			continue
+		}
+		l.counts[l.status[id]]--
+		l.counts[Faulty]++
+		l.status[id] = Faulty
+		// Every neighbour of a new fault may now satisfy a promotion rule —
+		// including neighbours of previously useless/can't-reach nodes that
+		// the fault just upgraded to Faulty.
+		for _, d := range m.Directions() {
+			if q := m.NeighborID(id, d); q != mesh.NoNeighbor {
+				queue = append(queue, q)
+			}
+		}
 	}
+	l.fixpoint(queue)
 }
 
 // Mesh returns the mesh the labelling was computed over.
@@ -225,6 +283,18 @@ func (l *Labeling) Status(p grid.Point) Status {
 
 // StatusAt returns the label by dense node index.
 func (l *Labeling) StatusAt(idx int) Status { return l.status[idx] }
+
+// UnsafeAt reports whether the node with dense index idx is faulty, useless
+// or can't-reach — the per-hop fast path of the routing providers.
+func (l *Labeling) UnsafeAt(idx int) bool { return l.status[idx] != Safe }
+
+// AvoidUnsafeID returns an ID-addressed obstacle test rejecting exactly the
+// unsafe nodes; it matches minimal.AvoidID and reads the status array
+// directly.
+func (l *Labeling) AvoidUnsafeID() func(id int32) bool {
+	status := l.status
+	return func(id int32) bool { return status[id] != Safe }
+}
 
 // Unsafe reports whether p is faulty, useless or can't-reach.
 func (l *Labeling) Unsafe(p grid.Point) bool {

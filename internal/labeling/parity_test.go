@@ -1,0 +1,169 @@
+package labeling
+
+import (
+	"testing"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/rng"
+)
+
+// TestAddFaultsMatchesFullRecompute pins the incremental relabelling to the
+// full recompute on randomized fault sequences: starting from a labelled
+// mesh, absorbing each fault batch with AddFaults must agree with a
+// from-scratch Compute over the final fault set on everything the rest of
+// the system consumes — the unsafe set (what routing avoids), the faulty
+// count and the absorbed-healthy count. The useless/can't-reach *split* of a
+// node eligible for both labels is worklist-order dependent (the rules tie;
+// Compute meets such a node in its global sweep, AddFaults from the new
+// fault's neighbourhood), so per-label equality is asserted only through the
+// sums. Golden seeds keep the sequences stable across runs.
+func TestAddFaultsMatchesFullRecompute(t *testing.T) {
+	type shape struct {
+		name string
+		make func() *mesh.Mesh
+	}
+	shapes := []shape{
+		{"2d-12x9", func() *mesh.Mesh { return mesh.New2D(12, 9) }},
+		{"3d-8x8x8", func() *mesh.Mesh { return mesh.NewCube(8) }},
+		{"3d-10x6x4", func() *mesh.Mesh { return mesh.New3D(10, 6, 4) }},
+	}
+	for _, sh := range shapes {
+		for _, seed := range []uint64{1, 7, 42, 20050507} {
+			for _, border := range []BorderPolicy{BorderSafe, BorderBlocked} {
+				probe := sh.make()
+				var orients []grid.Orientation
+				if probe.Is2D() {
+					orients = grid.AllOrientations2D()
+				} else {
+					orients = grid.AllOrientations3D()
+				}
+				for _, orient := range orients {
+					m := sh.make()
+					r := rng.New(seed)
+					opts := Options{Border: border}
+					// Initial faults, then the incremental labelling under test.
+					initial := randomFaults(m, r, m.NodeCount()/12)
+					inc := Compute(m, orient, opts)
+					// Three batches of mid-run faults, absorbed incrementally.
+					for batch := 0; batch < 3; batch++ {
+						pts := randomFaults(m, r, 1+r.Intn(6))
+						inc.AddFaults(pts)
+
+						full := Compute(m, orient, opts)
+						for i := 0; i < m.NodeCount(); i++ {
+							got, want := inc.StatusAt(i), full.StatusAt(i)
+							if got.Unsafe() != want.Unsafe() || (got == Faulty) != (want == Faulty) {
+								t.Fatalf("%s seed=%d %v %v batch %d: node %v labelled %v incrementally, %v by full recompute (initial %d faults)",
+									sh.name, seed, border, orient, batch, m.Point(i), got, want, len(initial))
+							}
+						}
+						if inc.Count(Safe) != full.Count(Safe) || inc.Count(Faulty) != full.Count(Faulty) ||
+							inc.NonFaultyUnsafeCount() != full.NonFaultyUnsafeCount() {
+							t.Fatalf("%s seed=%d %v %v batch %d: counts diverged: inc %d/%d/%d safe/faulty/absorbed, full %d/%d/%d",
+								sh.name, seed, border, orient, batch,
+								inc.Count(Safe), inc.Count(Faulty), inc.NonFaultyUnsafeCount(),
+								full.Count(Safe), full.Count(Faulty), full.NonFaultyUnsafeCount())
+						}
+						assertFixpoint(t, inc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// assertFixpoint checks the labelling invariants the paper's rules demand of
+// any valid result: every useless node has all forward neighbours blocked,
+// every can't-reach node all backward neighbours, and every safe node fails
+// both rules. (This is what makes the incremental result sound even when its
+// useless/can't-reach split differs from a cold recompute's.)
+func assertFixpoint(t *testing.T, l *Labeling) {
+	t.Helper()
+	m := l.Mesh()
+	orient := l.Orientation()
+	border := l.Options().Border == BorderBlocked
+	blockedF := func(p grid.Point, a grid.Axis) bool {
+		q := orient.Ahead(p, a)
+		if !m.InBounds(q) {
+			return border
+		}
+		s := l.Status(q)
+		return s == Faulty || s == Useless
+	}
+	blockedB := func(p grid.Point, a grid.Axis) bool {
+		q := orient.Behind(p, a)
+		if !m.InBounds(q) {
+			return border
+		}
+		s := l.Status(q)
+		return s == Faulty || s == CantReach
+	}
+	all := func(pred func(grid.Point, grid.Axis) bool, p grid.Point) bool {
+		for _, a := range m.Axes() {
+			if !pred(p, a) {
+				return false
+			}
+		}
+		return true
+	}
+	m.ForEach(func(p grid.Point) {
+		switch l.Status(p) {
+		case Useless:
+			if !all(blockedF, p) {
+				t.Fatalf("fixpoint violated: %v labelled useless with an open forward neighbour", p)
+			}
+		case CantReach:
+			if !all(blockedB, p) {
+				t.Fatalf("fixpoint violated: %v labelled can't-reach with an open backward neighbour", p)
+			}
+		case Safe:
+			if all(blockedF, p) || all(blockedB, p) {
+				t.Fatalf("fixpoint violated: %v labelled safe but satisfies a promotion rule", p)
+			}
+		}
+	})
+}
+
+// randomFaults marks n random healthy nodes faulty and returns them.
+func randomFaults(m *mesh.Mesh, r *rng.Rand, n int) []grid.Point {
+	var pts []grid.Point
+	for len(pts) < n {
+		idx := r.Intn(m.NodeCount())
+		if m.FaultyAt(idx) {
+			continue
+		}
+		p := m.Point(idx)
+		m.SetFaulty(p, true)
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// TestAddFaultsOnAbsorbedNode exercises the corner where a new fault lands on
+// a node already absorbed as useless/can't-reach: the label flips to Faulty,
+// the counts rebalance, and the neighbourhood is re-examined.
+func TestAddFaultsOnAbsorbedNode(t *testing.T) {
+	m := mesh.New2D(6, 6)
+	// A pocket that makes (1,1) useless under the +X+Y orientation: both of
+	// its forward neighbours are faulty.
+	m.AddFaults(grid.Point{X: 2, Y: 1}, grid.Point{X: 1, Y: 2})
+	l := Compute(m, grid.PositiveOrientation)
+	if l.Status(grid.Point{X: 1, Y: 1}) != Useless {
+		t.Fatalf("setup: (1,1) should be useless, got %v", l.Status(grid.Point{X: 1, Y: 1}))
+	}
+	// The fault lands on the absorbed node itself.
+	p := grid.Point{X: 1, Y: 1}
+	m.SetFaulty(p, true)
+	l.AddFaults([]grid.Point{p})
+	full := Compute(m, grid.PositiveOrientation)
+	for i := 0; i < m.NodeCount(); i++ {
+		if l.StatusAt(i) != full.StatusAt(i) {
+			t.Fatalf("node %v: %v incrementally vs %v full", m.Point(i), l.StatusAt(i), full.StatusAt(i))
+		}
+	}
+	if l.Count(Useless) != full.Count(Useless) || l.Count(Faulty) != full.Count(Faulty) {
+		t.Fatalf("counts diverged: inc useless=%d faulty=%d, full useless=%d faulty=%d",
+			l.Count(Useless), l.Count(Faulty), full.Count(Useless), full.Count(Faulty))
+	}
+}

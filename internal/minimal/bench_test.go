@@ -1,0 +1,67 @@
+package minimal_test
+
+// Benchmarks for the reachability-field sweep, the kernel under every
+// field-backed routing provider. The corner-to-corner 16^3 case is the
+// worst-case box of the PERFORMANCE.md reference mesh; the Into variant
+// measures the storage-reuse path the routing epoch caches take when they
+// rebuild a field after a fault injection.
+
+import (
+	"testing"
+
+	"mccmesh/internal/fault"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/minimal"
+	"mccmesh/internal/rng"
+)
+
+func benchMesh() (*mesh.Mesh, grid.Point, grid.Point) {
+	m := mesh.NewCube(16)
+	fault.Uniform{
+		Count:     120,
+		Protected: []grid.Point{{X: 0, Y: 0, Z: 0}, {X: 15, Y: 15, Z: 15}},
+	}.Inject(m, rng.New(7))
+	return m, grid.Point{X: 0, Y: 0, Z: 0}, grid.Point{X: 15, Y: 15, Z: 15}
+}
+
+// BenchmarkReachability16 is the Point-addressed sweep (the API the
+// ground-truth checks and the protocol layer use).
+func BenchmarkReachability16(b *testing.B) {
+	m, s, d := benchMesh()
+	avoid := minimal.AvoidFaulty(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if minimal.Reachability(m, avoid, s, d) == nil {
+			b.Fatal("nil field")
+		}
+	}
+}
+
+// BenchmarkReachabilityID16 is the ID-addressed sweep the routing providers
+// build their fields with: one bitset read per obstacle test.
+func BenchmarkReachabilityID16(b *testing.B) {
+	m, s, d := benchMesh()
+	avoid := minimal.AvoidFaultyID(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if minimal.ReachabilityID(m, avoid, s, d) == nil {
+			b.Fatal("nil field")
+		}
+	}
+}
+
+// BenchmarkReachabilityIDInto16 is the rebuild-in-place path the epoch caches
+// take after a fault injection: same sweep, zero allocations.
+func BenchmarkReachabilityIDInto16(b *testing.B) {
+	m, s, d := benchMesh()
+	avoid := minimal.AvoidFaultyID(m)
+	f := minimal.ReachabilityID(m, avoid, s, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		minimal.ReachabilityIDInto(f, m, avoid, s, d)
+	}
+}

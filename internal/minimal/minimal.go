@@ -8,6 +8,16 @@
 // by s and d. These routines are the reference the MCC model is validated
 // against: by the paper's "ultimate fault region" property, a minimal path
 // avoiding faults exists iff one avoiding all MCC (unsafe) nodes exists.
+//
+// # Fast path
+//
+// The reachability Field is a flat bitset over box-local indices. The sweep
+// that fills it runs on dense node IDs — obstacle tests through AvoidID are a
+// single array access for the callers that matter (labelings, fault bitsets,
+// block tables) — and the per-hop query CanReachID goes from a node ID to a
+// bit test without constructing a Point. ReachabilityIDInto rebuilds a field
+// in place, reusing the previous bitset storage, which the routing providers'
+// epoch caches lean on under fault churn.
 package minimal
 
 import (
@@ -19,12 +29,22 @@ import (
 // typically close over a labelling, a fault set or a single fault component.
 type Avoid func(grid.Point) bool
 
+// AvoidID is the index-first form of Avoid: the node is named by its dense
+// mesh ID. The reachability sweep and the routing providers use it so that an
+// obstacle test is one array access instead of a Point→index conversion.
+type AvoidID func(id int32) bool
+
 // AvoidNone permits every node.
 func AvoidNone(grid.Point) bool { return false }
 
 // AvoidFaulty returns an Avoid that rejects exactly the faulty nodes of m.
 func AvoidFaulty(m *mesh.Mesh) Avoid {
 	return func(p grid.Point) bool { return m.IsFaulty(p) }
+}
+
+// AvoidFaultyID returns an AvoidID that rejects exactly the faulty nodes of m.
+func AvoidFaultyID(m *mesh.Mesh) AvoidID {
+	return func(id int32) bool { return m.FaultyAt(int(id)) }
 }
 
 // Exists reports whether a monotone path from s to d exists inside the mesh
@@ -38,63 +58,106 @@ func Exists(m *mesh.Mesh, avoid Avoid, s, d grid.Point) bool {
 
 // Field is the monotone-reachability field toward a fixed destination within
 // the box spanned by a source and destination: for every node p in the box,
-// whether a monotone path p → d avoiding the obstacle set exists.
+// whether a monotone path p → d avoiding the obstacle set exists. Membership
+// is stored as a flat bitset over box-local indices.
 type Field struct {
 	m      *mesh.Mesh
 	orient grid.Orientation
 	box    grid.Box
 	d      grid.Point
-	reach  []bool
+	words  []uint64 // bitset over box-local indices
 	dims   [3]int
 }
 
 // Reachability computes the monotone-reachability field toward d over the box
 // spanned by s and d, treating avoid-rejected nodes as obstacles.
 func Reachability(m *mesh.Mesh, avoid Avoid, s, d grid.Point) *Field {
+	return ReachabilityIDInto(nil, m, func(id int32) bool { return avoid(m.Point(int(id))) }, s, d)
+}
+
+// ReachabilityID is Reachability with an ID-addressed obstacle set.
+func ReachabilityID(m *mesh.Mesh, avoid AvoidID, s, d grid.Point) *Field {
+	return ReachabilityIDInto(nil, m, avoid, s, d)
+}
+
+// ReachabilityIDInto computes the field like ReachabilityID but reuses f's
+// struct and bitset storage when f is non-nil (growing it only if the new box
+// needs more words). Callers that rebuild fields under fault churn — the
+// routing providers' epoch caches — use it to keep rebuilds allocation-free.
+// The returned pointer is f when f was non-nil.
+func ReachabilityIDInto(f *Field, m *mesh.Mesh, avoid AvoidID, s, d grid.Point) *Field {
 	orient := grid.OrientationOf(s, d)
 	box := grid.BoxOf(s, d)
-	f := &Field{
-		m:      m,
-		orient: orient,
-		box:    box,
-		d:      d,
-		dims: [3]int{
-			box.Max.X - box.Min.X + 1,
-			box.Max.Y - box.Min.Y + 1,
-			box.Max.Z - box.Min.Z + 1,
-		},
+	if f == nil {
+		f = &Field{}
 	}
-	f.reach = make([]bool, f.dims[0]*f.dims[1]*f.dims[2])
+	f.m = m
+	f.orient = orient
+	f.box = box
+	f.d = d
+	f.dims = [3]int{
+		box.Max.X - box.Min.X + 1,
+		box.Max.Y - box.Min.Y + 1,
+		box.Max.Z - box.Min.Z + 1,
+	}
+	nbits := f.dims[0] * f.dims[1] * f.dims[2]
+	nwords := (nbits + 63) / 64
+	if cap(f.words) < nwords {
+		f.words = make([]uint64, nwords)
+	} else {
+		f.words = f.words[:nwords]
+		for i := range f.words {
+			f.words[i] = 0
+		}
+	}
 
-	axes := m.Axes()
+	dims := m.Dims()
+	// Mesh-ID delta of one forward X step, and the box-local index deltas of a
+	// forward step per axis. Forward on an axis moves the coordinate by the
+	// orientation sign, so the deltas carry that sign. Only the X deltas are
+	// stepped incrementally; row starts recompute from coordinates.
+	meshDX := orient.SX
+	locDX := orient.SX
+	locDY := orient.SY * f.dims[0]
+	locDZ := orient.SZ * f.dims[0] * f.dims[1]
+
+	is2D := m.Is2D()
 	// Process points in decreasing order of remaining distance to d, so each
 	// node's forward neighbours are already resolved. Iterating the canonical
 	// coordinates from the destination backwards achieves this.
 	dc := orient.Canon(s, d) // componentwise ≥ 0
 	for cz := dc.Z; cz >= 0; cz-- {
 		for cy := dc.Y; cy >= 0; cy-- {
-			for cx := dc.X; cx >= 0; cx-- {
-				c := grid.Point{X: cx, Y: cy, Z: cz}
-				p := orient.Uncanon(s, c)
-				if avoid(p) {
+			// Mesh ID and box-local index at cx = cy-row start (canonical
+			// (dc.X, cy, cz)); stepping cx down moves both by their X delta.
+			p := orient.Uncanon(s, grid.Point{X: dc.X, Y: cy, Z: cz})
+			id := p.X + dims.X*(p.Y+dims.Y*p.Z)
+			loc := (p.X - box.Min.X) + f.dims[0]*((p.Y-box.Min.Y)+f.dims[1]*(p.Z-box.Min.Z))
+			for cx := dc.X; cx >= 0; cx, id, loc = cx-1, id-meshDX, loc-locDX {
+				if avoid(int32(id)) {
 					continue
 				}
-				if p == d {
-					f.set(p, true)
+				if cx == dc.X && cy == dc.Y && cz == dc.Z {
+					// p == d: the destination reaches itself.
+					f.words[loc>>6] |= 1 << uint(loc&63)
 					continue
 				}
 				ok := false
-				for _, a := range axes {
-					if c.Axis(a) >= dc.Axis(a) {
-						continue // already aligned with d on this axis
-					}
-					q := orient.Ahead(p, a)
-					if f.at(q) {
-						ok = true
-						break
-					}
+				if cx < dc.X {
+					q := loc + locDX
+					ok = f.words[q>>6]&(1<<uint(q&63)) != 0
 				}
-				f.set(p, ok)
+				if !ok && cy < dc.Y {
+					q := loc + locDY
+					ok = f.words[q>>6]&(1<<uint(q&63)) != 0
+				}
+				if !ok && !is2D && cz < dc.Z {
+					q := loc + locDZ
+					ok = f.words[q>>6]&(1<<uint(q&63)) != 0
+				}
+				if ok {
+					f.words[loc>>6] |= 1 << uint(loc&63)
+				}
 			}
 		}
 	}
@@ -112,21 +175,52 @@ func (f *Field) at(p grid.Point) bool {
 	if !f.box.Contains(p) {
 		return false
 	}
-	return f.reach[f.index(p)]
+	i := f.index(p)
+	return f.words[i>>6]&(1<<uint(i&63)) != 0
 }
-
-func (f *Field) set(p grid.Point, v bool) { f.reach[f.index(p)] = v }
 
 // CanReach reports whether a monotone path from p to the field's destination
 // exists. Points outside the field's box cannot be on any minimal path and
 // report false.
 func (f *Field) CanReach(p grid.Point) bool { return f.at(p) }
 
+// CanReachID is CanReach addressed by dense node ID, for callers that hold
+// IDs rather than Points. (The routing providers' per-hop path holds the
+// Point already and goes through Covers + CanReachCovered instead.)
+func (f *Field) CanReachID(id int32) bool {
+	return f.at(f.m.Point(int(id)))
+}
+
+// CanReachCovered is CanReach without the box check: the caller must have
+// established Covers(p). The routing providers' caches verify coverage once
+// per lookup and then skip re-verifying it per bit test.
+func (f *Field) CanReachCovered(p grid.Point) bool {
+	i := f.index(p)
+	return f.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Words returns the number of 64-bit words currently backing the field's
+// bitset (a sizing hint for storage arenas).
+func (f *Field) Words() int { return len(f.words) }
+
+// PrepareStorage hands the field a words buffer to use for its next build:
+// ReachabilityIDInto reuses the buffer as long as its capacity suffices. The
+// routing caches carve these from arena chunks so cold builds don't allocate
+// per field.
+func (f *Field) PrepareStorage(words []uint64) { f.words = words[:0] }
+
+// Covers reports whether p lies inside the field's box, i.e. whether the
+// field can answer CanReach(p) affirmatively at all.
+func (f *Field) Covers(p grid.Point) bool { return f.box.Contains(p) }
+
 // Destination returns the destination the field was computed for.
 func (f *Field) Destination() grid.Point { return f.d }
 
 // Orientation returns the travel orientation of the field.
 func (f *Field) Orientation() grid.Orientation { return f.orient }
+
+// Box returns the box the field spans.
+func (f *Field) Box() grid.Box { return f.box }
 
 // Path returns one monotone path from s to d avoiding the obstacles the field
 // was built with, or nil if none exists. The path includes both endpoints.

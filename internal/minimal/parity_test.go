@@ -1,0 +1,100 @@
+package minimal
+
+import (
+	"testing"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/rng"
+)
+
+// mapReachability is the pre-refactor reference: the same monotone sweep
+// computed into a map[grid.Point]bool, Point arithmetic everywhere. The
+// bitset Field must agree with it cell for cell.
+func mapReachability(m *mesh.Mesh, avoid Avoid, s, d grid.Point) map[grid.Point]bool {
+	orient := grid.OrientationOf(s, d)
+	reach := make(map[grid.Point]bool)
+	axes := m.Axes()
+	dc := orient.Canon(s, d)
+	for cz := dc.Z; cz >= 0; cz-- {
+		for cy := dc.Y; cy >= 0; cy-- {
+			for cx := dc.X; cx >= 0; cx-- {
+				c := grid.Point{X: cx, Y: cy, Z: cz}
+				p := orient.Uncanon(s, c)
+				if avoid(p) {
+					continue
+				}
+				if p == d {
+					reach[p] = true
+					continue
+				}
+				for _, a := range axes {
+					if c.Axis(a) >= dc.Axis(a) {
+						continue
+					}
+					if reach[orient.Ahead(p, a)] {
+						reach[p] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// TestFieldMatchesMapReference pins the bitset field (built through the
+// Point, ID and reuse entry points) to the map-backed reference on randomized
+// fault sets with golden seeds, over every cell of the box and the ID-based
+// accessors.
+func TestFieldMatchesMapReference(t *testing.T) {
+	shapes := []func() *mesh.Mesh{
+		func() *mesh.Mesh { return mesh.New2D(9, 7) },
+		func() *mesh.Mesh { return mesh.NewCube(6) },
+	}
+	for _, mk := range shapes {
+		for _, seed := range []uint64{3, 17, 55} {
+			m := mk()
+			r := rng.New(seed)
+			for i := 0; i < m.NodeCount()/10; i++ {
+				m.SetFaulty(m.Point(r.Intn(m.NodeCount())), true)
+			}
+			avoid := AvoidFaulty(m)
+			avoidID := AvoidFaultyID(m)
+			var reused *Field
+			for trial := 0; trial < 24; trial++ {
+				s := m.Point(r.Intn(m.NodeCount()))
+				d := m.Point(r.Intn(m.NodeCount()))
+				want := mapReachability(m, avoid, s, d)
+
+				fields := map[string]*Field{
+					"Reachability":   Reachability(m, avoid, s, d),
+					"ReachabilityID": ReachabilityID(m, avoidID, s, d),
+				}
+				reused = ReachabilityIDInto(reused, m, avoidID, s, d)
+				fields["ReachabilityIDInto"] = reused
+
+				box := grid.BoxOf(s, d)
+				for name, f := range fields {
+					m.ForEach(func(p grid.Point) {
+						got := f.CanReach(p)
+						if got != want[p] {
+							t.Fatalf("seed=%d %s: CanReach(%v) = %v, map reference %v (s=%v d=%v)", seed, name, p, got, want[p], s, d)
+						}
+						if gotID := f.CanReachID(m.ID(p)); gotID != got {
+							t.Fatalf("seed=%d %s: CanReachID(%v) = %v disagrees with CanReach = %v", seed, name, p, gotID, got)
+						}
+						if box.Contains(p) && f.CanReachCovered(p) != got {
+							t.Fatalf("seed=%d %s: CanReachCovered(%v) disagrees with CanReach", seed, name, p)
+						}
+					})
+					// Points outside the box report false, as before.
+					outside := grid.Point{X: -1, Y: 0, Z: 0}
+					if f.CanReach(outside) {
+						t.Fatalf("seed=%d %s: out-of-box point reported reachable", seed, name)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package nodeset provides a flat bitset over dense mesh node IDs — the
+// index-first replacement for the map[grid.Point]bool sets that used to back
+// labelings, fault-region memberships and protected sets. A Set is a plain
+// []uint64 with no per-element allocation; membership tests are one shift and
+// one mask, and a Set sized to a mesh can be reused across rebuilds with
+// Clear.
+package nodeset
+
+import (
+	"math/bits"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+)
+
+// Set is a bitset over dense node IDs (bit i = node i is a member). The zero
+// value is an empty set that reports false for every ID; use New (or Add,
+// which grows on demand) to build a populated one.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for ids [0, n).
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64)}
+}
+
+// FromPoints collects the in-bounds points of pts into a set over m's dense
+// IDs. Out-of-bounds points are skipped: they name no node, so they cannot be
+// members. A nil or empty pts yields an empty set without allocating words.
+func FromPoints(m *mesh.Mesh, pts []grid.Point) *Set {
+	if len(pts) == 0 {
+		return &Set{}
+	}
+	s := New(m.NodeCount())
+	for _, p := range pts {
+		if id := m.ID(p); id != mesh.NoNeighbor {
+			s.Add(id)
+		}
+	}
+	return s
+}
+
+// Has reports whether id is a member. IDs beyond the set's capacity (and the
+// mesh.NoNeighbor marker) are not members.
+func (s *Set) Has(id int32) bool {
+	if s == nil || id < 0 {
+		return false
+	}
+	w := int(id >> 6)
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<uint(id&63)) != 0
+}
+
+// Add inserts id, growing the word slice if needed. Negative IDs are ignored.
+func (s *Set) Add(id int32) {
+	if id < 0 {
+		return
+	}
+	w := int(id >> 6)
+	if w >= len(s.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.words)
+		s.words = grown
+	}
+	bit := uint64(1) << uint(id&63)
+	if s.words[w]&bit == 0 {
+		s.words[w] |= bit
+		s.n++
+	}
+}
+
+// Remove deletes id from the set.
+func (s *Set) Remove(id int32) {
+	if id < 0 {
+		return
+	}
+	w := int(id >> 6)
+	if w >= len(s.words) {
+		return
+	}
+	bit := uint64(1) << uint(id&63)
+	if s.words[w]&bit != 0 {
+		s.words[w] &^= bit
+		s.n--
+	}
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Clear empties the set, keeping the backing words for reuse.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.n = 0
+}
+
+// ForEach calls fn for every member in increasing ID order.
+func (s *Set) ForEach(fn func(id int32)) {
+	if s == nil {
+		return
+	}
+	for w, word := range s.words {
+		for word != 0 {
+			id := int32(w<<6) | int32(bits.TrailingZeros64(word))
+			fn(id)
+			word &= word - 1
+		}
+	}
+}

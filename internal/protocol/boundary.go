@@ -6,6 +6,7 @@ import (
 	"mccmesh/internal/grid"
 	"mccmesh/internal/labeling"
 	"mccmesh/internal/mesh"
+	"mccmesh/internal/nodeset"
 	"mccmesh/internal/region"
 	"mccmesh/internal/simnet"
 )
@@ -269,15 +270,15 @@ func RunInformationModel(m *mesh.Mesh, lab *labeling.Labeling, cs *region.Compon
 // 2-D section of a 3-D MCC — the itinerary of the section's identification
 // messages.
 func sectionRing(m *mesh.Mesh, lab *labeling.Labeling, sec *region.Section) []grid.Point {
-	seen := make(map[grid.Point]bool)
+	seen := nodeset.New(m.NodeCount())
 	var edge []grid.Point
 	a1, a2 := sec.Plane.Axes()
 	for _, p := range sec.Nodes {
 		for _, ax := range []grid.Axis{a1, a2} {
 			for _, sign := range []int{1, -1} {
 				q := p.WithAxis(ax, p.Axis(ax)+sign)
-				if m.InBounds(q) && lab.Safe(q) && !seen[q] {
-					seen[q] = true
+				if m.InBounds(q) && lab.Safe(q) && !seen.Has(m.ID(q)) {
+					seen.Add(m.ID(q))
 					edge = append(edge, q)
 				}
 			}
@@ -300,14 +301,15 @@ func sectionRing(m *mesh.Mesh, lab *labeling.Labeling, sec *region.Section) []gr
 		}
 		return false
 	}
-	visited := map[grid.Point]bool{edge[0]: true}
+	visited := nodeset.New(m.NodeCount())
+	visited.Add(m.ID(edge[0]))
 	order := []grid.Point{edge[0]}
 	cur := edge[0]
 	for {
 		found := false
 		for _, e := range edge {
-			if !visited[e] && adjacent(cur, e) {
-				visited[e] = true
+			if !visited.Has(m.ID(e)) && adjacent(cur, e) {
+				visited.Add(m.ID(e))
 				order = append(order, e)
 				cur = e
 				found = true
@@ -319,7 +321,7 @@ func sectionRing(m *mesh.Mesh, lab *labeling.Labeling, sec *region.Section) []gr
 		}
 	}
 	for _, e := range edge {
-		if !visited[e] {
+		if !visited.Has(m.ID(e)) {
 			order = append(order, e)
 		}
 	}

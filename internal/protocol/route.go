@@ -55,32 +55,38 @@ func (h *routeHandler) Receive(ctx *simnet.Context, env simnet.Envelope) {
 		return
 	}
 
+	// The per-hop loop runs on dense node IDs: neighbour steps are table
+	// lookups, fault and label checks are array reads, and the obstacle test
+	// handed to the reachability sweep is ID-addressed component membership.
 	m := ctx.Mesh()
-	avoid := func(q grid.Point) bool {
+	selfID := ctx.SelfID()
+	destID := m.ID(msg.Dest)
+	avoid := func(q int32) bool {
 		for _, id := range msg.Known {
 			c := h.cs.Components[id]
-			if c.Has(q) && !c.Has(msg.Dest) {
+			if c.HasID(q) && !c.HasID(destID) {
 				return true
 			}
 		}
 		return false
 	}
-	var best grid.Point
+	var bestDir grid.Direction
 	bestOff := -1
 	for _, a := range m.Axes() {
 		if self.Axis(a) == msg.Dest.Axis(a) {
 			continue
 		}
-		v := h.orient.Ahead(self, a)
-		if !m.InBounds(v) || m.IsFaulty(v) {
+		dir := h.orient.Forward(a)
+		vid := m.NeighborID(selfID, dir)
+		if vid == mesh.NoNeighbor || m.FaultyAt(int(vid)) {
 			continue
 		}
-		if h.lab.Unsafe(v) && v != msg.Dest {
+		if vid != destID && h.lab.UnsafeAt(int(vid)) {
 			continue
 		}
 		// Exclude the direction if the records known here say the forbidden
 		// region behind v closes off the destination.
-		if !minimal.Exists(m, avoid, v, msg.Dest) {
+		if !minimal.ReachabilityID(m, avoid, m.Point(int(vid)), msg.Dest).CanReach(m.Point(int(vid))) {
 			continue
 		}
 		off := msg.Dest.Axis(a) - self.Axis(a)
@@ -88,7 +94,7 @@ func (h *routeHandler) Receive(ctx *simnet.Context, env simnet.Envelope) {
 			off = -off
 		}
 		if off > bestOff {
-			best, bestOff = v, off
+			bestDir, bestOff = dir, off
 		}
 	}
 	if bestOff < 0 {
@@ -96,7 +102,7 @@ func (h *routeHandler) Receive(ctx *simnet.Context, env simnet.Envelope) {
 		return
 	}
 	h.hops++
-	ctx.Send(best, KindRoute, msg)
+	ctx.SendDir(bestDir, KindRoute, msg)
 }
 
 // RouteResult is the outcome of one distributed routing attempt.

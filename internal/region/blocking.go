@@ -52,21 +52,37 @@ func (s *ComponentSet) BlockedByAny(from, to grid.Point) bool {
 // coincides with blocking by the faulty nodes alone whenever the endpoints are
 // safe.
 func (s *ComponentSet) BlockedByUnion(from, to grid.Point) bool {
-	if s.Labeling != nil {
-		return !minimal.Exists(s.Mesh, func(p grid.Point) bool { return s.Labeling.Unsafe(p) }, from, to)
-	}
-	return !minimal.Exists(s.Mesh, func(p grid.Point) bool { return s.ComponentOf(p) != nil }, from, to)
+	return !minimal.ReachabilityID(s.Mesh, s.unionAvoidID(), from, to).CanReach(from)
 }
 
 // UnionField returns the monotone-reachability field toward `to` over the box
 // spanned by `from` and `to`, avoiding every unsafe node. Routing providers
 // cache it so that one field answers every step of a route.
 func (s *ComponentSet) UnionField(from, to grid.Point) *minimal.Field {
-	avoid := func(p grid.Point) bool { return s.ComponentOf(p) != nil }
-	if s.Labeling != nil {
-		avoid = func(p grid.Point) bool { return s.Labeling.Unsafe(p) }
+	return s.UnionFieldInto(nil, from, to)
+}
+
+// UnionFieldInto is UnionField reusing f's storage when f is non-nil (see
+// minimal.ReachabilityIDInto); the routing providers' epoch caches use it to
+// rebuild fields without allocating after a fault injection. The obstacle
+// test is ID-addressed: one status-array (or component-array) read per cell.
+func (s *ComponentSet) UnionFieldInto(f *minimal.Field, from, to grid.Point) *minimal.Field {
+	return minimal.ReachabilityIDInto(f, s.Mesh, s.unionAvoidID(), from, to)
+}
+
+// unionAvoidID returns (building once) the ID-addressed obstacle test for the
+// union of all fault regions. It stays valid across Refresh: the labelling is
+// updated in place and byNode is reused.
+func (s *ComponentSet) unionAvoidID() func(id int32) bool {
+	if s.avoidID == nil {
+		if s.Labeling != nil {
+			s.avoidID = s.Labeling.AvoidUnsafeID()
+		} else {
+			byNode := s.byNode
+			s.avoidID = func(id int32) bool { return byNode[id] >= 0 }
+		}
 	}
-	return minimal.Reachability(s.Mesh, avoid, from, to)
+	return s.avoidID
 }
 
 // InForbidden reports whether node v lies in the forbidden region of component

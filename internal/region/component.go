@@ -17,7 +17,8 @@ import (
 
 // Component is one connected fault region: a maximal set of unsafe nodes
 // connected through mesh links. Under the MCC labelling these are exactly the
-// paper's minimal connected components.
+// paper's minimal connected components. Membership queries go through the
+// owning set's dense node→component array, not a per-component map.
 type Component struct {
 	// ID is the index of the component within its ComponentSet.
 	ID int
@@ -29,7 +30,7 @@ type Component struct {
 	// by label.
 	FaultyCount, UselessCount, CantReachCount int
 
-	members map[grid.Point]bool
+	set *ComponentSet
 }
 
 // Size returns the number of nodes in the component.
@@ -39,11 +40,19 @@ func (c *Component) Size() int { return len(c.Nodes) }
 func (c *Component) NonFaulty() int { return c.UselessCount + c.CantReachCount }
 
 // Has reports whether p belongs to the component.
-func (c *Component) Has(p grid.Point) bool { return c.members[p] }
+func (c *Component) Has(p grid.Point) bool {
+	m := c.set.Mesh
+	return m.InBounds(p) && c.set.byNode[m.Index(p)] == c.ID
+}
+
+// HasID reports membership by dense node ID (the index-first fast path).
+func (c *Component) HasID(id int32) bool {
+	return id >= 0 && c.set.byNode[id] == c.ID
+}
 
 // Avoid returns a minimal.Avoid that rejects exactly this component's nodes.
 func (c *Component) Avoid() minimal.Avoid {
-	return func(p grid.Point) bool { return c.members[p] }
+	return c.Has
 }
 
 // String implements fmt.Stringer.
@@ -53,7 +62,10 @@ func (c *Component) String() string {
 }
 
 // ComponentSet is the collection of fault regions of one labelling together
-// with a node → component index for O(1) lookups.
+// with a node → component index for O(1) lookups. After the underlying
+// labelling absorbed new faults (labeling.AddFaults), Refresh re-extracts the
+// components in place — same struct, same byNode array — so routing providers
+// holding the set stay valid across mid-run fault injections.
 type ComponentSet struct {
 	// Mesh is the mesh the components were extracted from.
 	Mesh *mesh.Mesh
@@ -63,6 +75,10 @@ type ComponentSet struct {
 	Components []*Component
 
 	byNode []int // dense node index -> component ID, or -1
+
+	member  func(idx int) bool           // membership rule, kept for Refresh
+	count   func(*Component, grid.Point) // label accounting, kept for Refresh
+	avoidID func(id int32) bool          // cached union obstacle test
 }
 
 // Adjacent reports whether two nodes belong to the same fault region when both
@@ -95,19 +111,27 @@ func abs(v int) int {
 	return v
 }
 
-// adjacentPoints appends to dst the in-bounds points adjacent to p under the
-// MCC region adjacency.
-func adjacentPoints(m *mesh.Mesh, dst []grid.Point, p grid.Point) []grid.Point {
-	deltas := [][3]int{
+// adjacencyDeltas2D and adjacencyDeltas3D are the offsets of the MCC region
+// adjacency (see Adjacent); adjacencyDeltas3D extends the 2-D set, so the 2-D
+// deltas are its prefix. Package-level so adjacentPoints allocates nothing.
+var (
+	adjacencyDeltas2D = [][3]int{
 		{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0},
 		{1, 1, 0}, {1, -1, 0}, {-1, 1, 0}, {-1, -1, 0},
 	}
-	if !m.Is2D() {
-		deltas = append(deltas,
-			[3]int{0, 0, 1}, [3]int{0, 0, -1},
-			[3]int{1, 0, 1}, [3]int{1, 0, -1}, [3]int{-1, 0, 1}, [3]int{-1, 0, -1},
-			[3]int{0, 1, 1}, [3]int{0, 1, -1}, [3]int{0, -1, 1}, [3]int{0, -1, -1},
-		)
+	adjacencyDeltas3D = append(append([][3]int{}, adjacencyDeltas2D...),
+		[3]int{0, 0, 1}, [3]int{0, 0, -1},
+		[3]int{1, 0, 1}, [3]int{1, 0, -1}, [3]int{-1, 0, 1}, [3]int{-1, 0, -1},
+		[3]int{0, 1, 1}, [3]int{0, 1, -1}, [3]int{0, -1, 1}, [3]int{0, -1, -1},
+	)
+)
+
+// adjacentPoints appends to dst the in-bounds points adjacent to p under the
+// MCC region adjacency.
+func adjacentPoints(m *mesh.Mesh, dst []grid.Point, p grid.Point) []grid.Point {
+	deltas := adjacencyDeltas3D
+	if m.Is2D() {
+		deltas = adjacencyDeltas2D
 	}
 	for _, d := range deltas {
 		q := grid.Point{X: p.X + d[0], Y: p.Y + d[1], Z: p.Z + d[2]}
@@ -149,45 +173,61 @@ func findComponents(m *mesh.Mesh, member func(idx int) bool, l *labeling.Labelin
 		Mesh:     m,
 		Labeling: l,
 		byNode:   make([]int, m.NodeCount()),
+		member:   member,
+		count:    count,
 	}
-	for i := range set.byNode {
-		set.byNode[i] = -1
+	set.extract()
+	return set
+}
+
+// extract (re)computes the components from the current membership rule into
+// the set's existing storage.
+func (s *ComponentSet) extract() {
+	m := s.Mesh
+	s.Components = s.Components[:0]
+	for i := range s.byNode {
+		s.byNode[i] = -1
 	}
 	var stack []int
+	var adj []grid.Point
 	for start := 0; start < m.NodeCount(); start++ {
-		if !member(start) || set.byNode[start] != -1 {
+		if !s.member(start) || s.byNode[start] != -1 {
 			continue
 		}
 		comp := &Component{
-			ID:      len(set.Components),
-			members: make(map[grid.Point]bool),
-			Bounds:  grid.Box{Min: grid.Point{X: 1}, Max: grid.Point{}}, // empty
+			ID:     len(s.Components),
+			set:    s,
+			Bounds: grid.Box{Min: grid.Point{X: 1}, Max: grid.Point{}}, // empty
 		}
 		stack = append(stack[:0], start)
-		set.byNode[start] = comp.ID
-		var adj []grid.Point
+		s.byNode[start] = comp.ID
 		for len(stack) > 0 {
 			idx := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			p := m.Point(idx)
 			comp.Nodes = append(comp.Nodes, p)
-			comp.members[p] = true
 			comp.Bounds = comp.Bounds.Extend(p)
-			count(comp, p)
+			s.count(comp, p)
 			adj = adjacentPoints(m, adj[:0], p)
 			for _, q := range adj {
 				qi := m.Index(q)
-				if member(qi) && set.byNode[qi] == -1 {
-					set.byNode[qi] = comp.ID
+				if s.member(qi) && s.byNode[qi] == -1 {
+					s.byNode[qi] = comp.ID
 					stack = append(stack, qi)
 				}
 			}
 		}
 		sort.Slice(comp.Nodes, func(i, j int) bool { return m.Index(comp.Nodes[i]) < m.Index(comp.Nodes[j]) })
-		set.Components = append(set.Components, comp)
+		s.Components = append(s.Components, comp)
 	}
-	return set
 }
+
+// Refresh re-extracts the components after the underlying labelling (or fault
+// set, for fault-only clusters) changed, mutating the set in place so that
+// holders of the *ComponentSet — routing providers, cached models — see the
+// new regions without being rebuilt. Components handed out before the call
+// are invalidated.
+func (s *ComponentSet) Refresh() { s.extract() }
 
 // ComponentOf returns the component containing p, or nil if p is not part of
 // any fault region.

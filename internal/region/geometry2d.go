@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"mccmesh/internal/grid"
+	"mccmesh/internal/nodeset"
 )
 
 // EdgeNodes returns the edge nodes of component c: the safe, in-bounds nodes
@@ -11,16 +12,16 @@ import (
 // the identification messages of Algorithm 2 travel along.
 func (s *ComponentSet) EdgeNodes(c *Component) []grid.Point {
 	m := s.Mesh
-	seen := make(map[grid.Point]bool)
+	seen := nodeset.New(m.NodeCount())
 	var out []grid.Point
 	for _, p := range c.Nodes {
 		for _, d := range m.Directions() {
 			q, ok := m.Neighbor(p, d)
-			if !ok || seen[q] {
+			if !ok || seen.Has(m.ID(q)) {
 				continue
 			}
 			if s.isSafe(q) {
-				seen[q] = true
+				seen.Add(m.ID(q))
 				out = append(out, q)
 			}
 		}
@@ -91,16 +92,15 @@ func (s *ComponentSet) Corners2D(c *Component) Corners2D {
 func (s *ComponentSet) IntermediateCorners2D(c *Component) []grid.Point {
 	m := s.Mesh
 	corners := s.Corners2D(c)
-	edge := make(map[grid.Point]bool)
-	for _, e := range s.EdgeNodes(c) {
-		edge[e] = true
-	}
+	edgeNodes := s.EdgeNodes(c)
+	edgeSet := nodeset.FromPoints(m, edgeNodes)
+	edge := func(p grid.Point) bool { return edgeSet.Has(m.ID(p)) }
 	isMember := func(p grid.Point) bool { return c.Has(p) }
 
-	seen := make(map[grid.Point]bool)
+	seen := nodeset.New(m.NodeCount())
 	var out []grid.Point
 	consider := func(p grid.Point) {
-		if seen[p] || !s.isSafe(p) {
+		if seen.Has(m.ID(p)) || !s.isSafe(p) {
 			return
 		}
 		if corners.Found && (p == corners.Initialization || p == corners.Opposite) {
@@ -114,19 +114,19 @@ func (s *ComponentSet) IntermediateCorners2D(c *Component) []grid.Point {
 				continue
 			}
 			if d.Axis() == grid.AxisX {
-				countEdgeX = countEdgeX || edge[q]
+				countEdgeX = countEdgeX || edge(q)
 				countMemX = countMemX || isMember(q)
 			} else {
-				countEdgeY = countEdgeY || edge[q]
+				countEdgeY = countEdgeY || edge(q)
 				countMemY = countMemY || isMember(q)
 			}
 		}
 		if (countEdgeX && countEdgeY) || (countMemX && countMemY) {
-			seen[p] = true
+			seen.Add(m.ID(p))
 			out = append(out, p)
 		}
 	}
-	for _, e := range s.EdgeNodes(c) {
+	for _, e := range edgeNodes {
 		consider(e)
 		for _, d := range grid.Directions2D {
 			if q, ok := m.Neighbor(e, d); ok {
@@ -152,11 +152,9 @@ func (s *ComponentSet) PerimeterRing(c *Component, start grid.Point) []grid.Poin
 	if len(edges) == 0 {
 		return nil
 	}
-	edgeSet := make(map[grid.Point]bool, len(edges))
-	for _, e := range edges {
-		edgeSet[e] = true
-	}
-	if !edgeSet[start] {
+	m := s.Mesh
+	edgeSet := nodeset.FromPoints(m, edges)
+	if !edgeSet.Has(m.ID(start)) {
 		start = edges[0]
 	}
 
@@ -181,14 +179,15 @@ func (s *ComponentSet) PerimeterRing(c *Component, start grid.Point) []grid.Poin
 	// Greedy walk: depth-first traversal preferring unvisited neighbours,
 	// producing a perimeter ordering. MCC perimeters are simple cycles (or
 	// chains at the border), so the walk is well defined.
-	visited := map[grid.Point]bool{start: true}
+	visited := nodeset.New(m.NodeCount())
+	visited.Add(m.ID(start))
 	order := []grid.Point{start}
 	cur := start
 	for {
 		var next grid.Point
 		found := false
 		for _, e := range edges {
-			if visited[e] || !adjacent(cur, e) {
+			if visited.Has(m.ID(e)) || !adjacent(cur, e) {
 				continue
 			}
 			next, found = e, true
@@ -197,7 +196,7 @@ func (s *ComponentSet) PerimeterRing(c *Component, start grid.Point) []grid.Poin
 		if !found {
 			break
 		}
-		visited[next] = true
+		visited.Add(m.ID(next))
 		order = append(order, next)
 		cur = next
 	}
@@ -206,9 +205,9 @@ func (s *ComponentSet) PerimeterRing(c *Component, start grid.Point) []grid.Poin
 	// node exactly once.
 	if len(order) < len(edges) {
 		for _, e := range edges {
-			if !visited[e] {
+			if !visited.Has(m.ID(e)) {
 				order = append(order, e)
-				visited[e] = true
+				visited.Add(m.ID(e))
 			}
 		}
 	}

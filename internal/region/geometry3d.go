@@ -4,6 +4,8 @@ import (
 	"sort"
 
 	"mccmesh/internal/grid"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/nodeset"
 )
 
 // Plane identifies the orientation of a 2-D section of a 3-D fault region.
@@ -73,11 +75,19 @@ type Section struct {
 	// Bounds is the bounding box of the section.
 	Bounds grid.Box
 
-	members map[grid.Point]bool
+	mesh *mesh.Mesh
 }
 
-// Has reports whether p belongs to the section.
-func (s *Section) Has(p grid.Point) bool { return s.members[p] }
+// Has reports whether p belongs to the section: a binary search over the
+// index-sorted node list, so a Section retains no per-mesh storage.
+func (s *Section) Has(p grid.Point) bool {
+	if !s.Bounds.Contains(p) {
+		return false
+	}
+	want := s.mesh.Index(p)
+	i := sort.Search(len(s.Nodes), func(i int) bool { return s.mesh.Index(s.Nodes[i]) >= want })
+	return i < len(s.Nodes) && s.Nodes[i] == p
+}
 
 // Size returns the number of nodes in the section.
 func (s *Section) Size() int { return len(s.Nodes) }
@@ -103,31 +113,27 @@ func (s *ComponentSet) Sections(c *Component, plane Plane) []*Section {
 	sort.Ints(levels)
 
 	var out []*Section
+	visited := nodeset.New(m.NodeCount())
 	for _, lv := range levels {
 		nodes := byLevel[lv]
-		inLevel := make(map[grid.Point]bool, len(nodes))
-		for _, p := range nodes {
-			inLevel[p] = true
-		}
-		visited := make(map[grid.Point]bool, len(nodes))
+		inLevel := nodeset.FromPoints(m, nodes)
 		for _, start := range nodes {
-			if visited[start] {
+			if visited.Has(m.ID(start)) {
 				continue
 			}
 			sec := &Section{
 				Component: c,
 				Plane:     plane,
 				Level:     lv,
-				members:   make(map[grid.Point]bool),
+				mesh:      m,
 				Bounds:    grid.Box{Min: grid.Point{X: 1}, Max: grid.Point{}},
 			}
 			stack := []grid.Point{start}
-			visited[start] = true
+			visited.Add(m.ID(start))
 			for len(stack) > 0 {
 				p := stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
 				sec.Nodes = append(sec.Nodes, p)
-				sec.members[p] = true
 				sec.Bounds = sec.Bounds.Extend(p)
 				// In-plane connectivity includes diagonal adjacency
 				// (8-connectivity), matching the region adjacency restricted
@@ -140,8 +146,9 @@ func (s *ComponentSet) Sections(c *Component, plane Plane) []*Section {
 							continue
 						}
 						q := p.WithAxis(a1, p.Axis(a1)+d1).WithAxis(a2, p.Axis(a2)+d2)
-						if m.InBounds(q) && inLevel[q] && !visited[q] {
-							visited[q] = true
+						qid := m.ID(q)
+						if qid != mesh.NoNeighbor && inLevel.Has(qid) && !visited.Has(qid) {
+							visited.Add(qid)
 							stack = append(stack, q)
 						}
 					}

@@ -1,0 +1,108 @@
+package region
+
+import (
+	"testing"
+
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/rng"
+)
+
+// TestComponentHasMatchesMapReference pins the array-backed membership
+// (byNode through Component.Has/HasID) to the map-backed semantics the
+// pre-refactor Component carried, on randomized fault sets with golden seeds:
+// a point is a member exactly when it appears in the component's node list.
+func TestComponentHasMatchesMapReference(t *testing.T) {
+	for _, seed := range []uint64{2, 13, 99} {
+		m := mesh.NewCube(7)
+		r := rng.New(seed)
+		for i := 0; i < 30; i++ {
+			idx := r.Intn(m.NodeCount())
+			m.SetFaulty(m.Point(idx), true)
+		}
+		l := labeling.Compute(m, grid.PositiveOrientation)
+		cs := FindMCCs(l)
+		for _, c := range cs.Components {
+			members := make(map[grid.Point]bool, len(c.Nodes))
+			for _, p := range c.Nodes {
+				members[p] = true
+			}
+			m.ForEach(func(p grid.Point) {
+				if got, want := c.Has(p), members[p]; got != want {
+					t.Fatalf("seed=%d MCC#%d: Has(%v) = %v, map reference says %v", seed, c.ID, p, got, want)
+				}
+				if got := c.HasID(m.ID(p)); got != members[p] {
+					t.Fatalf("seed=%d MCC#%d: HasID(%v) = %v, map reference says %v", seed, c.ID, p, got, members[p])
+				}
+			})
+			// Out-of-bounds points are never members (the map reference
+			// trivially agreed).
+			if c.Has(grid.Point{X: -1, Y: 0, Z: 0}) || c.HasID(mesh.NoNeighbor) {
+				t.Fatalf("seed=%d MCC#%d: out-of-bounds point reported as member", seed, c.ID)
+			}
+		}
+	}
+}
+
+// TestRefreshMatchesRebuild pins the in-place Refresh to a from-scratch
+// FindMCCs after incremental fault additions: same components (nodes, bounds,
+// counts), same node→component mapping, same union-field answers — while the
+// *ComponentSet pointer (what routing providers hold) stays the same.
+func TestRefreshMatchesRebuild(t *testing.T) {
+	for _, seed := range []uint64{5, 21, 77} {
+		m := mesh.NewCube(7)
+		r := rng.New(seed)
+		for i := 0; i < 25; i++ {
+			m.SetFaulty(m.Point(r.Intn(m.NodeCount())), true)
+		}
+		l := labeling.Compute(m, grid.PositiveOrientation)
+		cs := FindMCCs(l)
+		for batch := 0; batch < 3; batch++ {
+			var pts []grid.Point
+			for len(pts) < 4 {
+				idx := r.Intn(m.NodeCount())
+				if m.FaultyAt(idx) {
+					continue
+				}
+				p := m.Point(idx)
+				m.SetFaulty(p, true)
+				pts = append(pts, p)
+			}
+			l.AddFaults(pts)
+			cs.Refresh()
+
+			fresh := FindMCCs(labeling.Compute(m, grid.PositiveOrientation))
+			if cs.Len() != fresh.Len() {
+				t.Fatalf("seed=%d batch %d: Refresh found %d components, rebuild %d", seed, batch, cs.Len(), fresh.Len())
+			}
+			for i, c := range cs.Components {
+				f := fresh.Components[i]
+				if len(c.Nodes) != len(f.Nodes) || c.Bounds != f.Bounds || c.FaultyCount != f.FaultyCount ||
+					c.NonFaulty() != f.NonFaulty() {
+					t.Fatalf("seed=%d batch %d: component %d diverged:\nrefresh %v\nrebuild %v", seed, batch, i, c, f)
+				}
+				for j := range c.Nodes {
+					if c.Nodes[j] != f.Nodes[j] {
+						t.Fatalf("seed=%d batch %d: component %d node %d: %v vs %v", seed, batch, i, j, c.Nodes[j], f.Nodes[j])
+					}
+				}
+			}
+			m.ForEach(func(p grid.Point) {
+				a, b := cs.ComponentOf(p), fresh.ComponentOf(p)
+				if (a == nil) != (b == nil) || (a != nil && a.ID != b.ID) {
+					t.Fatalf("seed=%d batch %d: ComponentOf(%v) diverged", seed, batch, p)
+				}
+			})
+			// Union-field answers must agree between the refreshed set and a
+			// cold rebuild (the question routing actually asks).
+			for trial := 0; trial < 32; trial++ {
+				s := m.Point(r.Intn(m.NodeCount()))
+				d := m.Point(r.Intn(m.NodeCount()))
+				if cs.BlockedByUnion(s, d) != fresh.BlockedByUnion(s, d) {
+					t.Fatalf("seed=%d batch %d: BlockedByUnion(%v, %v) diverged after Refresh", seed, batch, s, d)
+				}
+			}
+		}
+	}
+}

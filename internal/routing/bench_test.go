@@ -1,0 +1,128 @@
+package routing_test
+
+// Benchmarks for the per-hop provider decision, with and without fault churn.
+// The churn variants model the traffic engine's steady state around a mid-run
+// fault injection: the labelling absorbs the new fault incrementally, the
+// component set refreshes in place, the provider takes an O(1) epoch bump,
+// and the next queries rebuild only the fields they actually touch.
+
+import (
+	"testing"
+
+	"mccmesh/internal/fault"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/region"
+	"mccmesh/internal/rng"
+	"mccmesh/internal/routing"
+)
+
+// benchQueries returns a deterministic query mix over healthy node IDs:
+// (u, v, d) triples with v a forward neighbour of u toward d.
+type benchState struct {
+	m    *mesh.Mesh
+	lab  *labeling.Labeling
+	set  *region.ComponentSet
+	prov *routing.MCC
+	u, v []int32
+	d    []int32
+	uP   []grid.Point
+	vP   []grid.Point
+	dP   []grid.Point
+}
+
+func newBenchState(tb testing.TB) *benchState {
+	m := mesh.NewCube(16)
+	fault.Uniform{Count: 120}.Inject(m, rng.New(11))
+	lab := labeling.Compute(m, grid.PositiveOrientation)
+	set := region.FindMCCs(lab)
+	st := &benchState{m: m, lab: lab, set: set, prov: &routing.MCC{Set: set}}
+	r := rng.New(23)
+	for len(st.u) < 4096 {
+		ui := int32(r.Intn(m.NodeCount()))
+		di := int32(r.Intn(m.NodeCount()))
+		uP, dP := m.Point(int(ui)), m.Point(int(di))
+		if m.FaultyAt(int(ui)) || m.FaultyAt(int(di)) || ui == di {
+			continue
+		}
+		orient := grid.OrientationOf(uP, dP)
+		var vi int32 = mesh.NoNeighbor
+		for _, a := range m.Axes() {
+			if uP.Axis(a) == dP.Axis(a) {
+				continue
+			}
+			if q := m.NeighborID(ui, orient.Forward(a)); q != mesh.NoNeighbor && !m.FaultyAt(int(q)) {
+				vi = q
+				break
+			}
+		}
+		if vi == mesh.NoNeighbor {
+			continue
+		}
+		st.u = append(st.u, ui)
+		st.v = append(st.v, vi)
+		st.d = append(st.d, di)
+		st.uP = append(st.uP, uP)
+		st.vP = append(st.vP, m.Point(int(vi)))
+		st.dP = append(st.dP, dP)
+	}
+	return st
+}
+
+// churn injects one extra fault and pushes it through the incremental update
+// path the traffic engine uses: relabel, refresh, epoch bump.
+func (st *benchState) churn(r *rng.Rand) {
+	for {
+		idx := r.Intn(st.m.NodeCount())
+		if st.m.FaultyAt(idx) {
+			continue
+		}
+		p := st.m.Point(idx)
+		st.m.SetFaulty(p, true)
+		st.lab.AddFaults([]grid.Point{p})
+		st.set.Refresh()
+		st.prov.InvalidateCache()
+		return
+	}
+}
+
+// BenchmarkMCCAllowed16 is the Point-addressed decision on a static fault set.
+func BenchmarkMCCAllowed16(b *testing.B) {
+	st := newBenchState(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & 4095
+		st.prov.Allowed(st.uP[k], st.vP[k], st.dP[k])
+	}
+}
+
+// BenchmarkMCCAllowedID16 is the dense-ID decision on a static fault set —
+// the path the traffic engine's per-hop loop takes.
+func BenchmarkMCCAllowedID16(b *testing.B) {
+	st := newBenchState(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & 4095
+		st.prov.AllowedID(st.u[k], st.v[k], st.d[k])
+	}
+}
+
+// BenchmarkMCCAllowedIDChurn16 interleaves fault injections with the query
+// stream: every 2048 decisions a node dies, the model updates incrementally,
+// and the epoch cache rebuilds fields lazily as destinations are revisited.
+func BenchmarkMCCAllowedIDChurn16(b *testing.B) {
+	st := newBenchState(b)
+	r := rng.New(31)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2048 == 2047 && st.m.FaultCount() < st.m.NodeCount()/8 {
+			st.churn(r)
+		}
+		k := i & 4095
+		st.prov.AllowedID(st.u[k], st.v[k], st.d[k])
+	}
+}

@@ -1,0 +1,154 @@
+package routing
+
+// White-box tests for the epoch-versioned, destination-ID-indexed field
+// cache: epoch invalidation must be lazy and exact, eviction must drop one
+// entry (never the whole cache) and never change answers.
+
+import (
+	"testing"
+
+	"mccmesh/internal/fault"
+	"mccmesh/internal/grid"
+	"mccmesh/internal/labeling"
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/region"
+	"mccmesh/internal/rng"
+)
+
+// TestFieldCacheEpochInvalidation: after a fault injection flows through the
+// incremental update path (AddFaults + Refresh + InvalidateCache), every
+// decision must match a provider built from scratch over the same mesh —
+// and stale entries must be rebuilt in place, reusing their Field storage.
+func TestFieldCacheEpochInvalidation(t *testing.T) {
+	m := mesh.NewCube(8)
+	fault.Uniform{Count: 20}.Inject(m, rng.New(3))
+	lab := labeling.Compute(m, grid.PositiveOrientation)
+	set := region.FindMCCs(lab)
+	prov := &MCC{Set: set}
+
+	// Warm the cache over a query set.
+	type q struct{ u, v, d grid.Point }
+	var queries []q
+	r := rng.New(9)
+	for len(queries) < 200 {
+		u := m.Point(r.Intn(m.NodeCount()))
+		d := m.Point(r.Intn(m.NodeCount()))
+		if u == d || m.IsFaulty(u) || m.IsFaulty(d) {
+			continue
+		}
+		orient := grid.OrientationOf(u, d)
+		for _, a := range m.Axes() {
+			if u.Axis(a) == d.Axis(a) {
+				continue
+			}
+			if v, ok := m.Neighbor(u, orient.Forward(a)); ok && !m.IsFaulty(v) {
+				queries = append(queries, q{u, v, d})
+			}
+		}
+	}
+	for _, qq := range queries {
+		prov.Allowed(qq.u, qq.v, qq.d)
+	}
+
+	// Remember the field pointer of a destination we know is cached.
+	probe := queries[0]
+	probeID := m.ID(probe.d)
+	before := prov.cache.slots[probeID].field
+	if before == nil {
+		t.Fatal("probe destination not cached after warmup")
+	}
+
+	// Inject a fault and push it through the incremental path.
+	var injected grid.Point
+	for {
+		idx := r.Intn(m.NodeCount())
+		if !m.FaultyAt(idx) {
+			injected = m.Point(idx)
+			m.SetFaulty(injected, true)
+			break
+		}
+	}
+	lab.AddFaults([]grid.Point{injected})
+	set.Refresh()
+	prov.InvalidateCache()
+
+	// Every answer must now match a from-scratch provider.
+	freshSet := region.FindMCCs(labeling.Compute(m, grid.PositiveOrientation))
+	fresh := &MCC{Set: freshSet}
+	for _, qq := range queries {
+		if qq.v == injected || qq.u == injected || qq.d == injected {
+			continue // the query premise (healthy endpoints) changed
+		}
+		got := prov.Allowed(qq.u, qq.v, qq.d)
+		want := fresh.Allowed(qq.u, qq.v, qq.d)
+		if got != want {
+			t.Fatalf("after epoch invalidation: Allowed(%v, %v, %v) = %v, fresh provider says %v",
+				qq.u, qq.v, qq.d, got, want)
+		}
+	}
+	// The probe's slot must have been rebuilt in place: same Field object,
+	// fresh epoch — that is the storage reuse the epoch scheme buys.
+	if probe.d != injected {
+		after := prov.cache.slots[probeID].field
+		if after == nil {
+			t.Fatal("probe destination dropped instead of rebuilt")
+		}
+		if after != before {
+			t.Errorf("stale field was reallocated, not rebuilt in place")
+		}
+		if prov.cache.slots[probeID].epoch != prov.cache.epoch {
+			t.Errorf("probe slot not stamped with the current epoch")
+		}
+	}
+}
+
+// TestFieldCacheEvictsOneEntry: filling a provider with more destinations
+// than fieldCacheMax must evict oldest entries one at a time — the live count
+// stays at the cap, early destinations are gone, late ones survive — and
+// evicted destinations still answer correctly (they just rebuild).
+func TestFieldCacheEvictsOneEntry(t *testing.T) {
+	m := mesh.NewCube(17) // 4913 nodes > fieldCacheMax
+	o := &Oracle{Mesh: m}
+	n := m.NodeCount()
+	if n <= fieldCacheMax {
+		t.Fatalf("test mesh too small to overflow the cache: %d <= %d", n, fieldCacheMax)
+	}
+	// Touch every node as a destination, with the neighbouring source so each
+	// field is tiny.
+	for idx := 0; idx < n; idx++ {
+		d := m.Point(idx)
+		u, ok := m.Neighbor(d, grid.XPos)
+		if !ok {
+			u, _ = m.Neighbor(d, grid.XNeg)
+		}
+		if !o.Allowed(u, u, d) {
+			t.Fatalf("fault-free mesh: Allowed(%v, %v, %v) must hold", u, u, d)
+		}
+	}
+	live := 0
+	for _, s := range o.cache.slots {
+		if s.field != nil {
+			live++
+		}
+	}
+	if live != fieldCacheMax {
+		t.Fatalf("live entries = %d, want exactly the cap %d (one-at-a-time eviction)", live, fieldCacheMax)
+	}
+	// The first destinations were evicted, the last ones survived.
+	firstID := int32(0)
+	if o.cache.slots[firstID].field != nil {
+		t.Errorf("oldest destination still cached after overflow")
+	}
+	if o.cache.slots[n-1].field == nil {
+		t.Errorf("newest destination missing from the cache")
+	}
+	// An evicted destination still answers, and re-caches.
+	d := m.Point(0)
+	u, _ := m.Neighbor(d, grid.XPos)
+	if !o.Allowed(u, u, d) {
+		t.Fatalf("evicted destination answers wrong after rebuild")
+	}
+	if o.cache.slots[0].field == nil {
+		t.Errorf("evicted destination was not re-cached on demand")
+	}
+}

@@ -10,14 +10,21 @@ import (
 )
 
 // CacheInvalidator is implemented by providers that memoise reachability
-// fields derived from the live mesh (currently only Oracle). Providers built
-// over a precomputed snapshot — MCC's ComponentSet, Block's Regions —
-// deliberately do not implement it: dropping their field cache would still
-// leave the snapshot stale, so after mesh mutations they must be rebuilt
-// wholesale (as the traffic engine's information models do).
+// fields derived from fault information. Invalidation is an O(1) epoch bump:
+// cached fields go stale lazily and are rebuilt in place (reusing their bitset
+// storage) the next time their destination is routed to.
+//
+// For the Oracle the live mesh is the source of truth, so an epoch bump alone
+// is always correct. For MCC and Block the provider reads a snapshot (the
+// ComponentSet / Regions); bumping their cache is correct only when that
+// snapshot has itself been brought up to date — region.ComponentSet.Refresh
+// updates an MCC set in place, which is how the traffic models apply mid-run
+// faults without rebuilding providers. A Block snapshot has no in-place
+// refresh; after mesh mutations it must be rebuilt wholesale, so invalidating
+// a Block provider's cache alone is not sufficient.
 type CacheInvalidator interface {
-	// InvalidateCache drops memoised fault information so the next Allowed
-	// call recomputes it from the current mesh state.
+	// InvalidateCache marks every memoised reachability field stale so the
+	// next Allowed call recomputes it from the current fault information.
 	InvalidateCache()
 }
 
@@ -31,45 +38,179 @@ func InvalidateCaches(provs ...Provider) {
 	}
 }
 
-// fieldCache memoises reachability fields per destination. CanReach(v) for a
-// point inside a field's box depends only on the cells between v and the
-// destination — never on the source the field was built from — so reusing a
-// field across packets (and across sources) is exact, not approximate. The
-// single-slot caches this replaces were exact too but thrashed as soon as two
-// packets with different destinations interleaved, which is the steady state
-// of the traffic engine; keying by destination removes the per-hop rebuild
-// from the forwarding fast path.
+// fieldCacheMax bounds the number of live reachability fields per provider.
+// On overflow the oldest entry is evicted (FIFO); eviction order cannot
+// affect results, only speed. 4096 fields cover every destination of the
+// reference 16³ mesh; larger meshes recycle.
+const fieldCacheMax = 4096
+
+// fieldCache memoises reachability fields per destination, indexed by the
+// destination's dense node ID — no map, no hashing on the per-hop path.
+// CanReach(v) for a point inside a field's box depends only on the cells
+// between v and the destination — never on the source the field was built
+// from — so reusing a field across packets (and across sources) is exact, not
+// approximate.
+//
+// Invalidation is epoch-based: invalidate bumps the cache epoch, and entries
+// stamped with an older epoch are rebuilt in place — reusing their bitset
+// storage — when their destination is next looked up. A mid-run fault
+// injection therefore costs O(1) immediately and O(affected destinations)
+// over time, instead of the wholesale rebuild the map-backed cache paid.
 type fieldCache struct {
-	entries map[grid.Point]fieldEntry
+	epoch uint32
+	slots []fieldSlot // indexed by destination node ID
+	order []int32     // FIFO of destinations holding a field
+	head  int         // consumed prefix of order
+	spare []*minimal.Field
+
+	// slab and arena chunk the allocation of cold builds: Field structs come
+	// from slab, their bitset words are carved from arena, so populating the
+	// cache costs O(1) allocations per few hundred destinations instead of
+	// two per destination.
+	slab  []minimal.Field
+	arena []uint64
 }
 
-type fieldEntry struct {
-	src   grid.Point
+type fieldSlot struct {
+	epoch uint32
 	field *minimal.Field
 }
 
-// fieldCacheMax bounds the per-provider cache; on overflow the cache is
-// cleared wholesale (eviction order cannot affect results, only speed).
-const fieldCacheMax = 1024
-
-// lookup returns the cached field for destination d if it covers v, building
-// one from (u, d) otherwise.
-func (c *fieldCache) lookup(u, v, d grid.Point, build func(u, d grid.Point) *minimal.Field) *minimal.Field {
-	if e, ok := c.entries[d]; ok && grid.BoxOf(e.src, d).Contains(v) {
-		return e.field
+// lookup returns a current-epoch field for destination d that covers v,
+// building (or rebuilding in place) one when needed. n is the mesh's node
+// count, used to size the slot table on first use. build must fill f (which
+// may be nil) with the reachability field toward dst from src and return it.
+func (c *fieldCache) lookup(n int, u, v, d grid.Point, dID int32, build func(f *minimal.Field, src, dst grid.Point) *minimal.Field) *minimal.Field {
+	if c.slots == nil {
+		c.epoch = 1
+		c.slots = make([]fieldSlot, n)
 	}
-	if c.entries == nil {
-		c.entries = make(map[grid.Point]fieldEntry, 16)
-	} else if len(c.entries) >= fieldCacheMax {
-		clear(c.entries)
+	s := &c.slots[dID]
+	if s.field != nil && s.epoch == c.epoch && s.field.Covers(v) {
+		return s.field
 	}
-	f := build(u, d)
-	c.entries[d] = fieldEntry{src: u, field: f}
+	src := u
+	reuse := s.field
+	if reuse != nil && s.epoch == c.epoch {
+		// Live field that doesn't cover v: widen the box so the old coverage
+		// and the new source both fit, when d stays a corner of the union.
+		// This stops two sources with the same destination from rebuilding
+		// the field back and forth; enlarging the box is exact (each cell's
+		// value depends only on the cells between it and d).
+		if wide, ok := widenSource(reuse.Box(), u, d); ok {
+			src = wide
+		}
+	}
+	if reuse == nil {
+		if len(c.order)-c.head >= fieldCacheMax {
+			c.evictOldest()
+		}
+		if k := len(c.spare); k > 0 {
+			reuse = c.spare[k-1]
+			c.spare = c.spare[:k-1]
+		} else {
+			reuse = c.newField(src, d)
+		}
+		c.order = append(c.order, dID)
+	}
+	f := build(reuse, src, d)
+	s.field = f
+	s.epoch = c.epoch
 	return f
 }
 
-// invalidate drops every cached field.
-func (c *fieldCache) invalidate() { c.entries = nil }
+// covered returns the live field for destination dID when it covers v, nil
+// otherwise — the branch the per-hop fast path takes on a cache hit, with no
+// closure and no second box check (CanReachCovered pairs with it).
+func (c *fieldCache) covered(dID int32, v grid.Point) *minimal.Field {
+	if c.slots == nil {
+		return nil
+	}
+	s := &c.slots[dID]
+	if s.field != nil && s.epoch == c.epoch && s.field.Covers(v) {
+		return s.field
+	}
+	return nil
+}
+
+// newField takes a Field struct from the slab and carves its bitset storage
+// from the arena, sized for BoxOf(src, d) rounded up to a power of two so
+// box-widening rebuilds usually fit in place.
+func (c *fieldCache) newField(src, d grid.Point) *minimal.Field {
+	if len(c.slab) == 0 {
+		c.slab = make([]minimal.Field, 256)
+	}
+	f := &c.slab[0]
+	c.slab = c.slab[1:]
+	nwords := (grid.BoxOf(src, d).Volume() + 63) / 64
+	capW := 1
+	for capW < nwords {
+		capW <<= 1
+	}
+	if len(c.arena) < capW {
+		n := 4096
+		if n < capW {
+			n = capW
+		}
+		c.arena = make([]uint64, n)
+	}
+	f.PrepareStorage(c.arena[:0:capW])
+	c.arena = c.arena[capW:]
+	return f
+}
+
+// evictOldest drops the least-recently-inserted live field, parking its
+// storage for reuse.
+func (c *fieldCache) evictOldest() {
+	for c.head < len(c.order) {
+		id := c.order[c.head]
+		c.head++
+		if s := &c.slots[id]; s.field != nil {
+			if len(c.spare) < 8 {
+				c.spare = append(c.spare, s.field)
+			}
+			s.field = nil
+			break
+		}
+	}
+	if c.head >= fieldCacheMax {
+		c.order = append(c.order[:0], c.order[c.head:]...)
+		c.head = 0
+	}
+}
+
+// widenSource returns the source corner of the union of box and BoxOf(u, d),
+// provided d remains a corner of that union (always true for per-orientation
+// providers, whose sources all lie in the octant behind d; false for the
+// oracle when sources from opposite octants mix).
+func widenSource(box grid.Box, u, d grid.Point) (grid.Point, bool) {
+	un := box.Union(grid.BoxOf(u, d))
+	var src grid.Point
+	pick := func(dc, lo, hi int) (int, bool) {
+		switch dc {
+		case lo:
+			return hi, true
+		case hi:
+			return lo, true
+		default:
+			return 0, false
+		}
+	}
+	var ok bool
+	if src.X, ok = pick(d.X, un.Min.X, un.Max.X); !ok {
+		return grid.Point{}, false
+	}
+	if src.Y, ok = pick(d.Y, un.Min.Y, un.Max.Y); !ok {
+		return grid.Point{}, false
+	}
+	if src.Z, ok = pick(d.Z, un.Min.Z, un.Max.Z); !ok {
+		return grid.Point{}, false
+	}
+	return src, true
+}
+
+// invalidate marks every cached field stale (O(1); rebuilds happen lazily).
+func (c *fieldCache) invalidate() { c.epoch++ }
 
 // Oracle is the omniscient provider: it permits a step exactly when a
 // minimal path from the neighbour to the destination avoiding all faulty
@@ -79,6 +220,7 @@ type Oracle struct {
 	Mesh *mesh.Mesh
 
 	cache fieldCache
+	avoid minimal.AvoidID
 }
 
 // Name implements Provider.
@@ -87,11 +229,32 @@ func (o *Oracle) Name() string { return "oracle" }
 // InvalidateCache implements CacheInvalidator.
 func (o *Oracle) InvalidateCache() { o.cache.invalidate() }
 
+func (o *Oracle) field(u, v, d grid.Point, dID int32) *minimal.Field {
+	if o.avoid == nil {
+		o.avoid = minimal.AvoidFaultyID(o.Mesh)
+	}
+	return o.cache.lookup(o.Mesh.NodeCount(), u, v, d, dID, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
+		return minimal.ReachabilityIDInto(f, o.Mesh, o.avoid, src, dst)
+	})
+}
+
 // Allowed implements Provider.
 func (o *Oracle) Allowed(u, v, d grid.Point) bool {
-	return o.cache.lookup(u, v, d, func(u, d grid.Point) *minimal.Field {
-		return minimal.Reachability(o.Mesh, minimal.AvoidFaulty(o.Mesh), u, d)
-	}).CanReach(v)
+	dID := o.Mesh.ID(d)
+	if f := o.cache.covered(dID, v); f != nil {
+		return f.CanReachCovered(v)
+	}
+	return o.field(u, v, d, dID).CanReach(v)
+}
+
+// AllowedID implements IDProvider.
+func (o *Oracle) AllowedID(u, v, d int32) bool {
+	m := o.Mesh
+	vP := m.Point(int(v))
+	if f := o.cache.covered(d, vP); f != nil {
+		return f.CanReachCovered(vP)
+	}
+	return o.field(m.Point(int(u)), vP, m.Point(int(d)), d).CanReach(vP)
 }
 
 // MCC is the paper's fault-information provider backed by globally known MCC
@@ -110,6 +273,17 @@ type MCC struct {
 // Name implements Provider.
 func (p *MCC) Name() string { return "mcc" }
 
+// InvalidateCache implements CacheInvalidator. It is correct on its own only
+// when p.Set has been refreshed in place (region.ComponentSet.Refresh after
+// labeling.AddFaults); see CacheInvalidator.
+func (p *MCC) InvalidateCache() { p.cache.invalidate() }
+
+func (p *MCC) field(u, v, d grid.Point, dID int32) *minimal.Field {
+	return p.cache.lookup(p.Set.Mesh.NodeCount(), u, v, d, dID, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
+		return p.Set.UnionFieldInto(f, src, dst)
+	})
+}
+
 // Allowed implements Provider.
 func (p *MCC) Allowed(u, v, d grid.Point) bool {
 	if p.Set.Labeling != nil && p.Set.Labeling.Unsafe(v) {
@@ -120,7 +294,24 @@ func (p *MCC) Allowed(u, v, d grid.Point) bool {
 			return false
 		}
 	}
-	return p.cache.lookup(u, v, d, p.Set.UnionField).CanReach(v)
+	dID := p.Set.Mesh.ID(d)
+	if f := p.cache.covered(dID, v); f != nil {
+		return f.CanReachCovered(v)
+	}
+	return p.field(u, v, d, dID).CanReach(v)
+}
+
+// AllowedID implements IDProvider.
+func (p *MCC) AllowedID(u, v, d int32) bool {
+	if v != d && p.Set.Labeling != nil && p.Set.Labeling.UnsafeAt(int(v)) {
+		return false
+	}
+	m := p.Set.Mesh
+	vP := m.Point(int(v))
+	if f := p.cache.covered(d, vP); f != nil {
+		return f.CanReachCovered(vP)
+	}
+	return p.field(m.Point(int(u)), vP, m.Point(int(d)), d).CanReach(vP)
 }
 
 // Records is the boundary-information provider: each node holds only the MCC
@@ -197,22 +388,44 @@ type Block struct {
 // Name implements Provider.
 func (p *Block) Name() string { return "rfb-" + p.Regions.Model.String() }
 
+func (p *Block) field(u, v, d grid.Point, dID int32) *minimal.Field {
+	m := p.Regions.Mesh
+	return p.cache.lookup(m.NodeCount(), u, v, d, dID, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
+		avoid := p.Regions.AvoidID()
+		if p.Regions.Contains(dst) {
+			// The destination sits inside a block (it is healthy but the
+			// coarse model swallowed it); carve it out so routes can at least
+			// try to terminate.
+			inner := avoid
+			avoid = func(id int32) bool { return id != dID && inner(id) }
+		}
+		return minimal.ReachabilityIDInto(f, m, avoid, src, dst)
+	})
+}
+
 // Allowed implements Provider.
 func (p *Block) Allowed(u, v, d grid.Point) bool {
 	if p.Regions.Contains(v) && v != d {
 		return false
 	}
-	return p.cache.lookup(u, v, d, func(u, d grid.Point) *minimal.Field {
-		avoid := p.Regions.Avoid()
-		if p.Regions.Contains(d) {
-			// The destination sits inside a block (it is healthy but the
-			// coarse model swallowed it); carve it out so routes can at least
-			// try to terminate.
-			inner := avoid
-			avoid = func(q grid.Point) bool { return q != d && inner(q) }
-		}
-		return minimal.Reachability(p.Regions.Mesh, avoid, u, d)
-	}).CanReach(v)
+	dID := p.Regions.Mesh.ID(d)
+	if f := p.cache.covered(dID, v); f != nil {
+		return f.CanReachCovered(v)
+	}
+	return p.field(u, v, d, dID).CanReach(v)
+}
+
+// AllowedID implements IDProvider.
+func (p *Block) AllowedID(u, v, d int32) bool {
+	if v != d && p.Regions.ContainsID(v) {
+		return false
+	}
+	m := p.Regions.Mesh
+	vP := m.Point(int(v))
+	if f := p.cache.covered(d, vP); f != nil {
+		return f.CanReachCovered(vP)
+	}
+	return p.field(m.Point(int(u)), vP, m.Point(int(d)), d).CanReach(vP)
 }
 
 // LocalGreedy is the floor baseline: it only knows the fault status of the
@@ -226,6 +439,9 @@ func (LocalGreedy) Name() string { return "local-greedy" }
 // Allowed implements Provider.
 func (LocalGreedy) Allowed(_, _, _ grid.Point) bool { return true }
 
+// AllowedID implements IDProvider.
+func (LocalGreedy) AllowedID(_, _, _ int32) bool { return true }
+
 // Labeled avoids any unsafe node but applies no region reasoning: it shows the
 // value of the forbidden/critical rule on top of the raw labelling.
 type Labeled struct {
@@ -238,4 +454,9 @@ func (p *Labeled) Name() string { return "labels-only" }
 // Allowed implements Provider.
 func (p *Labeled) Allowed(_, v, d grid.Point) bool {
 	return v == d || !p.Labeling.Unsafe(v)
+}
+
+// AllowedID implements IDProvider.
+func (p *Labeled) AllowedID(_, v, d int32) bool {
+	return v == d || !p.Labeling.UnsafeAt(int(v))
 }

@@ -33,6 +33,17 @@ type Provider interface {
 	Name() string
 }
 
+// IDProvider is the index-first fast path of Provider: the same decision,
+// addressed by dense mesh node IDs, with no Point construction or map lookup
+// on the way. Every built-in provider except Records implements it; the
+// traffic engine type-asserts once per provider and falls back to Allowed for
+// third-party providers that don't.
+type IDProvider interface {
+	Provider
+	// AllowedID is Allowed with u, v and d given as dense node IDs.
+	AllowedID(u, v, d int32) bool
+}
+
 // Policy picks one direction among the allowed candidate directions.
 type Policy interface {
 	// Pick returns the index of the chosen candidate in dirs. dirs is never
@@ -152,6 +163,28 @@ func CandidateDirs(m *mesh.Mesh, prov Provider, orient grid.Orientation, cur, d 
 			continue
 		}
 		if prov.Allowed(cur, v, d) {
+			dst = append(dst, dir)
+		}
+	}
+	return dst
+}
+
+// CandidateDirsID is the index-first CandidateDirs: the neighbour step is a
+// table lookup (mesh.NeighborID), the fault check a bitset read, and the
+// provider consultation goes through AllowedID — no Point is built anywhere
+// on the hop. cur/curPt and d/dPt name the same nodes in both addressings;
+// the caller (the traffic engine) already holds both.
+func CandidateDirsID(m *mesh.Mesh, prov IDProvider, orient grid.Orientation, cur int32, curPt grid.Point, d int32, dPt grid.Point, dst []grid.Direction) []grid.Direction {
+	for _, a := range m.Axes() {
+		if curPt.Axis(a) == dPt.Axis(a) {
+			continue
+		}
+		dir := orient.Forward(a)
+		v := m.NeighborID(cur, dir)
+		if v == mesh.NoNeighbor || m.FaultyAt(int(v)) {
+			continue
+		}
+		if prov.AllowedID(cur, v, d) {
 			dst = append(dst, dir)
 		}
 	}

@@ -65,6 +65,22 @@ type BenchFile struct {
 	Cells []BenchResult `json:"cells"`
 }
 
+// ReadBenchJSON parses a BENCH_traffic.json file (the BenchFile schema), e.g.
+// the committed baseline the CI bench job prints deltas against.
+func ReadBenchJSON(r io.Reader) (*BenchFile, error) {
+	var f BenchFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("scenario: parsing benchmark baseline: %w", err)
+	}
+	return &f, nil
+}
+
+// Key identifies a benchmark cell for baseline matching: same mesh, pattern,
+// model and rate compare; everything measured may differ.
+func (b BenchResult) Key() string {
+	return fmt.Sprintf("%s/%s/%s/%g", b.Mesh, b.Pattern, b.Model, b.Rate)
+}
+
 // WriteBenchJSON writes the benchmark cells of a report (which must come from
 // the bench measure) as indented JSON, the BENCH_traffic.json format.
 func WriteBenchJSON(w io.Writer, rep *Report) error {
@@ -182,9 +198,11 @@ func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
 	return rep, nil
 }
 
-// BenchSpec returns the default benchmark spec: the 16x16x16 hotspot run on
-// the paper's MCC model that PERFORMANCE.md tracks. Callers override it via
-// -spec.
+// BenchSpec returns the default benchmark spec: the 16x16x16 hotspot
+// reference workload PERFORMANCE.md tracks, one cell per information model —
+// the paper's MCC model, the local-greedy floor (event core + engine
+// overhead) and the labels-only middle ground — so the trajectory shows the
+// model gap, not just one number. Callers override it via -spec.
 func BenchSpec() Spec {
 	return Spec{
 		Name: "bench-traffic",
@@ -193,7 +211,7 @@ func BenchSpec() Spec {
 			Inject: C("uniform"),
 			Counts: []int{120},
 		},
-		Models: Components{C("mcc")},
+		Models: Components{C("mcc"), C("local"), C("labels")},
 		Workload: WorkloadSpec{
 			Patterns: Components{C("hotspot")},
 			Rates:    []float64{0.02},

@@ -1,0 +1,40 @@
+package scenario
+
+import (
+	"os"
+	"testing"
+)
+
+// TestE7GoldenOutput is the scheduler-order regression run: specs/e7.json
+// must reproduce testdata/e7_golden.csv byte for byte, at any worker count.
+// The golden file was captured before the index-first decision-stack refactor
+// (PR 4), so any change to event order, provider decisions, labelling
+// results or RNG consumption — however subtle — fails here. It runs the full
+// 18-cell × 30-trial experiment (~4 s per worker sweep), so -short skips it.
+func TestE7GoldenOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second full E7 run")
+	}
+	golden, err := os.ReadFile("testdata/e7_golden.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		f, err := os.Open("../../specs/e7.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := Load(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := sc.Spec()
+		spec.Workers = workers
+		rep := mustRun(t, mustNew(t, spec))
+		if got := rep.Table.CSV(); got != string(golden) {
+			t.Errorf("specs/e7.json output drifted from the pre-refactor golden at %d workers:\n--- got\n%s--- want\n%s",
+				workers, got, golden)
+		}
+	}
+}

@@ -148,6 +148,11 @@ type run struct {
 	// kinds are interned once per run so the hot path never touches strings.
 	injectID, packetID simnet.KindID
 
+	// provs caches the per-orientation provider and its one-time IDProvider
+	// type assertion, so the per-hop loop neither re-asks the model nor
+	// re-asserts. Fault events flush it (models may hand out new providers).
+	provs [8]provEntry
+
 	// pool holds every in-flight packet by value; envelopes carry pool
 	// indices (simnet's Ref fast path) instead of boxed copies. free is the
 	// free-list of released slots. Packets dropped inside the simulator (a
@@ -157,6 +162,15 @@ type run struct {
 	free []int32
 
 	dirs []grid.Direction // scratch for CandidateDirs, cap 6
+}
+
+// provEntry is one cached per-orientation provider; fast selects the
+// index-first AllowedID path (every built-in provider), the Provider field
+// the Point fallback for third-party providers.
+type provEntry struct {
+	prov routing.Provider
+	id   routing.IDProvider
+	fast bool
 }
 
 // packet is the typed, pooled payload of one in-flight packet; the
@@ -220,8 +234,17 @@ func (e *Engine) Run(seed uint64) *Result {
 	for i, ev := range e.opts.Faults {
 		evRng := rng.New(rng.Derive(seed, uint64(1)<<32+uint64(i)))
 		net.At(ev.At, func() {
-			ev.Inject.Inject(e.mesh, evRng)
-			e.model.Invalidate()
+			placed := ev.Inject.Inject(e.mesh, evRng)
+			// Models that can absorb the new faults incrementally keep their
+			// labellings, regions and field caches alive; the rest recompute
+			// lazily from scratch. Either way the cached provider table is
+			// flushed — a model is free to hand out new providers after this.
+			if fa, ok := e.model.(FaultApplier); ok {
+				fa.ApplyFaults(placed)
+			} else {
+				e.model.Invalidate()
+			}
+			st.provs = [8]provEntry{}
 		})
 	}
 	sim, err := net.Run()
@@ -314,12 +337,23 @@ func (st *run) inject(ctx *simnet.Context) {
 }
 
 // forward advances a packet one hop using the information model, or records it
-// as stuck when every preferred direction is excluded.
+// as stuck when every preferred direction is excluded. The hop runs on dense
+// node IDs end to end — neighbour table, fault bitset, AllowedID — with no
+// ID→Point→ID round-trip; the Point forms ride along for the axis compare and
+// the policy, which already live in the context and the packet.
 func (st *run) forward(ctx *simnet.Context, ref int32) {
 	pk := &st.pool[ref]
-	prov := st.e.model.Provider(pk.orient)
+	pe := &st.provs[pk.orient.Index()]
+	if pe.prov == nil {
+		pe.prov = st.e.model.Provider(pk.orient)
+		pe.id, pe.fast = pe.prov.(routing.IDProvider)
+	}
 	self := ctx.Self()
-	st.dirs = routing.CandidateDirs(ctx.Mesh(), prov, pk.orient, self, pk.dst, st.dirs[:0])
+	if pe.fast {
+		st.dirs = routing.CandidateDirsID(ctx.Mesh(), pe.id, pk.orient, ctx.SelfID(), self, pk.dstID, pk.dst, st.dirs[:0])
+	} else {
+		st.dirs = routing.CandidateDirs(ctx.Mesh(), pe.prov, pk.orient, self, pk.dst, st.dirs[:0])
+	}
 	if len(st.dirs) == 0 {
 		st.res.Stuck++
 		st.release(ref)

@@ -24,6 +24,16 @@ type InfoModel interface {
 	Name() string
 }
 
+// FaultApplier is the incremental-update extension of InfoModel: the engine
+// calls ApplyFaults with the nodes a mid-run fault event just marked faulty
+// (already set on the mesh), and the model relabels only the affected
+// neighbourhood — keeping its providers and their epoch caches alive —
+// instead of recomputing the world. Models that cannot update incrementally
+// simply don't implement it; the engine falls back to Invalidate.
+type FaultApplier interface {
+	ApplyFaults(pts []grid.Point)
+}
+
 // mccModel serves the paper's MCC information model, one provider per
 // orientation (the labelling is orientation-specific).
 type mccModel struct {
@@ -51,6 +61,18 @@ func (im *mccModel) Invalidate() {
 	im.provs = [8]*routing.MCC{}
 }
 
+// ApplyFaults implements FaultApplier: the labellings relabel incrementally,
+// the component sets refresh in place (so the cached providers keep pointing
+// at live data), and each provider's field cache takes an O(1) epoch bump.
+func (im *mccModel) ApplyFaults(pts []grid.Point) {
+	im.model.ApplyFaults(pts)
+	for _, p := range im.provs {
+		if p != nil {
+			p.InvalidateCache()
+		}
+	}
+}
+
 // blockModel serves the rectangular-faulty-block baseline; the block set is
 // orientation-independent, so one provider suffices.
 type blockModel struct {
@@ -75,6 +97,14 @@ func (im *blockModel) Provider(grid.Orientation) routing.Provider {
 
 func (im *blockModel) Invalidate() {
 	im.model.Invalidate()
+	im.prov = nil
+}
+
+// ApplyFaults implements FaultApplier. Block snapshots have no incremental
+// form, so the provider is dropped for a lazy wholesale rebuild; the shared
+// core model still updates its labellings incrementally.
+func (im *blockModel) ApplyFaults(pts []grid.Point) {
+	im.model.ApplyFaults(pts)
 	im.prov = nil
 }
 
@@ -107,6 +137,10 @@ func (im *oracleModel) Invalidate() {
 	}
 }
 
+// ApplyFaults implements FaultApplier: the oracle reads the live mesh, so an
+// epoch bump on its field cache is all an incremental update needs.
+func (im *oracleModel) ApplyFaults(pts []grid.Point) { im.Invalidate() }
+
 // labeledModel avoids unsafe nodes with no region reasoning.
 type labeledModel struct {
 	model *core.Model
@@ -131,6 +165,12 @@ func (im *labeledModel) Provider(orient grid.Orientation) routing.Provider {
 func (im *labeledModel) Invalidate() {
 	im.model.Invalidate()
 	im.provs = [8]*routing.Labeled{}
+}
+
+// ApplyFaults implements FaultApplier: the cached providers read the
+// labellings, which relabel in place.
+func (im *labeledModel) ApplyFaults(pts []grid.Point) {
+	im.model.ApplyFaults(pts)
 }
 
 // localModel is the stateless local-greedy floor baseline.
