@@ -2,7 +2,7 @@ package mccmesh
 
 // Benchmarks regenerating every figure and evaluation table of the paper, one
 // benchmark per artifact of the DESIGN.md §4 index. The table benchmarks
-// (BenchmarkTableE*) run reduced sweeps; cmd/mccbench runs the full ones.
+// (BenchmarkTableE*) run reduced sweeps; `mcc bench` runs the full ones.
 
 import (
 	"testing"

@@ -251,3 +251,46 @@ func TestFacadeTrafficTrialsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeChurnScenario drives the fault-churn surface end to end through
+// the facade: a scenario with a stochastic fail/repair timeline must run,
+// churn, and stay bit-identical across worker counts.
+func TestFacadeChurnScenario(t *testing.T) {
+	build := func(workers int) *Scenario {
+		sc, err := NewScenario(
+			WithCube(7),
+			WithFaults("uniform"),
+			WithFaultCounts(12),
+			WithFaultTimeline(25, 60, "region", Params{"size": 3}),
+			WithModels("mcc"),
+			WithPatterns("uniform"),
+			WithRates(0.02),
+			WithWarmup(20),
+			WithWindow(160),
+			WithSeed(5),
+			WithTrials(2),
+			WithWorkers(workers),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	repA, err := build(1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := build(4).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.Table.CSV() != repB.Table.CSV() {
+		t.Fatalf("churn scenario not worker-count invariant:\n%s\n%s", repA.Table.CSV(), repB.Table.CSV())
+	}
+	if v, ok := repA.Cells[0].Values["failures"]; !ok || v == 0 {
+		t.Fatalf("churn scenario reported no failures: %+v", repA.Cells[0].Values)
+	}
+	if v, ok := repA.Cells[0].Values["repairs"]; !ok || v == 0 {
+		t.Fatalf("churn scenario reported no repairs: %+v", repA.Cells[0].Values)
+	}
+}

@@ -80,41 +80,62 @@ func cmdBench(args []string) int {
 			"spec", "cpuprofile", "memprofile", "csv", "dump-spec", "baseline"); err != nil {
 			return fail("bench", err)
 		}
-		var sc *scenario.Scenario
-		var err error
+		// Without -spec the default suite runs: the churn-free reference
+		// workload plus the fault-churn workload, merged into one cell list.
+		var scs []*scenario.Scenario
 		if *specPath != "" {
-			sc, err = loadSpec(*specPath)
+			sc, err := loadSpec(*specPath)
+			if err != nil {
+				return fail("bench", err)
+			}
+			scs = append(scs, sc)
 		} else {
-			sc, err = newScenario(scenario.BenchSpec())
-		}
-		if err != nil {
-			return fail("bench", err)
+			for _, spec := range scenario.BenchSpecs() {
+				sc, err := newScenario(spec)
+				if err != nil {
+					return fail("bench", err)
+				}
+				scs = append(scs, sc)
+			}
 		}
 		// Fail fast on a non-bench spec: running a full traffic sweep only to
 		// discover there are no benchmark results would waste the whole run
 		// (and truncate the output file).
-		if e, err := scenario.Measures.Lookup(sc.Spec().Measure.Kind); err != nil || e.Name != scenario.MeasureBench {
-			return fail("bench", fmt.Errorf("-json needs a %q-measure spec, got measure %q", scenario.MeasureBench, sc.Spec().Measure.Kind))
+		for _, sc := range scs {
+			if e, err := scenario.Measures.Lookup(sc.Spec().Measure.Kind); err != nil || e.Name != scenario.MeasureBench {
+				return fail("bench", fmt.Errorf("-json needs a %q-measure spec, got measure %q", scenario.MeasureBench, sc.Spec().Measure.Kind))
+			}
 		}
 		if *dump {
-			return dumpSpec(sc)
+			// A dumped spec must load back via -spec, and a spec file is one
+			// JSON document — so dumping the multi-spec default suite would
+			// produce output nothing accepts.
+			if len(scs) > 1 {
+				return fail("bench", fmt.Errorf("-dump-spec emits exactly one spec, but the default -json suite runs %d (%s); pass -spec to dump a single spec",
+					len(scs), suiteNames(scs)))
+			}
+			return dumpSpec(scs[0])
 		}
-		rep, err := sc.Run(context.Background())
-		if err != nil {
-			return fail("bench", err)
+		var cells []scenario.BenchResult
+		for _, sc := range scs {
+			rep, err := sc.Run(context.Background())
+			if err != nil {
+				return fail("bench", err)
+			}
+			printTable(rep.Table, *csv)
+			cells = append(cells, rep.BenchResults()...)
 		}
-		printTable(rep.Table, *csv)
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			return fail("bench", err)
 		}
 		defer f.Close()
-		if err := scenario.WriteBenchJSON(f, rep); err != nil {
+		if err := scenario.WriteBenchCellsJSON(f, cells); err != nil {
 			return fail("bench", err)
 		}
 		fmt.Fprintf(stderr, "mcc bench: wrote %s\n", *jsonPath)
 		if *baseline != "" {
-			if err := printBenchDelta(rep.BenchResults(), *baseline); err != nil {
+			if err := printBenchDelta(cells, *baseline); err != nil {
 				return fail("bench", err)
 			}
 		}
@@ -223,11 +244,29 @@ func cmdBench(args []string) int {
 	return 0
 }
 
+// suiteNames renders the spec names of a benchmark suite for error messages;
+// the unnamed default workload reads as "default".
+func suiteNames(scs []*scenario.Scenario) string {
+	names := make([]string, len(scs))
+	for i, sc := range scs {
+		names[i] = sc.Spec().Name
+		if names[i] == "" {
+			names[i] = "default"
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
 // printBenchDelta prints, per benchmark cell, how the fresh run compares to a
 // committed baseline file (events/sec speedup, allocs/packet change). Cells
 // missing from the baseline — e.g. a model added to the default spec after
 // the baseline was committed — are reported as new rather than failing the
 // run, so the delta step keeps working across spec evolution.
+//
+// Rate deltas are informational (shared runners are too noisy to assert), but
+// allocs/packet is a deterministic property of the code: a cell whose
+// allocs/packet regresses materially against its baseline fails the run, so
+// CI catches per-packet allocations creeping back into the hot path.
 func printBenchDelta(cells []scenario.BenchResult, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -242,20 +281,35 @@ func printBenchDelta(cells []scenario.BenchResult, path string) error {
 	for _, c := range base.Cells {
 		byKey[c.Key()] = c
 	}
+	var regressed []string
 	fmt.Fprintf(stdout, "delta vs %s:\n", path)
 	for _, c := range cells {
 		b, ok := byKey[c.Key()]
 		if !ok || b.EventsPerSec <= 0 {
-			fmt.Fprintf(stdout, "  %-32s %10.0f events/sec  %6.2f allocs/pkt  (no baseline cell)\n",
+			fmt.Fprintf(stdout, "  %-38s %10.0f events/sec  %6.2f allocs/pkt  (no baseline cell)\n",
 				c.Key(), c.EventsPerSec, c.AllocsPerPacket)
 			continue
 		}
-		fmt.Fprintf(stdout, "  %-32s %10.0f events/sec (%+.1f%%, %.2fx)  allocs/pkt %.2f -> %.2f\n",
+		fmt.Fprintf(stdout, "  %-38s %10.0f events/sec (%+.1f%%, %.2fx)  allocs/pkt %.2f -> %.2f\n",
 			c.Key(), c.EventsPerSec,
 			100*(c.EventsPerSec-b.EventsPerSec)/b.EventsPerSec, c.EventsPerSec/b.EventsPerSec,
 			b.AllocsPerPacket, c.AllocsPerPacket)
+		if c.AllocsPerPacket > allocsBudget(b.AllocsPerPacket) {
+			regressed = append(regressed, fmt.Sprintf("%s: allocs/packet %.2f -> %.2f (budget %.2f)",
+				c.Key(), b.AllocsPerPacket, c.AllocsPerPacket, allocsBudget(b.AllocsPerPacket)))
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("allocs/packet regressed against %s:\n  %s", path, strings.Join(regressed, "\n  "))
 	}
 	return nil
+}
+
+// allocsBudget is the allocs/packet ceiling a cell may reach before the
+// baseline comparison fails: 10% over the baseline plus a small absolute
+// slack for accounting noise (GC bookkeeping, map growth timing).
+func allocsBudget(baseline float64) float64 {
+	return baseline*1.10 + 0.05
 }
 
 // printTable renders a table to stdout in the selected format.

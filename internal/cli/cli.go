@@ -11,8 +11,8 @@
 //	mcc viz    — ASCII rendering of fault configurations (mccviz)
 //	mcc list   — registered patterns, models, injectors and measures
 //
-// The old binaries (mccbench, mccsim, mccproto, mcctraffic, mccviz) are
-// two-line shims over this package, kept for one release.
+// The old binaries (mccbench, mccsim, mccproto, mcctraffic, mccviz) were
+// two-line shims over this package for one release and have been removed.
 package cli
 
 import (

@@ -58,8 +58,9 @@ func (mo *Model) Mesh() *mesh.Mesh { return mo.m }
 
 // Invalidate drops every cached labelling and region set; call it after
 // changing the mesh's fault set. When the change is purely additive (new
-// faults on a live mesh), ApplyFaults is the cheaper path: it updates the
-// caches in place instead of dropping them.
+// faults on a live mesh) or purely subtractive (repairs), ApplyFaults /
+// RepairFaults are the cheaper paths: they update the caches in place instead
+// of dropping them.
 func (mo *Model) Invalidate() {
 	mo.labelings = [8]*labeling.Labeling{}
 	mo.regions = [8]*region.ComponentSet{}
@@ -73,14 +74,37 @@ func (mo *Model) Invalidate() {
 // cached region set re-extracts its components in place
 // (region.ComponentSet.Refresh), so pointers handed out to routing providers
 // stay valid. Block snapshots and protocol info have no incremental form and
-// are dropped for lazy rebuild. Only fault *additions* are supported; after
-// clearing or arbitrary edits, call Invalidate.
+// are dropped for lazy rebuild. Only fault *additions* are supported here;
+// repairs go through RepairFaults, and after arbitrary edits call Invalidate.
 func (mo *Model) ApplyFaults(pts []grid.Point) {
 	for _, l := range mo.labelings {
 		if l != nil {
 			l.AddFaults(pts)
 		}
 	}
+	mo.refreshDerived()
+}
+
+// RepairFaults is the inverse of ApplyFaults: it incrementally absorbs fault
+// repairs (already cleared on the mesh, e.g. via mesh.RemoveFaults) into the
+// cached fault information. Each cached labelling un-relabels only the
+// repaired neighbourhood (labeling.RemoveFaults) and each cached region set
+// re-extracts its components in place — repairs shrink, split or dissolve
+// MCCs exactly as injections grow and merge them, and Refresh handles both.
+// Block snapshots and protocol info are dropped for lazy rebuild, as in
+// ApplyFaults.
+func (mo *Model) RepairFaults(pts []grid.Point) {
+	for _, l := range mo.labelings {
+		if l != nil {
+			l.RemoveFaults(pts)
+		}
+	}
+	mo.refreshDerived()
+}
+
+// refreshDerived re-extracts the cached region sets in place and drops the
+// caches that have no incremental form, after the labellings changed.
+func (mo *Model) refreshDerived() {
 	for _, cs := range mo.regions {
 		if cs != nil {
 			cs.Refresh()

@@ -150,3 +150,53 @@ func TestModelBlocksCaching(t *testing.T) {
 		t.Error("blocks missing")
 	}
 }
+
+// TestModelRepairFaultsMatchesInvalidate drives the incremental repair path
+// through randomized churn: after each batch of injections (ApplyFaults) or
+// repairs (RepairFaults), the cached labellings and regions must agree with a
+// model rebuilt from scratch — and the cached pointers must stay the same
+// objects, which is what keeps live routing providers valid across churn.
+func TestModelRepairFaultsMatchesInvalidate(t *testing.T) {
+	m := mesh.NewCube(8)
+	placed := fault.Uniform{Count: 35}.Inject(m, rng.New(7))
+	mo := NewModel(m)
+	// Warm every orientation's labelling and region set.
+	for _, o := range grid.AllOrientations3D() {
+		mo.Labeling(o)
+		mo.Regions(o)
+	}
+	lab0 := mo.Labeling(grid.PositiveOrientation)
+	cs0 := mo.Regions(grid.PositiveOrientation)
+
+	r := rng.New(91)
+	live := append([]grid.Point(nil), placed...)
+	for batch := 0; batch < 6; batch++ {
+		if batch%2 == 0 && len(live) > 3 {
+			k := 1 + r.Intn(3)
+			pts := append([]grid.Point(nil), live[:k]...)
+			live = live[k:]
+			m.RemoveFaults(pts...)
+			mo.RepairFaults(pts)
+		} else {
+			pts := fault.Uniform{Count: 1 + r.Intn(4)}.Inject(m, r)
+			live = append(live, pts...)
+			mo.ApplyFaults(pts)
+		}
+		fresh := NewModel(m.Clone())
+		for _, o := range grid.AllOrientations3D() {
+			inc, full := mo.Labeling(o), fresh.Labeling(o)
+			for i := 0; i < m.NodeCount(); i++ {
+				if inc.StatusAt(i).Unsafe() != full.StatusAt(i).Unsafe() {
+					t.Fatalf("batch %d %v: node %v unsafe=%v incrementally, %v rebuilt",
+						batch, o, m.Point(i), inc.StatusAt(i).Unsafe(), full.StatusAt(i).Unsafe())
+				}
+			}
+			if got, want := mo.Regions(o).Len(), fresh.Regions(o).Len(); got != want {
+				t.Fatalf("batch %d %v: %d regions incrementally, %d rebuilt", batch, o, got, want)
+			}
+		}
+	}
+	if mo.Labeling(grid.PositiveOrientation) != lab0 || mo.Regions(grid.PositiveOrientation) != cs0 {
+		t.Error("churn updates must mutate the cached labelling/region objects in place, not replace them")
+	}
+}

@@ -39,7 +39,11 @@ type Uniform struct {
 // Name implements Injector.
 func (u Uniform) Name() string { return fmt.Sprintf("uniform(%d)", u.Count) }
 
-// Inject implements Injector.
+// Inject implements Injector. On a mesh whose eligible (healthy,
+// unprotected) nodes run out — a saturated mesh under a repair-free churn
+// timeline, say — it returns the faults it managed to place instead of
+// spinning: the attempt bound matches Clustered's and Links's, and the odds
+// of hitting it while eligible nodes remain are negligible.
 func (u Uniform) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
 	protected := protectedSet(m, u.Protected)
 	total := m.NodeCount()
@@ -47,7 +51,7 @@ func (u Uniform) Inject(m *mesh.Mesh, r *rng.Rand) []grid.Point {
 		panic(fmt.Sprintf("fault: cannot place %d faults in %d eligible nodes", u.Count, total-protected.Len()))
 	}
 	placed := make([]grid.Point, 0, u.Count)
-	for len(placed) < u.Count {
+	for attempt := 0; len(placed) < u.Count && attempt < 64*total; attempt++ {
 		idx := r.Intn(total)
 		if protected.Has(int32(idx)) || m.FaultyAt(idx) {
 			continue

@@ -123,3 +123,15 @@ func TestNames(t *testing.T) {
 		}
 	}
 }
+
+// TestUniformInjectSaturatedMesh: on a mesh with no healthy nodes left — the
+// terminal state of a repair-free churn timeline — Uniform must return the
+// (empty) set it could place instead of spinning forever inside a simnet
+// control callback.
+func TestUniformInjectSaturatedMesh(t *testing.T) {
+	m := mesh.New2D(3, 3)
+	m.ForEach(func(p grid.Point) { m.SetFaulty(p, true) })
+	if placed := (Uniform{Count: 1}).Inject(m, rng.New(1)); len(placed) != 0 {
+		t.Fatalf("saturated mesh placed %v", placed)
+	}
+}

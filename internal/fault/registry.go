@@ -95,6 +95,29 @@ func init() {
 		},
 	})
 	Injectors.Register(registry.Entry[Ctor]{
+		Name:   "point",
+		Doc:    "a single uniformly random node fault (the default churn-timeline shape)",
+		Params: nil,
+		New: func(args registry.Args) (Injector, error) {
+			return Uniform{Count: 1}, nil
+		},
+	})
+	Injectors.Register(registry.Entry[Ctor]{
+		Name:   "region",
+		Doc:    "one region-shaped cluster of size adjacent node faults (churn timelines)",
+		Params: []registry.Param{{Name: "size", Kind: registry.Int, Doc: "nodes per cluster", Default: 3}},
+		New: func(args registry.Args) (Injector, error) {
+			size, err := args.Int("size", 3)
+			if err != nil {
+				return nil, err
+			}
+			if size <= 0 {
+				return nil, fmt.Errorf("parameter %q: %d must be positive", "size", size)
+			}
+			return Clustered{Clusters: 1, Size: size}, nil
+		},
+	})
+	Injectors.Register(registry.Entry[Ctor]{
 		Name: "block",
 		Doc:  "every node inside an axis-aligned box fails",
 		Params: []registry.Param{

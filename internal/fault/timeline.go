@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mccmesh/internal/rng"
+)
+
+// Timeline describes a stochastic fault-churn process: failure groups arrive
+// with exponential inter-arrival gaps (mean MTTF ticks), each group takes
+// down whatever its Shape injector places — a single node ("point"), a
+// region-shaped cluster ("region"), or any other registered injector — and
+// each group is repaired wholesale after an exponential delay (mean MTTR
+// ticks). Fixed entries add deterministic fail/repair pairs on top of (or
+// instead of) the stochastic stream.
+//
+// Times are simulated ticks (int64, the width of simnet.Time; this package
+// stays independent of the simulator). A Timeline is pure description:
+// Program materialises the deterministic event stream for one trial, and the
+// traffic engine schedules the steps via simnet.At and executes the
+// placements and repairs against the live mesh.
+type Timeline struct {
+	// Start is the tick of the first possible stochastic arrival; Until is the
+	// exclusive horizon — steps (failures and repairs alike) at or beyond it
+	// are dropped, so a group whose repair would land past the horizon simply
+	// stays down for the rest of the run.
+	Start, Until int64
+	// MTTF is the mean inter-arrival gap of failure groups in ticks. Zero
+	// disables the stochastic stream (only Fixed entries fire).
+	MTTF float64
+	// MTTR is the mean delay between a group's failure and its repair. Zero
+	// means groups are never repaired (pure decay, the pre-churn behaviour).
+	MTTR float64
+	// Shape places one failure group. Typical shapes are the registry's
+	// "point" (one random node) and "region" (a cluster of adjacent nodes);
+	// any Injector works.
+	Shape Injector
+	// Fixed lists deterministic churn entries merged into the stream.
+	Fixed []FixedEvent
+}
+
+// FixedEvent is one deterministic churn entry: Inject fires at tick At, and
+// the nodes it placed are repaired RepairAfter ticks later (0 = never).
+type FixedEvent struct {
+	At          int64
+	Inject      Injector
+	RepairAfter int64
+}
+
+// Step is one materialised churn event. Failure steps (Repair false) run
+// Inject and record the placed nodes under Group; repair steps restore
+// exactly the nodes their group placed.
+type Step struct {
+	At     int64
+	Repair bool
+	// Group pairs a failure with its repair; groups are numbered in
+	// generation order (stochastic arrivals first, then fixed entries).
+	Group int
+	// Inject places the group's faults; nil on repair steps.
+	Inject Injector
+}
+
+// Validate checks the timeline's static description.
+func (tl *Timeline) Validate() error {
+	if tl.Start < 0 {
+		return fmt.Errorf("fault: timeline start %d is negative", tl.Start)
+	}
+	if tl.Until <= tl.Start {
+		return fmt.Errorf("fault: timeline until %d must exceed start %d", tl.Until, tl.Start)
+	}
+	if tl.MTTF < 0 || tl.MTTR < 0 {
+		return fmt.Errorf("fault: timeline mttf/mttr must be non-negative (got %v/%v)", tl.MTTF, tl.MTTR)
+	}
+	if tl.MTTF > 0 && tl.Shape == nil {
+		return fmt.Errorf("fault: timeline with mttf %v needs a failure shape", tl.MTTF)
+	}
+	if tl.MTTF == 0 && len(tl.Fixed) == 0 {
+		return fmt.Errorf("fault: timeline is empty (mttf 0 and no fixed entries)")
+	}
+	for i, fx := range tl.Fixed {
+		if fx.At < 0 {
+			return fmt.Errorf("fault: timeline fixed[%d] time %d is negative", i, fx.At)
+		}
+		if fx.RepairAfter < 0 {
+			return fmt.Errorf("fault: timeline fixed[%d] repairafter %d is negative", i, fx.RepairAfter)
+		}
+		if fx.Inject == nil {
+			return fmt.Errorf("fault: timeline fixed[%d] has no injector", i)
+		}
+	}
+	return nil
+}
+
+// expGap draws an exponential inter-event gap with the given mean, floored at
+// one tick so same-tick self-succession cannot occur. The draw consumes
+// exactly one value of r, keeping the stream layout stable.
+func expGap(r *rng.Rand, mean float64) int64 {
+	u := r.Float64() // in [0, 1), so Log1p(-u) is finite
+	gap := int64(-mean * math.Log1p(-u))
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+// Program materialises the timeline into a deterministic step stream: every
+// arrival gap and repair delay is drawn from r in a fixed order, so the same
+// (timeline, seed) pair yields the same steps wherever the trial runs. Steps
+// are sorted by time, ties broken by generation order; failures always
+// precede their own repair (gaps and delays are at least one tick). Steps at
+// or beyond Until are dropped.
+func (tl *Timeline) Program(r *rng.Rand) []Step {
+	type seqStep struct {
+		Step
+		seq int
+	}
+	var steps []seqStep
+	seq := 0
+	add := func(s Step) {
+		if s.At >= tl.Until {
+			return
+		}
+		steps = append(steps, seqStep{Step: s, seq: seq})
+		seq++
+	}
+	group := 0
+	if tl.MTTF > 0 {
+		// Each arrival draws its gap then its repair delay, interleaved, so
+		// inserting or dropping one group never shifts another group's draws
+		// beyond its own.
+		for t := tl.Start; ; {
+			t += expGap(r, tl.MTTF)
+			if t >= tl.Until {
+				break
+			}
+			add(Step{At: t, Group: group, Inject: tl.Shape})
+			if tl.MTTR > 0 {
+				add(Step{At: t + expGap(r, tl.MTTR), Repair: true, Group: group})
+			}
+			group++
+		}
+	}
+	for _, fx := range tl.Fixed {
+		add(Step{At: fx.At, Group: group, Inject: fx.Inject})
+		if fx.RepairAfter > 0 {
+			add(Step{At: fx.At + fx.RepairAfter, Repair: true, Group: group})
+		}
+		group++
+	}
+	sort.SliceStable(steps, func(i, j int) bool {
+		if steps[i].At != steps[j].At {
+			return steps[i].At < steps[j].At
+		}
+		return steps[i].seq < steps[j].seq
+	})
+	out := make([]Step, len(steps))
+	for i, s := range steps {
+		out[i] = s.Step
+	}
+	return out
+}
+
+// Groups returns the number of failure groups the program can contain, an
+// upper bound used to presize the group table.
+func Groups(steps []Step) int {
+	max := 0
+	for _, s := range steps {
+		if s.Group+1 > max {
+			max = s.Group + 1
+		}
+	}
+	return max
+}

@@ -87,8 +87,9 @@ type Options struct {
 // Labeling is the result of running the labelling procedure over a mesh for a
 // fixed orientation. The status array is indexed by dense node ID; the
 // worklist fixpoint runs entirely on IDs through the mesh's precomputed
-// neighbour table. A Labeling can be updated in place after new faults are
-// injected with AddFaults, which relabels only the affected neighbourhood.
+// neighbour table. A Labeling can be updated in place after the fault set
+// changes: AddFaults absorbs new faults and RemoveFaults absorbs repairs,
+// both relabelling only the affected neighbourhood.
 type Labeling struct {
 	mesh    *mesh.Mesh
 	orient  grid.Orientation
@@ -255,6 +256,66 @@ func (l *Labeling) AddFaults(pts []grid.Point) {
 		// the fault just upgraded to Faulty.
 		for _, d := range m.Directions() {
 			if q := m.NeighborID(id, d); q != mesh.NoNeighbor {
+				queue = append(queue, q)
+			}
+		}
+	}
+	l.fixpoint(queue)
+}
+
+// RemoveFaults updates the labelling in place after the listed nodes were
+// repaired, un-relabelling only the affected neighbourhood. Repairing a fault
+// can only *demote* labels (forward/backward neighbours only become less
+// blocked), but demotions cascade the opposite way promotions do, so the
+// incremental pass runs in two sweeps:
+//
+//  1. The repaired nodes flip back to Safe, and every useless / can't-reach
+//     node reachable from them through chains of non-faulty unsafe nodes is
+//     demoted to Safe as well. A label depends only on the labels of direct
+//     mesh neighbours and the only Faulty→Safe flips are the repaired points
+//     themselves, so any label the repair could invalidate lies inside this
+//     link-connected neighbourhood — nothing outside it can change.
+//  2. The standard worklist fixpoint reruns seeded with exactly the demoted
+//     nodes, re-promoting the ones whose rules still fire (their labels may
+//     have depended on faults that remain).
+//
+// The result satisfies the same fixpoint invariants as a full recompute over
+// the reduced fault set — same unsafe set, faulty set and absorbed-healthy
+// count (TestRemoveFaultsMatchesFullRecompute pins this on randomized
+// add/remove interleavings) — with the same caveat as AddFaults: the useless
+// vs can't-reach split of a dual-eligible node is worklist-order dependent,
+// and routing only ever consumes "unsafe". The mesh must already carry the
+// repairs (mesh.RemoveFaults first — the churn timeline does this);
+// out-of-bounds points and points not labelled Faulty are ignored.
+func (l *Labeling) RemoveFaults(pts []grid.Point) {
+	m := l.mesh
+	dirs := m.Directions()
+	queue := l.queue[:0]
+	for _, p := range pts {
+		id := m.ID(p)
+		if id == mesh.NoNeighbor || l.status[id] != Faulty {
+			continue
+		}
+		l.counts[Faulty]--
+		l.counts[Safe]++
+		l.status[id] = Safe
+		queue = append(queue, id)
+	}
+	// Demotion wavefront: walk the link-connected non-faulty unsafe
+	// neighbourhood of the repaired nodes, resetting it to Safe. The queue
+	// doubles as the BFS frontier and the fixpoint seed — every demoted node
+	// must be re-examined, and the fixpoint skips nothing that is Safe.
+	for i := 0; i < len(queue); i++ {
+		id := queue[i]
+		for _, d := range dirs {
+			q := m.NeighborID(id, d)
+			if q == mesh.NoNeighbor {
+				continue
+			}
+			if s := l.status[q]; s == Useless || s == CantReach {
+				l.counts[s]--
+				l.counts[Safe]++
+				l.status[q] = Safe
 				queue = append(queue, q)
 			}
 		}

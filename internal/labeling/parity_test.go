@@ -73,6 +73,120 @@ func TestAddFaultsMatchesFullRecompute(t *testing.T) {
 	}
 }
 
+// TestRemoveFaultsMatchesFullRecompute pins the incremental un-relabelling to
+// the full recompute on randomized add/remove interleavings: starting from a
+// labelled mesh, each batch either injects fresh faults (absorbed with
+// AddFaults) or repairs a random subset of the live ones (absorbed with
+// RemoveFaults), and after every batch the incremental labelling must agree
+// with a from-scratch Compute over the current fault set on everything the
+// rest of the system consumes — the unsafe set, the faulty set and the
+// absorbed-healthy count. As with AddFaults, the useless/can't-reach split of
+// dual-eligible nodes is worklist-order dependent, so per-label equality is
+// asserted only through the sums; assertFixpoint proves the incremental
+// result is a valid fixpoint in its own right.
+func TestRemoveFaultsMatchesFullRecompute(t *testing.T) {
+	type shape struct {
+		name string
+		make func() *mesh.Mesh
+	}
+	shapes := []shape{
+		{"2d-12x9", func() *mesh.Mesh { return mesh.New2D(12, 9) }},
+		{"3d-8x8x8", func() *mesh.Mesh { return mesh.NewCube(8) }},
+		{"3d-10x6x4", func() *mesh.Mesh { return mesh.New3D(10, 6, 4) }},
+	}
+	for _, sh := range shapes {
+		for _, seed := range []uint64{1, 7, 42, 20050507} {
+			for _, border := range []BorderPolicy{BorderSafe, BorderBlocked} {
+				probe := sh.make()
+				var orients []grid.Orientation
+				if probe.Is2D() {
+					orients = grid.AllOrientations2D()
+				} else {
+					orients = grid.AllOrientations3D()
+				}
+				for _, orient := range orients {
+					m := sh.make()
+					r := rng.New(seed)
+					opts := Options{Border: border}
+					randomFaults(m, r, m.NodeCount()/10)
+					inc := Compute(m, orient, opts)
+					for batch := 0; batch < 6; batch++ {
+						if r.Intn(2) == 0 && m.FaultCount() > 0 {
+							pts := repairRandomFaults(m, r, 1+r.Intn(5))
+							inc.RemoveFaults(pts)
+						} else {
+							pts := randomFaults(m, r, 1+r.Intn(6))
+							inc.AddFaults(pts)
+						}
+
+						full := Compute(m, orient, opts)
+						for i := 0; i < m.NodeCount(); i++ {
+							got, want := inc.StatusAt(i), full.StatusAt(i)
+							if got.Unsafe() != want.Unsafe() || (got == Faulty) != (want == Faulty) {
+								t.Fatalf("%s seed=%d %v %v batch %d: node %v labelled %v incrementally, %v by full recompute",
+									sh.name, seed, border, orient, batch, m.Point(i), got, want)
+							}
+						}
+						if inc.Count(Safe) != full.Count(Safe) || inc.Count(Faulty) != full.Count(Faulty) ||
+							inc.NonFaultyUnsafeCount() != full.NonFaultyUnsafeCount() {
+							t.Fatalf("%s seed=%d %v %v batch %d: counts diverged: inc %d/%d/%d safe/faulty/absorbed, full %d/%d/%d",
+								sh.name, seed, border, orient, batch,
+								inc.Count(Safe), inc.Count(Faulty), inc.NonFaultyUnsafeCount(),
+								full.Count(Safe), full.Count(Faulty), full.NonFaultyUnsafeCount())
+						}
+						assertFixpoint(t, inc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRemoveFaultsUndoesAddFaults checks the round trip: injecting a batch and
+// repairing exactly the same batch must land back on the original unsafe set
+// and counts (the labels themselves may shuffle between useless and
+// can't-reach for dual-eligible nodes, as everywhere else).
+func TestRemoveFaultsUndoesAddFaults(t *testing.T) {
+	for _, seed := range []uint64{11, 501} {
+		m := mesh.NewCube(8)
+		r := rng.New(seed)
+		randomFaults(m, r, 45)
+		l := Compute(m, grid.PositiveOrientation)
+		before := Compute(m, grid.PositiveOrientation)
+
+		pts := randomFaults(m, r, 12)
+		l.AddFaults(pts)
+		m.RemoveFaults(pts...)
+		l.RemoveFaults(pts)
+
+		for i := 0; i < m.NodeCount(); i++ {
+			if l.StatusAt(i).Unsafe() != before.StatusAt(i).Unsafe() {
+				t.Fatalf("seed=%d: node %v unsafe=%v after add+remove round trip, want %v",
+					seed, m.Point(i), l.StatusAt(i).Unsafe(), before.StatusAt(i).Unsafe())
+			}
+		}
+		if l.Count(Faulty) != before.Count(Faulty) || l.NonFaultyUnsafeCount() != before.NonFaultyUnsafeCount() {
+			t.Fatalf("seed=%d: counts not restored: faulty %d vs %d, absorbed %d vs %d",
+				seed, l.Count(Faulty), before.Count(Faulty), l.NonFaultyUnsafeCount(), before.NonFaultyUnsafeCount())
+		}
+	}
+}
+
+// repairRandomFaults clears n random live faults on the mesh and returns them.
+func repairRandomFaults(m *mesh.Mesh, r *rng.Rand, n int) []grid.Point {
+	var pts []grid.Point
+	for len(pts) < n && m.FaultCount() > 0 {
+		idx := r.Intn(m.NodeCount())
+		if !m.FaultyAt(idx) {
+			continue
+		}
+		p := m.Point(idx)
+		m.SetFaulty(p, false)
+		pts = append(pts, p)
+	}
+	return pts
+}
+
 // assertFixpoint checks the labelling invariants the paper's rules demand of
 // any valid result: every useless node has all forward neighbours blocked,
 // every can't-reach node all backward neighbours, and every safe node fails

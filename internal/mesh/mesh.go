@@ -197,6 +197,14 @@ func (m *Mesh) AddFaults(pts ...grid.Point) {
 	}
 }
 
+// RemoveFaults clears the fault bit of every listed point — the repair half of
+// the fault-churn cycle. Points that are healthy already are left untouched.
+func (m *Mesh) RemoveFaults(pts ...grid.Point) {
+	for _, p := range pts {
+		m.SetFaulty(p, false)
+	}
+}
+
 // IsFaulty reports whether p is a faulty node. Out-of-bounds points are not
 // faulty (they simply do not exist).
 func (m *Mesh) IsFaulty(p grid.Point) bool {

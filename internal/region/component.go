@@ -7,7 +7,6 @@ package region
 
 import (
 	"fmt"
-	"sort"
 
 	"mccmesh/internal/grid"
 	"mccmesh/internal/labeling"
@@ -63,9 +62,10 @@ func (c *Component) String() string {
 
 // ComponentSet is the collection of fault regions of one labelling together
 // with a node → component index for O(1) lookups. After the underlying
-// labelling absorbed new faults (labeling.AddFaults), Refresh re-extracts the
-// components in place — same struct, same byNode array — so routing providers
-// holding the set stay valid across mid-run fault injections.
+// labelling absorbed new faults (labeling.AddFaults) or repairs
+// (labeling.RemoveFaults), Refresh re-extracts the components in place — same
+// struct, same byNode array — so routing providers holding the set stay valid
+// across mid-run fault churn.
 type ComponentSet struct {
 	// Mesh is the mesh the components were extracted from.
 	Mesh *mesh.Mesh
@@ -79,6 +79,16 @@ type ComponentSet struct {
 	member  func(idx int) bool           // membership rule, kept for Refresh
 	count   func(*Component, grid.Point) // label accounting, kept for Refresh
 	avoidID func(id int32) bool          // cached union obstacle test
+
+	// Extraction storage, reused across Refresh calls so the per-churn-event
+	// re-extraction allocates nothing in steady state: slab backs the
+	// Component structs, arena backs every component's Nodes slice, sizes /
+	// stack / adj are flood-fill scratch.
+	slab  []Component
+	arena []grid.Point
+	sizes []int32
+	stack []int32
+	adj   []grid.Point
 }
 
 // Adjacent reports whether two nodes belong to the same fault region when both
@@ -181,52 +191,88 @@ func findComponents(m *mesh.Mesh, member func(idx int) bool, l *labeling.Labelin
 }
 
 // extract (re)computes the components from the current membership rule into
-// the set's existing storage.
+// the set's existing storage. It runs in two passes so the steady-state churn
+// path allocates nothing: the flood fill assigns component IDs, counts and
+// bounds into the reusable slab, then the node sweep carves every component's
+// Nodes slice out of the shared arena — in dense-index order by construction,
+// so no sort is needed.
 func (s *ComponentSet) extract() {
 	m := s.Mesh
-	s.Components = s.Components[:0]
+	n := m.NodeCount()
 	for i := range s.byNode {
 		s.byNode[i] = -1
 	}
-	var stack []int
-	var adj []grid.Point
-	for start := 0; start < m.NodeCount(); start++ {
+	// Pass 1: flood-fill IDs, counts and bounds. Slab pointers are only taken
+	// per fill (the slab cannot grow mid-fill), and handed out only after the
+	// slab has reached its final length.
+	s.slab = s.slab[:0]
+	s.sizes = s.sizes[:0]
+	total := 0
+	stack, adj := s.stack, s.adj
+	for start := 0; start < n; start++ {
 		if !s.member(start) || s.byNode[start] != -1 {
 			continue
 		}
-		comp := &Component{
-			ID:     len(s.Components),
+		id := len(s.slab)
+		s.slab = append(s.slab, Component{
+			ID:     id,
 			set:    s,
 			Bounds: grid.Box{Min: grid.Point{X: 1}, Max: grid.Point{}}, // empty
-		}
-		stack = append(stack[:0], start)
-		s.byNode[start] = comp.ID
+		})
+		comp := &s.slab[id]
+		size := int32(0)
+		stack = append(stack[:0], int32(start))
+		s.byNode[start] = id
 		for len(stack) > 0 {
-			idx := stack[len(stack)-1]
+			idx := int(stack[len(stack)-1])
 			stack = stack[:len(stack)-1]
 			p := m.Point(idx)
-			comp.Nodes = append(comp.Nodes, p)
+			size++
 			comp.Bounds = comp.Bounds.Extend(p)
 			s.count(comp, p)
 			adj = adjacentPoints(m, adj[:0], p)
 			for _, q := range adj {
 				qi := m.Index(q)
 				if s.member(qi) && s.byNode[qi] == -1 {
-					s.byNode[qi] = comp.ID
-					stack = append(stack, qi)
+					s.byNode[qi] = id
+					stack = append(stack, int32(qi))
 				}
 			}
 		}
-		sort.Slice(comp.Nodes, func(i, j int) bool { return m.Index(comp.Nodes[i]) < m.Index(comp.Nodes[j]) })
-		s.Components = append(s.Components, comp)
+		s.sizes = append(s.sizes, size)
+		total += int(size)
+	}
+	s.stack, s.adj = stack[:0], adj[:0]
+	// Pass 2: carve Nodes from the arena and fill them in index order.
+	if cap(s.arena) < total {
+		s.arena = make([]grid.Point, 0, total)
+	}
+	off := 0
+	for i := range s.slab {
+		size := int(s.sizes[i])
+		s.slab[i].Nodes = s.arena[off : off : off+size]
+		off += size
+	}
+	for idx := 0; idx < n; idx++ {
+		if id := s.byNode[idx]; id >= 0 {
+			c := &s.slab[id]
+			c.Nodes = append(c.Nodes, m.Point(idx))
+		}
+	}
+	s.Components = s.Components[:0]
+	for i := range s.slab {
+		s.Components = append(s.Components, &s.slab[i])
 	}
 }
 
 // Refresh re-extracts the components after the underlying labelling (or fault
 // set, for fault-only clusters) changed, mutating the set in place so that
 // holders of the *ComponentSet — routing providers, cached models — see the
-// new regions without being rebuilt. Components handed out before the call
-// are invalidated.
+// new regions without being rebuilt. The re-extraction is direction-agnostic:
+// fault injections that grow or merge components and repairs that shrink,
+// split or dissolve them all land on the same canonical component list
+// (components numbered in dense-index order of their first node). Components
+// handed out before the call are invalidated.
 func (s *ComponentSet) Refresh() { s.extract() }
 
 // ComponentOf returns the component containing p, or nil if p is not part of

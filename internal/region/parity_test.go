@@ -106,3 +106,80 @@ func TestRefreshMatchesRebuild(t *testing.T) {
 		}
 	}
 }
+
+// TestRefreshAfterChurnMatchesRebuild drives Refresh through randomized
+// add/remove interleavings — the fault-churn regime — so the re-extraction
+// handles every component transition: growth and merges on injection,
+// shrinks, splits and outright dissolution on repair. After each batch the
+// in-place Refresh must match a cold FindMCCs over a fresh labelling on
+// component structure, node→component mapping and union-field answers.
+func TestRefreshAfterChurnMatchesRebuild(t *testing.T) {
+	for _, seed := range []uint64{3, 29, 20050507} {
+		m := mesh.NewCube(7)
+		r := rng.New(seed)
+		for i := 0; i < 40; i++ {
+			m.SetFaulty(m.Point(r.Intn(m.NodeCount())), true)
+		}
+		l := labeling.Compute(m, grid.PositiveOrientation)
+		cs := FindMCCs(l)
+		for batch := 0; batch < 8; batch++ {
+			if r.Intn(2) == 0 && m.FaultCount() > 4 {
+				// Repair a random handful of live faults.
+				var pts []grid.Point
+				for len(pts) < 4 {
+					idx := r.Intn(m.NodeCount())
+					if !m.FaultyAt(idx) {
+						continue
+					}
+					p := m.Point(idx)
+					m.SetFaulty(p, false)
+					pts = append(pts, p)
+				}
+				l.RemoveFaults(pts)
+			} else {
+				var pts []grid.Point
+				for len(pts) < 4 {
+					idx := r.Intn(m.NodeCount())
+					if m.FaultyAt(idx) {
+						continue
+					}
+					p := m.Point(idx)
+					m.SetFaulty(p, true)
+					pts = append(pts, p)
+				}
+				l.AddFaults(pts)
+			}
+			cs.Refresh()
+
+			fresh := FindMCCs(labeling.Compute(m, grid.PositiveOrientation))
+			if cs.Len() != fresh.Len() {
+				t.Fatalf("seed=%d batch %d: Refresh found %d components, rebuild %d", seed, batch, cs.Len(), fresh.Len())
+			}
+			for i, c := range cs.Components {
+				f := fresh.Components[i]
+				if len(c.Nodes) != len(f.Nodes) || c.Bounds != f.Bounds || c.FaultyCount != f.FaultyCount ||
+					c.NonFaulty() != f.NonFaulty() {
+					t.Fatalf("seed=%d batch %d: component %d diverged:\nrefresh %v\nrebuild %v", seed, batch, i, c, f)
+				}
+				for j := range c.Nodes {
+					if c.Nodes[j] != f.Nodes[j] {
+						t.Fatalf("seed=%d batch %d: component %d node %d: %v vs %v", seed, batch, i, j, c.Nodes[j], f.Nodes[j])
+					}
+				}
+			}
+			m.ForEach(func(p grid.Point) {
+				a, b := cs.ComponentOf(p), fresh.ComponentOf(p)
+				if (a == nil) != (b == nil) || (a != nil && a.ID != b.ID) {
+					t.Fatalf("seed=%d batch %d: ComponentOf(%v) diverged", seed, batch, p)
+				}
+			})
+			for trial := 0; trial < 32; trial++ {
+				s := m.Point(r.Intn(m.NodeCount()))
+				d := m.Point(r.Intn(m.NodeCount()))
+				if cs.BlockedByUnion(s, d) != fresh.BlockedByUnion(s, d) {
+					t.Fatalf("seed=%d batch %d: BlockedByUnion(%v, %v) diverged after churn Refresh", seed, batch, s, d)
+				}
+			}
+		}
+	}
+}

@@ -152,3 +152,73 @@ func TestFieldCacheEvictsOneEntry(t *testing.T) {
 		t.Errorf("evicted destination was not re-cached on demand")
 	}
 }
+
+// TestFieldCacheEpochInvalidationOnRepair is the repair-side mirror of
+// TestFieldCacheEpochInvalidation: after a fault repair flows through the
+// incremental update path (labeling.RemoveFaults + Refresh + InvalidateCache),
+// every decision must match a provider built from scratch over the repaired
+// mesh. Repairs *open* directions that were excluded before, so a stale field
+// that survived the epoch bump would be visible as an over-restrictive answer.
+func TestFieldCacheEpochInvalidationOnRepair(t *testing.T) {
+	m := mesh.NewCube(8)
+	placed := fault.Uniform{Count: 30}.Inject(m, rng.New(5))
+	lab := labeling.Compute(m, grid.PositiveOrientation)
+	set := region.FindMCCs(lab)
+	prov := &MCC{Set: set}
+
+	type q struct{ u, v, d grid.Point }
+	var queries []q
+	r := rng.New(17)
+	for len(queries) < 200 {
+		u := m.Point(r.Intn(m.NodeCount()))
+		d := m.Point(r.Intn(m.NodeCount()))
+		if u == d || m.IsFaulty(u) || m.IsFaulty(d) {
+			continue
+		}
+		orient := grid.OrientationOf(u, d)
+		for _, a := range m.Axes() {
+			if u.Axis(a) == d.Axis(a) {
+				continue
+			}
+			if v, ok := m.Neighbor(u, orient.Forward(a)); ok && !m.IsFaulty(v) {
+				queries = append(queries, q{u, v, d})
+			}
+		}
+	}
+	for _, qq := range queries {
+		prov.Allowed(qq.u, qq.v, qq.d)
+	}
+
+	// Repair a third of the faults through the incremental path.
+	repaired := placed[:len(placed)/3]
+	m.RemoveFaults(repaired...)
+	lab.RemoveFaults(repaired)
+	set.Refresh()
+	prov.InvalidateCache()
+
+	freshSet := region.FindMCCs(labeling.Compute(m, grid.PositiveOrientation))
+	fresh := &MCC{Set: freshSet}
+	for _, qq := range queries {
+		got := prov.Allowed(qq.u, qq.v, qq.d)
+		want := fresh.Allowed(qq.u, qq.v, qq.d)
+		if got != want {
+			t.Fatalf("after repair invalidation: Allowed(%v, %v, %v) = %v, fresh provider says %v",
+				qq.u, qq.v, qq.d, got, want)
+		}
+	}
+
+	// The oracle takes the same epoch bump on repair; check it against a fresh
+	// oracle over the repaired mesh (the live mesh is its source of truth).
+	o := &Oracle{Mesh: m}
+	for _, qq := range queries {
+		o.Allowed(qq.u, qq.v, qq.d)
+	}
+	m.RemoveFaults(placed[len(placed)/3 : 2*len(placed)/3]...)
+	o.InvalidateCache()
+	freshO := &Oracle{Mesh: m}
+	for _, qq := range queries {
+		if got, want := o.Allowed(qq.u, qq.v, qq.d), freshO.Allowed(qq.u, qq.v, qq.d); got != want {
+			t.Fatalf("oracle after repair: Allowed(%v, %v, %v) = %v, fresh oracle says %v", qq.u, qq.v, qq.d, got, want)
+		}
+	}
+}

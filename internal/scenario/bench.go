@@ -34,6 +34,11 @@ func init() {
 // workers, other goroutines) out of the measurement — the measure therefore
 // always runs its trials sequentially, ignoring Spec.Workers.
 type BenchResult struct {
+	// Scenario names the benchmark spec the cell came from; empty for the
+	// default reference workload, "churn" for the fault-churn workload. It
+	// distinguishes cells whose mesh/pattern/model/rate would otherwise
+	// collide in baseline matching.
+	Scenario string `json:"scenario,omitempty"`
 	// Mesh, Pattern, Model and Rate echo the benchmarked configuration.
 	Mesh    string  `json:"mesh"`
 	Pattern string  `json:"pattern"`
@@ -75,10 +80,14 @@ func ReadBenchJSON(r io.Reader) (*BenchFile, error) {
 	return &f, nil
 }
 
-// Key identifies a benchmark cell for baseline matching: same mesh, pattern,
-// model and rate compare; everything measured may differ.
+// Key identifies a benchmark cell for baseline matching: same scenario, mesh,
+// pattern, model and rate compare; everything measured may differ. Cells from
+// the unnamed default workload keep their historical key format.
 func (b BenchResult) Key() string {
-	return fmt.Sprintf("%s/%s/%s/%g", b.Mesh, b.Pattern, b.Model, b.Rate)
+	if b.Scenario == "" {
+		return fmt.Sprintf("%s/%s/%s/%g", b.Mesh, b.Pattern, b.Model, b.Rate)
+	}
+	return fmt.Sprintf("%s:%s/%s/%s/%g", b.Scenario, b.Mesh, b.Pattern, b.Model, b.Rate)
 }
 
 // WriteBenchJSON writes the benchmark cells of a report (which must come from
@@ -87,9 +96,18 @@ func WriteBenchJSON(w io.Writer, rep *Report) error {
 	if len(rep.bench) == 0 {
 		return fmt.Errorf("scenario: report of measure %q carries no benchmark results (want the %q measure)", rep.Measure, MeasureBench)
 	}
+	return WriteBenchCellsJSON(w, rep.bench)
+}
+
+// WriteBenchCellsJSON writes benchmark cells — e.g. the merged cells of
+// several bench specs — as indented JSON, the BENCH_traffic.json format.
+func WriteBenchCellsJSON(w io.Writer, cells []BenchResult) error {
+	if len(cells) == 0 {
+		return fmt.Errorf("scenario: no benchmark cells to write")
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(BenchFile{Cells: rep.bench})
+	return enc.Encode(BenchFile{Cells: cells})
 }
 
 // BenchResults returns the per-cell benchmark results of a report produced by
@@ -110,6 +128,10 @@ func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
 	}
 	rep := &Report{Table: t}
 	injector := sc.injectorFor(faults)
+	timeline, err := spec.Faults.Timeline.Build()
+	if err != nil {
+		return nil, err // unreachable after Validate
+	}
 	total := len(spec.Workload.Patterns) * len(spec.Models) * len(spec.Workload.Rates)
 	cell := 0
 	for _, pattern := range spec.Workload.Patterns {
@@ -123,7 +145,8 @@ func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
 				cellSeed := rng.Derive(spec.Seed, uint64(cell))
 
 				res := BenchResult{
-					Mesh: spec.Mesh.String(), Pattern: pattern.Name, Model: model.Name,
+					Scenario: spec.Name,
+					Mesh:     spec.Mesh.String(), Pattern: pattern.Name, Model: model.Name,
 					Rate: rate, Faults: faults,
 					Warmup: spec.Measure.Warmup, Window: spec.Measure.Window,
 					Trials: spec.Trials, Seed: spec.Seed,
@@ -149,6 +172,7 @@ func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
 						Window:    simnet.Time(spec.Measure.Window),
 						LinkDelay: simnet.Time(spec.Measure.LinkDelay),
 						MaxEvents: spec.Measure.MaxEvents,
+						Timeline:  timeline,
 					})
 					r := e.Run(seed)
 					if r.Err != nil {
@@ -202,10 +226,10 @@ func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
 // reference workload PERFORMANCE.md tracks, one cell per information model —
 // the paper's MCC model, the local-greedy floor (event core + engine
 // overhead) and the labels-only middle ground — so the trajectory shows the
-// model gap, not just one number. Callers override it via -spec.
+// model gap, not just one number. Callers override it via -spec. The spec is
+// unnamed so its cells keep the historical baseline keys.
 func BenchSpec() Spec {
 	return Spec{
-		Name: "bench-traffic",
 		Mesh: Cube(16),
 		Faults: FaultSpec{
 			Inject: C("uniform"),
@@ -225,4 +249,44 @@ func BenchSpec() Spec {
 		Seed:   20050507,
 		Trials: 3,
 	}
+}
+
+// ChurnBenchSpec returns the fault-churn benchmark spec: the same reference
+// mesh and traffic as BenchSpec under a stochastic fail/repair timeline
+// (region-shaped failures, MTTF 40, MTTR 100), one MCC cell. It prices the
+// whole repair path — incremental un-relabel, in-place region refresh, epoch
+// bumps — in events/sec and allocs/packet next to the churn-free cells.
+func ChurnBenchSpec() Spec {
+	return Spec{
+		Name: "churn",
+		Mesh: Cube(16),
+		Faults: FaultSpec{
+			Inject: C("uniform"),
+			Counts: []int{120},
+			Timeline: &TimelineSpec{
+				MTTF:  40,
+				MTTR:  100,
+				Shape: Component{Name: "region", Params: map[string]any{"size": 3}},
+			},
+		},
+		Models: Components{C("mcc")},
+		Workload: WorkloadSpec{
+			Patterns: Components{C("hotspot")},
+			Rates:    []float64{0.02},
+		},
+		Measure: MeasureSpec{
+			Kind:      MeasureBench,
+			Warmup:    50,
+			Window:    500,
+			MaxEvents: 50_000_000,
+		},
+		Seed:   20050507,
+		Trials: 3,
+	}
+}
+
+// BenchSpecs returns the benchmark specs `mcc bench -json` runs by default,
+// in output order: the churn-free reference workload and the churn workload.
+func BenchSpecs() []Spec {
+	return []Spec{BenchSpec(), ChurnBenchSpec()}
 }

@@ -504,11 +504,19 @@ func measureAdaptivity(ctx context.Context, sc *Scenario) (*Report, error) {
 func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 	spec := sc.spec
 	faults := sc.firstCount()
-	t := &stats.Table{
-		Title: fmt.Sprintf("E7: continuous-traffic throughput/latency (%s mesh, %s faults, %d trials, warmup %d + window %d ticks)",
-			spec.Mesh, sc.faultLabel(faults), spec.Trials, spec.Measure.Warmup, spec.Measure.Window),
-		Columns: []string{"pattern", "model", "rate", "delivered", "throughput", "lat mean", "p50", "p95", "p99", "stuck", "lost"},
+	timeline, err := spec.Faults.Timeline.Build()
+	if err != nil {
+		return nil, err // unreachable after Validate; kept for direct callers
 	}
+	title := fmt.Sprintf("E7: continuous-traffic throughput/latency (%s mesh, %s faults, %d trials, warmup %d + window %d ticks)",
+		spec.Mesh, sc.faultLabel(faults), spec.Trials, spec.Measure.Warmup, spec.Measure.Window)
+	columns := []string{"pattern", "model", "rate", "delivered", "throughput", "lat mean", "p50", "p95", "p99", "stuck", "lost"}
+	if timeline != nil {
+		title = fmt.Sprintf("E7: continuous-traffic under churn (%s mesh, %s faults, mttf %g / mttr %g, %d trials, warmup %d + window %d ticks)",
+			spec.Mesh, sc.faultLabel(faults), timeline.MTTF, timeline.MTTR, spec.Trials, spec.Measure.Warmup, spec.Measure.Window)
+		columns = append(columns, "fail/rep", "phase tp", "phase lat")
+	}
+	t := &stats.Table{Title: title, Columns: columns}
 	rep := &Report{Table: t}
 	injector := sc.injectorFor(faults)
 	schedule := make([]traffic.FaultEvent, len(spec.Faults.Schedule))
@@ -548,6 +556,7 @@ func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 						LinkDelay: simnet.Time(spec.Measure.LinkDelay),
 						MaxEvents: spec.Measure.MaxEvents,
 						Faults:    schedule,
+						Timeline:  timeline,
 					})
 					return e.Run(seed)
 				})
@@ -561,6 +570,9 @@ func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 						pattern.Name, model.Name, fmt.Sprintf("%.3f", rate),
 						fmt.Sprintf("FAILED (%d/%d trials): %v", agg.Failed, agg.Trials, agg.Err),
 						"-", "-", "-", "-", "-", "-", "-",
+					}
+					for len(row) < len(columns) {
+						row = append(row, "-")
 					}
 					t.AddRow(row...)
 					rep.Cells = append(rep.Cells, Cell{
@@ -584,19 +596,40 @@ func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 					fmt.Sprintf("%d", agg.Stuck),
 					fmt.Sprintf("%d", agg.Lost),
 				}
+				values := map[string]float64{
+					"delivered":  agg.DeliveredRatio.Mean(),
+					"throughput": agg.Throughput.Mean(),
+					"lat_mean":   agg.Latency.Mean(),
+					"p50":        float64(agg.Latency.Percentile(0.50)),
+					"p95":        float64(agg.Latency.Percentile(0.95)),
+					"p99":        float64(agg.Latency.Percentile(0.99)),
+					"stuck":      float64(agg.Stuck),
+					"lost":       float64(agg.Lost),
+				}
+				if timeline != nil {
+					// Per-phase resolution: the throughput/latency spread
+					// across the inter-event phases of every trial shows the
+					// degradation/recovery band, not just the window mean.
+					row = append(row,
+						fmt.Sprintf("%d/%d", agg.Failures, agg.Repairs),
+						fmt.Sprintf("%.4f [%.4f..%.4f]", agg.PhaseThroughput.Mean(), agg.PhaseThroughput.Min(), agg.PhaseThroughput.Max()),
+						fmt.Sprintf("%.1f [%.1f..%.1f]", agg.PhaseLatency.Mean(), agg.PhaseLatency.Min(), agg.PhaseLatency.Max()),
+					)
+					values["failures"] = float64(agg.Failures)
+					values["repairs"] = float64(agg.Repairs)
+					values["failed_nodes"] = float64(agg.FailedNodes)
+					values["repaired_nodes"] = float64(agg.RepairedNodes)
+					values["phase_tp_mean"] = agg.PhaseThroughput.Mean()
+					values["phase_tp_min"] = agg.PhaseThroughput.Min()
+					values["phase_tp_max"] = agg.PhaseThroughput.Max()
+					values["phase_lat_mean"] = agg.PhaseLatency.Mean()
+					values["phase_lat_min"] = agg.PhaseLatency.Min()
+					values["phase_lat_max"] = agg.PhaseLatency.Max()
+				}
 				t.AddRow(row...)
 				rep.Cells = append(rep.Cells, Cell{
 					Index: cell, Pattern: pattern.Name, Model: model.Name, Rate: rate, Faults: faults, Row: row,
-					Values: map[string]float64{
-						"delivered":  agg.DeliveredRatio.Mean(),
-						"throughput": agg.Throughput.Mean(),
-						"lat_mean":   agg.Latency.Mean(),
-						"p50":        float64(agg.Latency.Percentile(0.50)),
-						"p95":        float64(agg.Latency.Percentile(0.95)),
-						"p99":        float64(agg.Latency.Percentile(0.99)),
-						"stuck":      float64(agg.Stuck),
-						"lost":       float64(agg.Lost),
-					},
+					Values: values,
 				})
 				sc.emit(Event{Cell: cell, Total: total, Label: label, Done: true, Row: row})
 				cell++
@@ -605,5 +638,8 @@ func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 	}
 	t.AddNote("throughput is measured deliveries per healthy node per tick; latency percentiles are over packets injected inside the window.")
 	t.AddNote("'stuck' packets ran out of allowed forwarding directions; 'lost' packets were dropped by a node that died mid-flight.")
+	if timeline != nil {
+		t.AddNote("'fail/rep' totals churn events across trials; 'phase tp'/'phase lat' give mean [min..max] over the inter-event phases of every trial.")
+	}
 	return rep, nil
 }

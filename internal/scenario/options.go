@@ -47,6 +47,19 @@ func WithFaultSchedule(at int, name string, params ...Params) Option {
 	}
 }
 
+// WithFaultTimeline runs a stochastic fault-churn process while traffic is
+// in flight: failure groups of the named shape ("point", "region", or any
+// registered injector; "" selects the default point shape) arrive with mean
+// gap mttf ticks and are repaired after a mean delay of mttr ticks (0 =
+// never repaired). The churn horizon defaults to warmup + window; for fixed
+// fail/repair entries or a custom horizon, set FaultSpec.Timeline through
+// WithSpec.
+func WithFaultTimeline(mttf, mttr float64, shape string, params ...Params) Option {
+	return func(sc *Scenario) {
+		sc.spec.Faults.Timeline = &TimelineSpec{MTTF: mttf, MTTR: mttr, Shape: component(shape, params)}
+	}
+}
+
 // WithModels names the information models under test (see traffic.Models).
 func WithModels(names ...string) Option {
 	return func(sc *Scenario) { sc.spec.Models = ComponentsOf(names...) }

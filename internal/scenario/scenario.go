@@ -58,6 +58,11 @@ func Load(r io.Reader) (*Scenario, error) {
 	if err := dec.Decode(&spec); err != nil {
 		return nil, fmt.Errorf("scenario: decoding spec: %w", err)
 	}
+	// A spec file is exactly one JSON document. Silently ignoring trailing
+	// content would half-read e.g. a concatenation of several dumped specs.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: spec carries trailing content after the first JSON document (one spec per file)")
+	}
 	return New(spec)
 }
 

@@ -528,3 +528,84 @@ func TestBuiltinRegistriesRejectDuplicates(t *testing.T) {
 	}()
 	traffic.Patterns.Register(registry.Entry[traffic.PatternCtor]{Name: "uniform"})
 }
+
+// TestTimelineSpecValidation: churn-timeline mistakes must fail fast with
+// actionable messages, and a valid timeline must survive defaulting (shape
+// "point", until = warmup + window).
+func TestTimelineSpecValidation(t *testing.T) {
+	base := func() Spec {
+		return Spec{
+			Mesh:   Cube(6),
+			Faults: FaultSpec{Inject: C("uniform"), Counts: []int{5}, Timeline: &TimelineSpec{MTTF: 20, MTTR: 50}},
+			Measure: MeasureSpec{
+				Kind: MeasureTraffic, Warmup: 10, Window: 90,
+			},
+			Trials: 1,
+		}
+	}
+
+	sc := mustNew(t, base())
+	tl := sc.Spec().Faults.Timeline
+	if tl.Shape.Name != "point" || tl.Until != 100 {
+		t.Fatalf("timeline defaults not applied: %+v", tl)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"routing measure", func(s *Spec) { s.Measure.Kind = MeasureSuccess }, "churn timeline needs"},
+		{"unknown shape", func(s *Spec) { s.Faults.Timeline.Shape = C("regoin") }, "did you mean"},
+		{"negative mttf", func(s *Spec) { s.Faults.Timeline.MTTF = -1 }, "non-negative"},
+		{"empty timeline", func(s *Spec) { s.Faults.Timeline.MTTF = 0 }, "empty"},
+		{"bad fixed injector", func(s *Spec) {
+			s.Faults.Timeline.Fixed = []FixedChurn{{At: 5, Inject: C("nope")}}
+		}, "unknown fault injector"},
+		{"until before start", func(s *Spec) {
+			s.Faults.Timeline.Start = 200
+			s.Faults.Timeline.Until = 100
+		}, "must exceed"},
+	}
+	for _, tc := range cases {
+		spec := base()
+		tc.mutate(&spec)
+		_, err := New(spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want it to mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTimelineDefaultsUnderMeasureAlias: a spec naming the measure by alias
+// ("e7" for traffic) must default its timeline exactly like the canonical
+// name — shape "point", until = warmup + window.
+func TestTimelineDefaultsUnderMeasureAlias(t *testing.T) {
+	sc := mustNew(t, Spec{
+		Mesh:    Cube(6),
+		Faults:  FaultSpec{Inject: C("uniform"), Counts: []int{5}, Timeline: &TimelineSpec{MTTF: 20, MTTR: 50}},
+		Measure: MeasureSpec{Kind: "e7", Warmup: 10, Window: 90},
+		Trials:  1,
+	})
+	tl := sc.Spec().Faults.Timeline
+	if tl.Shape.Name != "point" || tl.Until != 100 {
+		t.Fatalf("timeline defaults not applied under measure alias: %+v", tl)
+	}
+	if sc.Spec().Measure.Kind != "e7" {
+		t.Fatalf("the alias the user wrote must be preserved, got %q", sc.Spec().Measure.Kind)
+	}
+}
+
+// TestLoadRejectsTrailingContent: a spec file is one JSON document; a
+// concatenation of several dumped specs must error instead of silently
+// running only the first.
+func TestLoadRejectsTrailingContent(t *testing.T) {
+	doc := `{"mesh": {"x": 6, "y": 6, "z": 6}, "trials": 1}`
+	if _, err := Load(strings.NewReader(doc + "\n" + doc)); err == nil ||
+		!strings.Contains(err.Error(), "trailing content") {
+		t.Fatalf("two concatenated specs should be rejected, got %v", err)
+	}
+	if _, err := Load(strings.NewReader(doc + "\n\n  \n")); err != nil {
+		t.Fatalf("trailing whitespace must stay legal: %v", err)
+	}
+}

@@ -220,8 +220,79 @@ type FaultSpec struct {
 	// set. When empty it is derived from Inject's "count" parameter.
 	Counts []int `json:"counts,omitempty"`
 	// Schedule injects additional faults at fixed simulated times while
-	// traffic is in flight ("traffic" measure only).
+	// traffic is in flight ("traffic" measure only). Scheduled faults are
+	// never repaired; for fail/repair churn use Timeline.
 	Schedule []ScheduledFault `json:"schedule,omitempty"`
+	// Timeline runs a stochastic fault-churn process — failure groups
+	// arriving with mean gap MTTF, each repaired after a mean delay MTTR —
+	// while traffic is in flight ("traffic" and "bench" measures only).
+	Timeline *TimelineSpec `json:"timeline,omitempty"`
+}
+
+// TimelineSpec is the declarative form of the fault-churn timeline
+// (fault.Timeline): a seeded arrival/repair process plus optional fixed
+// entries. All times are simulated ticks.
+type TimelineSpec struct {
+	// Start is the earliest stochastic arrival; Until the exclusive horizon
+	// of all churn (0 defaults to warmup + window). Failures whose repair
+	// would land past Until stay down for the rest of the run.
+	Start int `json:"start,omitempty"`
+	Until int `json:"until,omitempty"`
+	// MTTF is the mean gap between failure groups in ticks (0 = only the
+	// fixed entries fire); MTTR the mean delay until a group's repair
+	// (0 = never repaired).
+	MTTF float64 `json:"mttf,omitempty"`
+	MTTR float64 `json:"mttr,omitempty"`
+	// Shape places one failure group: "point" (one random node, the
+	// default), "region" (a cluster of adjacent nodes, e.g.
+	// {"name": "region", "params": {"size": 4}}) or any other registered
+	// fault injector.
+	Shape Component `json:"shape,omitempty"`
+	// Fixed adds deterministic fail/repair entries to the stream.
+	Fixed []FixedChurn `json:"fixed,omitempty"`
+}
+
+// FixedChurn is one deterministic churn entry: Inject fires at tick At and
+// the nodes it placed are repaired RepairAfter ticks later (0 = never).
+type FixedChurn struct {
+	At          int       `json:"at"`
+	Inject      Component `json:"inject"`
+	RepairAfter int       `json:"repairafter,omitempty"`
+}
+
+// Build materialises the spec into the fault package's timeline engine,
+// constructing the shape and fixed injectors through the fault-injector
+// registry.
+func (t *TimelineSpec) Build() (*fault.Timeline, error) {
+	if t == nil {
+		return nil, nil
+	}
+	tl := &fault.Timeline{
+		Start: int64(t.Start),
+		Until: int64(t.Until),
+		MTTF:  t.MTTF,
+		MTTR:  t.MTTR,
+	}
+	if t.MTTF > 0 {
+		shape, err := fault.Build(t.Shape.Name, t.Shape.Args())
+		if err != nil {
+			return nil, fmt.Errorf("timeline shape: %w", err)
+		}
+		tl.Shape = shape
+	}
+	for i, fx := range t.Fixed {
+		inj, err := fault.Build(fx.Inject.Name, fx.Inject.Args())
+		if err != nil {
+			return nil, fmt.Errorf("timeline fixed[%d]: %w", i, err)
+		}
+		tl.Fixed = append(tl.Fixed, fault.FixedEvent{
+			At: int64(fx.At), Inject: inj, RepairAfter: int64(fx.RepairAfter),
+		})
+	}
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	return tl, nil
 }
 
 // ScheduledFault is one mid-run fault event.
@@ -307,7 +378,14 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Models) == 0 {
 		s.Models = Components{C("mcc")}
 	}
-	if s.Measure.Kind == MeasureTraffic || s.Measure.Kind == MeasureBench {
+	// Branch on the canonical measure name so aliases ("e7" for traffic,
+	// "perf" for bench) default exactly like the names they stand for. The
+	// spec keeps the alias the user wrote.
+	kind := s.Measure.Kind
+	if e, err := Measures.Lookup(kind); err == nil {
+		kind = e.Name
+	}
+	if kind == MeasureTraffic || kind == MeasureBench {
 		if len(s.Workload.Patterns) == 0 {
 			s.Workload.Patterns = Components{C("uniform")}
 		}
@@ -319,6 +397,18 @@ func (s Spec) withDefaults() Spec {
 		}
 		if s.Measure.Warmup < 0 {
 			s.Measure.Warmup = 0
+		}
+		if s.Faults.Timeline != nil {
+			// Copy-on-default: the spec is a value, so the shared pointer
+			// target must not be mutated in place.
+			tl := *s.Faults.Timeline
+			if tl.MTTF > 0 && tl.Shape.Name == "" {
+				tl.Shape = C("point")
+			}
+			if tl.Until == 0 {
+				tl.Until = s.Measure.Warmup + s.Measure.Window
+			}
+			s.Faults.Timeline = &tl
 		}
 	} else {
 		if s.Measure.Pairs <= 0 {
@@ -373,7 +463,20 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
-	if s.Measure.Kind == MeasureTraffic || s.Measure.Kind == MeasureBench {
+	// Resolve aliases (e.g. "e7") so the checks match the measure that will
+	// actually run.
+	kind := s.Measure.Kind
+	if e, err := Measures.Lookup(kind); err == nil {
+		kind = e.Name
+	}
+	if s.Faults.Timeline != nil && kind != MeasureTraffic && kind != MeasureBench {
+		return fmt.Errorf("faults: a churn timeline needs the %q or %q measure (got %q)",
+			MeasureTraffic, MeasureBench, s.Measure.Kind)
+	}
+	if _, err := s.Faults.Timeline.Build(); err != nil {
+		return err
+	}
+	if kind == MeasureTraffic || kind == MeasureBench {
 		for _, c := range s.Workload.Patterns {
 			if _, err := traffic.BuildPattern(c.Name, probe, c.Args()); err != nil {
 				return err

@@ -246,6 +246,12 @@ func (n *Network) Store(p grid.Point) map[string]any {
 	return n.store[idx]
 }
 
+// ContextOf returns the per-node context of the node with dense ID id.
+// Control callbacks (Network.At) use it to act on behalf of a node — e.g. the
+// traffic engine's churn handler re-arms a repaired node's injection timer,
+// whose previous instance was dropped while the node was faulty.
+func (n *Network) ContextOf(id int32) *Context { return &n.ctxs[id] }
+
 // Post injects an external event addressed to node p at the current time
 // (plus one link delay), e.g. the arrival of a routing request at the source.
 func (n *Network) Post(p grid.Point, kind string, payload any) {

@@ -45,3 +45,42 @@ func TestSteadyStateAllocsPerPacket(t *testing.T) {
 			"a per-hop or per-packet allocation crept back into simnet or the engine", perPacket)
 	}
 }
+
+// TestChurnAllocsPerPacket guards the fault-churn hot path: with a stochastic
+// fail/repair timeline live, the per-packet path must stay allocation-free
+// and the per-churn-event work (incremental relabel, in-place region refresh,
+// epoch bumps, phase accounting) must amortise to well under one allocation
+// per delivered packet — the budget the churn bench cell asserts too.
+func TestChurnAllocsPerPacket(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race instruments allocations; alloc accounting is only meaningful without it")
+	}
+	if testing.Short() {
+		t.Skip("multi-second traffic run")
+	}
+	if res := churnBenchEngine(t, 11, 100).Run(11); res.Err != nil || res.Delivered == 0 {
+		t.Fatalf("warmup run failed: delivered=%d err=%v", res.Delivered, res.Err)
+	}
+
+	e := churnBenchEngine(t, 11, 500)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res := e.Run(11)
+	runtime.ReadMemStats(&after)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Delivered < 10_000 {
+		t.Fatalf("workload too small to be meaningful: delivered %d packets", res.Delivered)
+	}
+	if res.Failures == 0 || res.Repairs == 0 {
+		t.Fatalf("timeline did not churn: %d failures, %d repairs", res.Failures, res.Repairs)
+	}
+	perPacket := float64(after.Mallocs-before.Mallocs) / float64(res.Delivered)
+	t.Logf("delivered %d packets over %d events with %d failures / %d repairs, %.4f allocs/packet",
+		res.Delivered, res.Events, res.Failures, res.Repairs, perPacket)
+	if perPacket > 1.0 {
+		t.Errorf("churn hot path allocates: %.4f allocs per delivered packet (want < 1.0) — "+
+			"per-event churn work stopped amortising or a per-hop allocation crept back in", perPacket)
+	}
+}

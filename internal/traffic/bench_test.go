@@ -34,6 +34,47 @@ func benchEngine(tb testing.TB, model string, seed uint64, window simnet.Time) *
 	})
 }
 
+// churnBenchEngine is benchEngine plus the reference churn timeline: region
+// failures of three nodes arriving with MTTF 40 and repaired with MTTR 100 —
+// the workload of the "churn" bench cell.
+func churnBenchEngine(tb testing.TB, seed uint64, window simnet.Time) *traffic.Engine {
+	m := mesh.New3D(16, 16, 16)
+	fault.Uniform{Count: 120}.Inject(m, rng.New(rng.Derive(seed, 1<<48)))
+	im, err := traffic.ModelByName("mcc", core.NewModel(m))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p, err := traffic.PatternByName("hotspot", m, 0.1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	shape, err := fault.Build("region", map[string]any{"size": 3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return traffic.NewEngine(m, im, p, traffic.Options{
+		Rate: 0.02, Warmup: 50, Window: window, MaxEvents: 50_000_000,
+		Timeline: &fault.Timeline{Until: int64(50 + window), MTTF: 40, MTTR: 100, Shape: shape},
+	})
+}
+
+// BenchmarkHotspot16MCCChurn runs the headline workload under fault churn:
+// the same mesh and traffic as BenchmarkHotspot16MCC with the reference
+// timeline failing and repairing region clusters mid-run.
+func BenchmarkHotspot16MCCChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := churnBenchEngine(b, 7, 500).Run(7)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Delivered == 0 || res.Failures == 0 {
+			b.Fatal("no traffic delivered or no churn fired")
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+	}
+}
+
 func benchHotspot16(b *testing.B, model string) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -44,8 +44,15 @@ type Options struct {
 	// LinkDelay and MaxEvents are passed to the simulator.
 	LinkDelay simnet.Time
 	MaxEvents int
-	// Faults is the dynamic fault schedule.
+	// Faults is the dynamic fault schedule (injections only, never repaired).
 	Faults []FaultEvent
+	// Timeline is the stochastic fault-churn process: failure groups arrive
+	// and are later repaired while traffic is in flight. Fault information
+	// flows through the models' incremental FaultApplier / FaultRepairer
+	// paths, nodes stop injecting while they are down and resume on repair,
+	// and the measurement window is split into phases at every churn event
+	// (Result.Phases).
+	Timeline *fault.Timeline
 	// PatternParams parameterises a pattern resolved by name (e.g.
 	// {"fraction": 0.2, "target": [5, 5, 5]} for hotspot); see the Patterns
 	// registry for each pattern's schema. It is consumed by callers that
@@ -83,12 +90,54 @@ type Result struct {
 	Hops    stats.Histogram
 	// Events is the total number of simulator events processed.
 	Events int
+	// Failures and Repairs count the churn-timeline events that fired;
+	// FailedNodes and RepairedNodes total the nodes they took down and
+	// restored. All zero without Options.Timeline.
+	Failures, Repairs          int
+	FailedNodes, RepairedNodes int
+	// Phases splits the measurement window at every churn event: per-phase
+	// measured deliveries and latency, the per-phase resolution the churn
+	// experiments read. Nil without Options.Timeline.
+	Phases []PhaseStat
 	// Err is non-nil when the simulator aborted the trial — today that means
 	// the event budget ran out (errors.Is(Err, simnet.ErrEventBudget)). The
 	// counters above cover the prefix that did run; sweep aggregation
 	// (Collect) and the scenario report surface the failure per cell instead
 	// of killing the process.
 	Err error
+}
+
+// PhaseStat is the traffic measured between two consecutive churn events (or
+// a churn event and a window edge): deliveries are assigned to the phase they
+// complete in, so a phase shows the network as it was — post-failure
+// degradation, post-repair recovery — at per-event resolution.
+type PhaseStat struct {
+	// Start and End bound the phase in simulated ticks; deliveries draining
+	// after the measurement horizon land in the final phase.
+	Start, End simnet.Time
+	// Healthy is the healthy-node count at the phase start (the throughput
+	// normalisation base of this phase).
+	Healthy int
+	// Delivered counts measured packets delivered inside the phase;
+	// LatencySum totals their latencies in ticks.
+	Delivered  int
+	LatencySum int64
+}
+
+// Throughput returns the phase's deliveries per healthy node per tick.
+func (p PhaseStat) Throughput() float64 {
+	if p.End <= p.Start || p.Healthy == 0 {
+		return 0
+	}
+	return float64(p.Delivered) / float64(p.End-p.Start) / float64(p.Healthy)
+}
+
+// MeanLatency returns the mean latency of the phase's deliveries in ticks.
+func (p PhaseStat) MeanLatency() float64 {
+	if p.Delivered == 0 {
+		return 0
+	}
+	return float64(p.LatencySum) / float64(p.Delivered)
 }
 
 // Throughput returns the accepted traffic: measured deliveries per healthy
@@ -162,6 +211,21 @@ type run struct {
 	free []int32
 
 	dirs []grid.Direction // scratch for CandidateDirs, cap 6
+
+	// Churn-timeline state, nil/zero without Options.Timeline. groups records
+	// the nodes each failure group took down so its repair restores exactly
+	// them; nextInject tracks each node's pending injection-timer delivery
+	// tick, so a repair can tell a timer chain broken by the failure (the
+	// timer was dropped while the node was faulty) from one still in flight.
+	groups     [][]grid.Point
+	nextInject []simnet.Time
+	// The open phase accumulator: closed into phases at every churn event
+	// inside the measurement window and once more at the end of the run.
+	phases         []PhaseStat
+	phaseStart     simnet.Time
+	phaseHealthy   int
+	phaseDelivered int
+	phaseLatSum    int64
 }
 
 // provEntry is one cached per-orientation provider; fast selects the
@@ -239,20 +303,146 @@ func (e *Engine) Run(seed uint64) *Result {
 			// labellings, regions and field caches alive; the rest recompute
 			// lazily from scratch. Either way the cached provider table is
 			// flushed — a model is free to hand out new providers after this.
-			if fa, ok := e.model.(FaultApplier); ok {
-				fa.ApplyFaults(placed)
-			} else {
-				e.model.Invalidate()
+			st.applyFaults(placed)
+			// With a timeline also active, a scheduled injection is a phase
+			// boundary too: the healthy-node base of the open phase changed.
+			// It is not a timeline event, so Failures stays untouched.
+			if st.phases != nil && len(placed) > 0 {
+				st.closePhase(net.Now())
 			}
-			st.provs = [8]provEntry{}
 		})
+	}
+	if tl := e.opts.Timeline; tl != nil {
+		// The step stream (arrival times, repair pairings) derives from one
+		// salted generator, each group's placement from its own — so the
+		// schedule and the placements are independent deterministic streams.
+		steps := tl.Program(rng.New(rng.Derive(seed, churnProgramSalt)))
+		st.groups = make([][]grid.Point, fault.Groups(steps))
+		st.nextInject = make([]simnet.Time, e.mesh.NodeCount())
+		st.phases = make([]PhaseStat, 0, len(steps)+1)
+		st.phaseStart = e.opts.Warmup
+		st.phaseHealthy = res.HealthyNodes
+		for i := range steps {
+			stp := steps[i]
+			var placeRng *rng.Rand
+			if !stp.Repair {
+				placeRng = rng.New(rng.Derive(seed, churnPlaceSalt+uint64(stp.Group)))
+			}
+			net.At(simnet.Time(stp.At), func() { st.churnStep(net, stp, placeRng) })
+		}
 	}
 	sim, err := net.Run()
 	res.Err = err
 	res.FinalTime = sim.FinalTime
 	res.Events = sim.Events
 	res.Lost = res.Injected - res.Delivered - res.Stuck
+	if st.phases != nil {
+		// Close the open phase; drain deliveries past the horizon have
+		// already been accumulated into it.
+		end := st.horizon
+		if end < st.phaseStart {
+			end = st.phaseStart
+		}
+		res.Phases = append(st.phases, PhaseStat{
+			Start: st.phaseStart, End: end, Healthy: st.phaseHealthy,
+			Delivered: st.phaseDelivered, LatencySum: st.phaseLatSum,
+		})
+	}
 	return res
+}
+
+// Derivation salts for the churn timeline's seed streams, disjoint from the
+// per-node (dense IDs), policy (1<<40), fault-event (1<<32+i) and injector
+// (1<<48) streams.
+const (
+	churnProgramSalt = uint64(1) << 41
+	churnPlaceSalt   = uint64(1) << 42
+)
+
+// applyFaults pushes freshly placed faults through the model's incremental
+// path (or a wholesale invalidation) and flushes the cached provider table.
+func (st *run) applyFaults(placed []grid.Point) {
+	if fa, ok := st.e.model.(FaultApplier); ok {
+		fa.ApplyFaults(placed)
+	} else {
+		st.e.model.Invalidate()
+	}
+	st.provs = [8]provEntry{}
+}
+
+// churnStep executes one materialised timeline step: place a failure group or
+// repair one, push the change through the model's incremental path, and close
+// the current measurement phase.
+func (st *run) churnStep(net *simnet.Network, stp fault.Step, placeRng *rng.Rand) {
+	now := net.Now()
+	if stp.Repair {
+		pts := st.groups[stp.Group]
+		if len(pts) == 0 {
+			return // the failure placed nothing (saturated mesh)
+		}
+		st.groups[stp.Group] = nil
+		st.e.mesh.RemoveFaults(pts...)
+		if fr, ok := st.e.model.(FaultRepairer); ok {
+			fr.RepairFaults(pts)
+		} else {
+			st.e.model.Invalidate()
+		}
+		st.provs = [8]provEntry{}
+		st.res.Repairs++
+		st.res.RepairedNodes += len(pts)
+		// Restart the injection clock of every repaired node whose pending
+		// timer was dropped while it was faulty (delivery tick strictly in
+		// the past); a timer still in flight keeps the chain alive on its
+		// own. A timer landing on the repair tick itself is never dropped —
+		// churn callbacks were enqueued at setup, so they run before any
+		// same-tick timer and the node is healthy by the time it delivers —
+		// hence the strict comparison (<= would arm a second chain).
+		for _, p := range pts {
+			id := st.e.mesh.ID(p)
+			if st.nextInject[id] < now {
+				st.scheduleInjection(net.ContextOf(id))
+			}
+		}
+	} else {
+		placed := stp.Inject.Inject(st.e.mesh, placeRng)
+		if len(placed) == 0 {
+			return
+		}
+		st.groups[stp.Group] = placed
+		st.applyFaults(placed)
+		st.res.Failures++
+		st.res.FailedNodes += len(placed)
+	}
+	st.closePhase(now)
+}
+
+// closePhase ends the open measurement phase at a churn event. Events at or
+// before the warmup only rebase the first phase's healthy count; events at or
+// past the horizon leave the final phase open (it closes when the run ends).
+func (st *run) closePhase(now simnet.Time) {
+	healthy := st.e.mesh.NodeCount() - st.e.mesh.FaultCount()
+	if now <= st.e.opts.Warmup {
+		st.phaseHealthy = healthy
+		return
+	}
+	if now >= st.horizon {
+		return
+	}
+	if now == st.phaseStart {
+		// A second churn event on the same tick: merge the boundaries — the
+		// next phase starts from the combined post-event state instead of
+		// recording a zero-length phase.
+		st.phaseHealthy = healthy
+		return
+	}
+	st.phases = append(st.phases, PhaseStat{
+		Start: st.phaseStart, End: now, Healthy: st.phaseHealthy,
+		Delivered: st.phaseDelivered, LatencySum: st.phaseLatSum,
+	})
+	st.phaseStart = now
+	st.phaseHealthy = healthy
+	st.phaseDelivered = 0
+	st.phaseLatSum = 0
 }
 
 // Init implements simnet.Handler: every healthy node schedules its first
@@ -267,6 +457,9 @@ func (st *run) scheduleInjection(ctx *simnet.Context) {
 	}
 	r := &st.nodeRng[ctx.SelfID()]
 	gap := geometricGap(r, st.e.opts.Rate)
+	if st.nextInject != nil {
+		st.nextInject[ctx.SelfID()] = ctx.Time() + gap
+	}
 	ctx.AfterRef(gap, st.injectID, simnet.NoRef)
 }
 
@@ -370,8 +563,13 @@ func (st *run) deliver(ctx *simnet.Context, ref int32) {
 	st.res.Delivered++
 	if pk.inject >= st.e.opts.Warmup {
 		st.res.MeasuredDelivered++
-		st.res.Latency.Add(int(ctx.Time() - pk.inject))
+		lat := ctx.Time() - pk.inject
+		st.res.Latency.Add(int(lat))
 		st.res.Hops.Add(pk.hops)
+		if st.phases != nil {
+			st.phaseDelivered++
+			st.phaseLatSum += int64(lat)
+		}
 	}
 	st.release(ref)
 }

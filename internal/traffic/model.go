@@ -34,6 +34,15 @@ type FaultApplier interface {
 	ApplyFaults(pts []grid.Point)
 }
 
+// FaultRepairer is the repair-side counterpart of FaultApplier: the churn
+// timeline calls RepairFaults with the nodes it just restored (already
+// cleared on the mesh), and the model un-relabels only the repaired
+// neighbourhood. As with FaultApplier, models without an incremental repair
+// path simply don't implement it and the engine falls back to Invalidate.
+type FaultRepairer interface {
+	RepairFaults(pts []grid.Point)
+}
+
 // mccModel serves the paper's MCC information model, one provider per
 // orientation (the labelling is orientation-specific).
 type mccModel struct {
@@ -66,6 +75,18 @@ func (im *mccModel) Invalidate() {
 // at live data), and each provider's field cache takes an O(1) epoch bump.
 func (im *mccModel) ApplyFaults(pts []grid.Point) {
 	im.model.ApplyFaults(pts)
+	im.bumpCaches()
+}
+
+// RepairFaults implements FaultRepairer: the mirror of ApplyFaults through
+// labeling.RemoveFaults — un-relabel the repaired neighbourhood, re-extract
+// the regions in place, bump the provider field-cache epochs.
+func (im *mccModel) RepairFaults(pts []grid.Point) {
+	im.model.RepairFaults(pts)
+	im.bumpCaches()
+}
+
+func (im *mccModel) bumpCaches() {
 	for _, p := range im.provs {
 		if p != nil {
 			p.InvalidateCache()
@@ -108,6 +129,13 @@ func (im *blockModel) ApplyFaults(pts []grid.Point) {
 	im.prov = nil
 }
 
+// RepairFaults implements FaultRepairer; as with ApplyFaults, the block
+// snapshot is rebuilt wholesale while the shared core model repairs in place.
+func (im *blockModel) RepairFaults(pts []grid.Point) {
+	im.model.RepairFaults(pts)
+	im.prov = nil
+}
+
 // oracleModel serves the omniscient provider (the theoretical optimum).
 type oracleModel struct {
 	model *core.Model
@@ -141,6 +169,10 @@ func (im *oracleModel) Invalidate() {
 // epoch bump on its field cache is all an incremental update needs.
 func (im *oracleModel) ApplyFaults(pts []grid.Point) { im.Invalidate() }
 
+// RepairFaults implements FaultRepairer: same as ApplyFaults — the live mesh
+// is the source of truth either way.
+func (im *oracleModel) RepairFaults(pts []grid.Point) { im.Invalidate() }
+
 // labeledModel avoids unsafe nodes with no region reasoning.
 type labeledModel struct {
 	model *core.Model
@@ -171,6 +203,11 @@ func (im *labeledModel) Invalidate() {
 // labellings, which relabel in place.
 func (im *labeledModel) ApplyFaults(pts []grid.Point) {
 	im.model.ApplyFaults(pts)
+}
+
+// RepairFaults implements FaultRepairer: the labellings un-relabel in place.
+func (im *labeledModel) RepairFaults(pts []grid.Point) {
+	im.model.RepairFaults(pts)
 }
 
 // localModel is the stateless local-greedy floor baseline.

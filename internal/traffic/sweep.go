@@ -60,6 +60,14 @@ type Aggregate struct {
 	Latency, Hops stats.Histogram
 	// Injected, Delivered, Stuck and Lost total the packet counts.
 	Injected, Delivered, Stuck, Lost int
+	// Failures and Repairs total the churn-timeline events across trials;
+	// FailedNodes and RepairedNodes the nodes they took down and restored.
+	Failures, Repairs          int
+	FailedNodes, RepairedNodes int
+	// PhaseThroughput and PhaseLatency summarise the per-phase metrics across
+	// every phase of every trial — the churn experiments' steady-state view.
+	// Empty without a churn timeline.
+	PhaseThroughput, PhaseLatency stats.Summary
 	// Failed counts trials that aborted (Result.Err != nil); Err keeps the
 	// first such error so callers can fail the sweep cell with a cause.
 	Failed int
@@ -79,6 +87,16 @@ func Collect(results []*Result) *Aggregate {
 		agg.Delivered += r.Delivered
 		agg.Stuck += r.Stuck
 		agg.Lost += r.Lost
+		agg.Failures += r.Failures
+		agg.Repairs += r.Repairs
+		agg.FailedNodes += r.FailedNodes
+		agg.RepairedNodes += r.RepairedNodes
+		for _, ph := range r.Phases {
+			agg.PhaseThroughput.Add(ph.Throughput())
+			if ph.Delivered > 0 {
+				agg.PhaseLatency.Add(ph.MeanLatency())
+			}
+		}
 		if r.Err != nil {
 			agg.Failed++
 			if agg.Err == nil {

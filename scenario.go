@@ -82,6 +82,10 @@ const (
 //     traffic measure's static fault set)
 //   - WithFaultSchedule(at, name, params...) — inject more faults at a
 //     simulated tick while traffic is in flight
+//   - WithFaultTimeline(mttf, mttr, shape, params...) — stochastic fault
+//     churn: failure groups arrive with mean gap mttf and are repaired
+//     after a mean delay mttr, e.g.
+//     WithFaultTimeline(30, 70, "region", Params{"size": 4})
 //
 // Information models (registry: mcc, rfb, fb-rule, oracle, labels, local):
 //   - WithModels(names...)        — the models under test
@@ -154,6 +158,14 @@ func WithFaults(name string, params ...Params) ScenarioOption {
 // WithFaultSchedule injects the named fault workload at a simulated tick.
 func WithFaultSchedule(at int, name string, params ...Params) ScenarioOption {
 	return scenario.WithFaultSchedule(at, name, params...)
+}
+
+// WithFaultTimeline runs a stochastic fault-churn process (failure groups
+// arriving with mean gap mttf ticks, each repaired after a mean delay of
+// mttr ticks) while traffic is in flight. shape names the failure shape in
+// the fault-injector registry ("point", "region", ...; "" = point).
+func WithFaultTimeline(mttf, mttr float64, shape string, params ...Params) ScenarioOption {
+	return scenario.WithFaultTimeline(mttf, mttr, shape, params...)
 }
 
 // WithModel appends one parameterised information model.
