@@ -5,8 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"mccmesh/internal/experiments"
@@ -40,44 +39,25 @@ func cmdBench(args []string) int {
 		dump      = fs.Bool("dump-spec", false, "print the spec of the selected experiment (requires exactly one -exp) and exit")
 		jsonPath  = fs.String("json", "", "run the event-core benchmark (measure \"bench\") and write machine-readable results to this file, e.g. BENCH_traffic.json")
 		baseline  = fs.String("baseline", "", "with -json: print per-cell events/sec and allocs/packet deltas against this committed BENCH_traffic.json")
-		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProf   = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+		metrics   = fs.String("metrics", "", "with -json or -spec: write per-cell telemetry counter snapshots to this JSON file")
+		verbose   = fs.Bool("v", false, "with -json or -spec: print a telemetry counter summary table after the run")
 	)
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			return fail("bench", err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fail("bench", err)
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := prof.start("bench")
+	if err != nil {
+		return fail("bench", err)
 	}
-	if *memProf != "" {
-		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fmt.Fprintf(stderr, "mcc bench: -memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // flush recently freed objects out of the profile
-			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
-				fmt.Fprintf(stderr, "mcc bench: -memprofile: %v\n", err)
-			}
-		}()
-	}
+	defer stopProf()
 
 	if *jsonPath != "" {
 		// The benchmark is defined by the (default or loaded) spec alone;
 		// silently ignoring a table flag like -dim would misreport what ran.
 		if err := rejectFlagClash(fs, "json", "benchmark settings come from -spec",
-			"spec", "cpuprofile", "memprofile", "csv", "dump-spec", "baseline"); err != nil {
+			"spec", "cpuprofile", "memprofile", "csv", "dump-spec", "baseline", "metrics", "v"); err != nil {
 			return fail("bench", err)
 		}
 		// Without -spec the default suite runs: the churn-free reference
@@ -117,12 +97,14 @@ func cmdBench(args []string) int {
 			return dumpSpec(scs[0])
 		}
 		var cells []scenario.BenchResult
+		var reps []*scenario.Report
 		for _, sc := range scs {
 			rep, err := sc.Run(context.Background())
 			if err != nil {
 				return fail("bench", err)
 			}
 			printTable(rep.Table, *csv)
+			reps = append(reps, rep)
 			cells = append(cells, rep.BenchResults()...)
 		}
 		f, err := os.Create(*jsonPath)
@@ -134,6 +116,15 @@ func cmdBench(args []string) int {
 			return fail("bench", err)
 		}
 		fmt.Fprintf(stderr, "mcc bench: wrote %s\n", *jsonPath)
+		if *verbose {
+			fmt.Fprintln(stdout, counterTable(reps...).Render())
+		}
+		if *metrics != "" {
+			if err := writeMetrics(*metrics, reps...); err != nil {
+				return fail("bench", err)
+			}
+			fmt.Fprintf(stderr, "mcc bench: wrote %s\n", *metrics)
+		}
 		if *baseline != "" {
 			if err := printBenchDelta(cells, *baseline); err != nil {
 				return fail("bench", err)
@@ -146,7 +137,8 @@ func cmdBench(args []string) int {
 	}
 
 	if *specPath != "" {
-		if err := rejectFlagSpecClash(fs, "dump-spec", "workers", "csv", "cpuprofile", "memprofile"); err != nil {
+		if err := rejectFlagSpecClash(fs, "dump-spec", "workers", "csv",
+			"cpuprofile", "memprofile", "metrics", "v"); err != nil {
 			return fail("bench", err)
 		}
 		sc, err := loadSpecWithWorkers(*specPath, fs, *workers)
@@ -156,12 +148,27 @@ func cmdBench(args []string) int {
 		if *dump {
 			return dumpSpec(sc)
 		}
+		if *metrics != "" || *verbose {
+			sc.EnableTelemetry()
+		}
 		rep, err := sc.Run(context.Background())
 		if err != nil {
 			return fail("bench", err)
 		}
 		printTable(rep.Table, *csv)
+		if *verbose {
+			fmt.Fprintln(stdout, counterTable(rep).Render())
+		}
+		if *metrics != "" {
+			if err := writeMetrics(*metrics, rep); err != nil {
+				return fail("bench", err)
+			}
+			fmt.Fprintf(stderr, "mcc bench: wrote %s\n", *metrics)
+		}
 		return 0
+	}
+	if *metrics != "" || *verbose {
+		return fail("bench", fmt.Errorf("-metrics and -v need -json or -spec (the historical tables carry no telemetry)"))
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -258,15 +265,19 @@ func suiteNames(scs []*scenario.Scenario) string {
 }
 
 // printBenchDelta prints, per benchmark cell, how the fresh run compares to a
-// committed baseline file (events/sec speedup, allocs/packet change). Cells
-// missing from the baseline — e.g. a model added to the default spec after
-// the baseline was committed — are reported as new rather than failing the
-// run, so the delta step keeps working across spec evolution.
+// committed baseline file (events/sec speedup, allocs/packet change,
+// telemetry counter drift). Cells missing from the baseline — e.g. a model
+// added to the default spec after the baseline was committed — are reported
+// as new rather than failing the run, so the delta step keeps working across
+// spec evolution.
 //
-// Rate deltas are informational (shared runners are too noisy to assert), but
-// allocs/packet is a deterministic property of the code: a cell whose
-// allocs/packet regresses materially against its baseline fails the run, so
-// CI catches per-packet allocations creeping back into the hot path.
+// Two properties gate the run. Allocs/packet is deterministic: a cell whose
+// allocs/packet regresses materially fails, so CI catches per-packet
+// allocations creeping back into the hot path. Events/sec is noisy on shared
+// runners, so only a drop past eventsFloor (beyond plausible runner jitter)
+// fails; smaller rate deltas stay informational. Telemetry counter deltas are
+// always informational — they explain a rate change (a collapsed cache hit
+// rate, a heap-fallback storm) rather than gate it.
 func printBenchDelta(cells []scenario.BenchResult, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -294,15 +305,49 @@ func printBenchDelta(cells []scenario.BenchResult, path string) error {
 			c.Key(), c.EventsPerSec,
 			100*(c.EventsPerSec-b.EventsPerSec)/b.EventsPerSec, c.EventsPerSec/b.EventsPerSec,
 			b.AllocsPerPacket, c.AllocsPerPacket)
+		printCounterDelta(b.Telemetry, c.Telemetry)
 		if c.AllocsPerPacket > allocsBudget(b.AllocsPerPacket) {
 			regressed = append(regressed, fmt.Sprintf("%s: allocs/packet %.2f -> %.2f (budget %.2f)",
 				c.Key(), b.AllocsPerPacket, c.AllocsPerPacket, allocsBudget(b.AllocsPerPacket)))
 		}
+		if c.EventsPerSec < b.EventsPerSec*eventsFloor {
+			regressed = append(regressed, fmt.Sprintf("%s: events/sec %.0f -> %.0f (floor %.0f)",
+				c.Key(), b.EventsPerSec, c.EventsPerSec, b.EventsPerSec*eventsFloor))
+		}
 	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("allocs/packet regressed against %s:\n  %s", path, strings.Join(regressed, "\n  "))
+		return fmt.Errorf("regressed against %s:\n  %s", path, strings.Join(regressed, "\n  "))
 	}
 	return nil
+}
+
+// eventsFloor is the fraction of the baseline events/sec a cell must sustain:
+// a drop of more than 10% is beyond runner jitter and fails the run.
+const eventsFloor = 0.90
+
+// printCounterDelta prints the telemetry counters that drifted between a
+// baseline cell and a fresh one (both from the untimed probe trial, so the
+// values are deterministic for a given code version). Unchanged counters are
+// skipped to keep the delta readable.
+func printCounterDelta(base, cur map[string]int64) {
+	if len(base) == 0 || len(cur) == 0 {
+		return
+	}
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if base[name] != cur[name] {
+			fmt.Fprintf(stdout, "    %-36s %12d -> %d\n", name, base[name], cur[name])
+		}
+	}
 }
 
 // allocsBudget is the allocs/packet ceiling a cell may reach before the

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -215,6 +216,134 @@ func TestBenchJSONWritesBenchFile(t *testing.T) {
 		if st, err := os.Stat(prof); err != nil || st.Size() == 0 {
 			t.Errorf("profile %s not written (err=%v)", prof, err)
 		}
+	}
+}
+
+func TestRunTelemetryOutputs(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"run",
+		"-dim", "6", "-faults", "6", "-patterns", "uniform", "-models", "mcc",
+		"-rates", "0.02", "-trials", "2", "-warmup", "5", "-window", "60"}
+
+	// -v prints the counter summary table after the experiment table.
+	code, out, errOut := capture(t, append(base, "-v")...)
+	if code != 0 {
+		t.Fatalf("run -v failed: %s", errOut)
+	}
+	for _, want := range []string{"Telemetry counters", "traffic.injected", "routing.field_hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run -v output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -metrics writes well-formed per-cell counter JSON; -trace writes JSONL
+	// whose every line decodes. Both must be byte-identical at any -workers.
+	var metricsRuns, traceRuns []string
+	for _, workers := range []string{"1", "8"} {
+		metrics := filepath.Join(dir, "metrics-"+workers+".json")
+		trace := filepath.Join(dir, "trace-"+workers+".jsonl")
+		args := append(base, "-metrics", metrics, "-trace", trace, "-workers", workers)
+		if code, _, errOut := capture(t, args...); code != 0 {
+			t.Fatalf("run -metrics -trace (workers=%s) failed: %s", workers, errOut)
+		}
+		m, err := os.ReadFile(metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Cells []map[string]any `json:"cells"`
+		}
+		if err := json.Unmarshal(m, &doc); err != nil || len(doc.Cells) == 0 {
+			t.Fatalf("metrics file malformed (err=%v): %s", err, m)
+		}
+		tr, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(tr)), "\n")
+		if len(lines) == 0 || lines[0] == "" {
+			t.Fatal("trace file is empty")
+		}
+		for _, line := range lines {
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("trace line does not decode: %v\n%s", err, line)
+			}
+		}
+		metricsRuns = append(metricsRuns, string(m))
+		traceRuns = append(traceRuns, string(tr))
+	}
+	if metricsRuns[0] != metricsRuns[1] {
+		t.Error("metrics output differs between -workers 1 and 8")
+	}
+	if traceRuns[0] != traceRuns[1] {
+		t.Error("trace output differs between -workers 1 and 8")
+	}
+}
+
+// TestBenchBaselineGatesEventsRate doctors a baseline so the fresh run sits
+// more than 10% below it; the delta step must fail the run.
+func TestBenchBaselineGatesEventsRate(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(spec, []byte(`{
+  "name": "tiny-bench",
+  "mesh": {"x": 5, "y": 5, "z": 5},
+  "faults": {"inject": "uniform", "counts": [5]},
+  "model": "local",
+  "workload": {"patterns": "uniform", "rates": [0.05]},
+  "measure": {"kind": "bench", "warmup": 5, "window": 40},
+  "seed": 3,
+  "trials": 1
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bench-out.json")
+	if code, _, errOut := capture(t, "bench", "-spec", spec, "-json", out); code != 0 {
+		t.Fatalf("bench -json failed: %s", errOut)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Cells []map[string]any `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil || len(doc.Cells) == 0 {
+		t.Fatalf("bench json malformed (err=%v)", err)
+	}
+	// Real timing is too noisy to assert either direction against an honest
+	// baseline, so doctor it: scaling the baseline rate far down (up) forces
+	// the fresh run far above (below) the 10% floor deterministically.
+	scaled := func(name string, factor float64) string {
+		cells := make([]map[string]any, len(doc.Cells))
+		for i, cell := range doc.Cells {
+			c := make(map[string]any, len(cell))
+			for k, v := range cell {
+				c[k] = v
+			}
+			c["events_per_sec"] = c["events_per_sec"].(float64) * factor
+			cells[i] = c
+		}
+		doctored, err := json.Marshal(map[string]any{"cells": cells})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, doctored, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if code, _, errOut := capture(t, "bench", "-spec", spec, "-json", filepath.Join(dir, "b1.json"), "-baseline", scaled("slow.json", 0.01)); code != 0 {
+		t.Fatalf("bench -baseline against a slower baseline failed: %s", errOut)
+	}
+	code, stdout, errOut := capture(t, "bench", "-spec", spec, "-json", filepath.Join(dir, "b2.json"), "-baseline", scaled("fast.json", 100))
+	if code == 0 || !strings.Contains(errOut, "events/sec") {
+		t.Errorf("events/sec regression not gated: code=%d err=%q", code, errOut)
+	}
+	if !strings.Contains(stdout, "delta vs") {
+		t.Errorf("delta table missing: %q", stdout)
 	}
 }
 

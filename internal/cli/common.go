@@ -4,12 +4,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 
 	"mccmesh/internal/mesh"
 	"mccmesh/internal/rng"
 	"mccmesh/internal/scenario"
+	"mccmesh/internal/stats"
 )
 
 // loadSpec reads a scenario from a spec file ("-" = stdin).
@@ -74,6 +78,114 @@ func loadSpecWithWorkers(path string, fs *flag.FlagSet, workers int) (*scenario.
 	spec := sc.Spec()
 	spec.Workers = workers
 	return scenario.New(spec)
+}
+
+// profileFlags is the -cpuprofile/-memprofile pair shared by run and bench.
+type profileFlags struct {
+	cpu, mem *string
+}
+
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	return &profileFlags{
+		cpu: fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file"),
+		mem: fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file"),
+	}
+}
+
+// start begins CPU profiling when requested and returns the shutdown function
+// to defer: it stops the CPU profile and writes the heap profile. cmd names
+// the subcommand in error messages. Heap-profile errors are reported to
+// stderr rather than returned — by the time they surface the run's real
+// output already happened, and discarding it over a profile would be worse.
+func (pf *profileFlags) start(cmd string) (stop func(), err error) {
+	stopCPU := func() {}
+	if *pf.cpu != "" {
+		f, err := os.Create(*pf.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	return func() {
+		stopCPU()
+		if *pf.mem == "" {
+			return
+		}
+		f, err := os.Create(*pf.mem)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcc %s: -memprofile: %v\n", cmd, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // flush recently freed objects out of the profile
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(stderr, "mcc %s: -memprofile: %v\n", cmd, err)
+		}
+	}, nil
+}
+
+// writeMetrics writes the telemetry sections of the reports to path as one
+// JSON document (the -metrics flag).
+func writeMetrics(path string, reps ...*scenario.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return scenario.WriteMetricsJSON(f, reps...)
+}
+
+// writeTraces writes the sampled packet traces of the reports to path as JSON
+// Lines (the -trace flag).
+func writeTraces(path string, reps ...*scenario.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, rep := range reps {
+		if err := rep.WriteTracesJSONL(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// counterTable renders the merged telemetry counters of the reports as one
+// human-readable table (the -v flag): one column per cell would explode on
+// big sweeps, so counters are summed across cells (gauges take the max at
+// merge time already, per cell; across cells the sum of per-cell maxima is
+// still the honest aggregate for a quick scan — per-cell detail lives in
+// -metrics).
+func counterTable(reps ...*scenario.Report) *stats.Table {
+	totals := make(map[string]int64)
+	cells := 0
+	for _, rep := range reps {
+		for _, ct := range rep.Telemetry {
+			cells++
+			for name, v := range ct.Counters {
+				totals[name] += v
+			}
+		}
+	}
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	t := &stats.Table{Title: "Telemetry counters", Columns: []string{"counter", "total"}}
+	for _, name := range names {
+		t.AddRow(name, strconv.FormatInt(totals[name], 10))
+	}
+	t.AddNote("summed across %d cell(s); per-cell snapshots via -metrics", cells)
+	return t
 }
 
 // newScenario validates a spec built in-process.

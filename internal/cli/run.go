@@ -37,17 +37,26 @@ func cmdRun(args []string) int {
 		hotFrac  = fs.Float64("hotspot", 0, "hotspot traffic fraction (0 = pattern default)")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		progress = fs.Bool("progress", false, "stream per-cell progress to stderr")
+		metrics  = fs.String("metrics", "", "enable telemetry counters and write per-cell snapshots to this JSON file")
+		trace    = fs.String("trace", "", "sample packet traces (1 in 64) and write them to this JSONL file")
+		verbose  = fs.Bool("v", false, "enable telemetry counters and print a summary table after the run")
 	)
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProf, err := prof.start("run")
+	if err != nil {
+		return fail("run", err)
+	}
+	defer stopProf()
 
 	var sc *scenario.Scenario
-	var err error
 	if *specPath != "" {
 		// With -spec, the scenario is the file; only execution/output flags
 		// may be combined with it.
-		if err := rejectFlagSpecClash(fs, "dump-spec", "workers", "csv", "progress"); err != nil {
+		if err := rejectFlagSpecClash(fs, "dump-spec", "workers", "csv", "progress",
+			"metrics", "trace", "v", "cpuprofile", "memprofile"); err != nil {
 			return fail("run", err)
 		}
 		sc, err = loadSpecWithWorkers(*specPath, fs, *workers)
@@ -69,6 +78,12 @@ func cmdRun(args []string) int {
 	if *progress {
 		sc.Observe(progressObserver())
 	}
+	if *metrics != "" || *verbose {
+		sc.EnableTelemetry()
+	}
+	if *trace != "" {
+		sc.EnableTracing(0) // default 1-in-64 sampling
+	}
 	rep, err := sc.Run(context.Background())
 	if err != nil {
 		return fail("run", err)
@@ -77,6 +92,21 @@ func cmdRun(args []string) int {
 		fmt.Fprint(stdout, rep.Table.CSV())
 	} else {
 		fmt.Fprintln(stdout, rep.Table.Render())
+	}
+	if *verbose {
+		fmt.Fprintln(stdout, counterTable(rep).Render())
+	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, rep); err != nil {
+			return fail("run", err)
+		}
+		fmt.Fprintf(stderr, "mcc run: wrote %s\n", *metrics)
+	}
+	if *trace != "" {
+		if err := writeTraces(*trace, rep); err != nil {
+			return fail("run", err)
+		}
+		fmt.Fprintf(stderr, "mcc run: wrote %s\n", *trace)
 	}
 	return 0
 }

@@ -17,6 +17,7 @@ import (
 	"mccmesh/internal/protocol"
 	"mccmesh/internal/region"
 	"mccmesh/internal/routing"
+	"mccmesh/internal/telemetry"
 )
 
 // Provider names accepted by Model.RouteWith.
@@ -41,6 +42,19 @@ type Model struct {
 	regions   [8]*region.ComponentSet
 	blocks    map[block.Model]*block.Regions
 	info      [8]*protocol.InfoResult
+
+	tel *telemetry.Sink
+}
+
+// SetTelemetry implements telemetry.Instrumentable: the sink is attached to
+// every cached labelling and to labellings computed later.
+func (mo *Model) SetTelemetry(s *telemetry.Sink) {
+	mo.tel = s
+	for _, l := range mo.labelings {
+		if l != nil {
+			l.SetTelemetry(s)
+		}
+	}
 }
 
 // NewModel wraps a mesh in a Model. Later fault changes on the mesh must be
@@ -121,6 +135,7 @@ func (mo *Model) Labeling(orient grid.Orientation) *labeling.Labeling {
 	idx := orient.Index()
 	if mo.labelings[idx] == nil {
 		mo.labelings[idx] = labeling.Compute(mo.m, orient, mo.opts)
+		mo.labelings[idx].SetTelemetry(mo.tel)
 	}
 	return mo.labelings[idx]
 }

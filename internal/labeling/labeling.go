@@ -24,6 +24,7 @@ import (
 
 	"mccmesh/internal/grid"
 	"mccmesh/internal/mesh"
+	"mccmesh/internal/telemetry"
 )
 
 // Status is the label of a node under the MCC model.
@@ -99,7 +100,14 @@ type Labeling struct {
 	updated int // number of label promotions beyond the initial faulty marking
 
 	queue []int32 // worklist scratch, reused across AddFaults calls
+
+	// tel receives incremental-relabel set sizes; nil — the default — costs a
+	// predicted branch per AddFaults/RemoveFaults call, nothing per node.
+	tel *telemetry.Sink
 }
+
+// SetTelemetry implements telemetry.Instrumentable.
+func (l *Labeling) SetTelemetry(s *telemetry.Sink) { l.tel = s }
 
 // Compute runs the labelling procedure (Algorithm 1 in 2-D, Algorithm 4 in
 // 3-D) to its fixpoint and returns the resulting labelling.
@@ -260,7 +268,9 @@ func (l *Labeling) AddFaults(pts []grid.Point) {
 			}
 		}
 	}
+	u0 := l.updated
 	l.fixpoint(queue)
+	l.tel.Add(telemetry.RelabelAddNodes, int64(l.updated-u0))
 }
 
 // RemoveFaults updates the labelling in place after the listed nodes were
@@ -320,6 +330,7 @@ func (l *Labeling) RemoveFaults(pts []grid.Point) {
 			}
 		}
 	}
+	l.tel.Add(telemetry.RelabelRemoveNodes, int64(len(queue)))
 	l.fixpoint(queue)
 }
 

@@ -7,6 +7,7 @@ import (
 	"mccmesh/internal/mesh"
 	"mccmesh/internal/minimal"
 	"mccmesh/internal/region"
+	"mccmesh/internal/telemetry"
 )
 
 // CacheInvalidator is implemented by providers that memoise reachability
@@ -69,6 +70,10 @@ type fieldCache struct {
 	// two per destination.
 	slab  []minimal.Field
 	arena []uint64
+
+	// tel receives cache counters (hits, cold builds, rebuilds, evictions,
+	// epoch bumps); nil — the default — costs one predicted branch per hook.
+	tel *telemetry.Sink
 }
 
 type fieldSlot struct {
@@ -87,6 +92,7 @@ func (c *fieldCache) lookup(n int, u, v, d grid.Point, dID int32, build func(f *
 	}
 	s := &c.slots[dID]
 	if s.field != nil && s.epoch == c.epoch && s.field.Covers(v) {
+		c.tel.Inc(telemetry.FieldHits)
 		return s.field
 	}
 	src := u
@@ -102,6 +108,7 @@ func (c *fieldCache) lookup(n int, u, v, d grid.Point, dID int32, build func(f *
 		}
 	}
 	if reuse == nil {
+		c.tel.Inc(telemetry.FieldColdBuilds)
 		if len(c.order)-c.head >= fieldCacheMax {
 			c.evictOldest()
 		}
@@ -112,6 +119,8 @@ func (c *fieldCache) lookup(n int, u, v, d grid.Point, dID int32, build func(f *
 			reuse = c.newField(src, d)
 		}
 		c.order = append(c.order, dID)
+	} else {
+		c.tel.Inc(telemetry.FieldRebuilds)
 	}
 	f := build(reuse, src, d)
 	s.field = f
@@ -128,6 +137,7 @@ func (c *fieldCache) covered(dID int32, v grid.Point) *minimal.Field {
 	}
 	s := &c.slots[dID]
 	if s.field != nil && s.epoch == c.epoch && s.field.Covers(v) {
+		c.tel.Inc(telemetry.FieldHits)
 		return s.field
 	}
 	return nil
@@ -162,6 +172,7 @@ func (c *fieldCache) newField(src, d grid.Point) *minimal.Field {
 // evictOldest drops the least-recently-inserted live field, parking its
 // storage for reuse.
 func (c *fieldCache) evictOldest() {
+	c.tel.Inc(telemetry.FieldEvictions)
 	for c.head < len(c.order) {
 		id := c.order[c.head]
 		c.head++
@@ -210,7 +221,10 @@ func widenSource(box grid.Box, u, d grid.Point) (grid.Point, bool) {
 }
 
 // invalidate marks every cached field stale (O(1); rebuilds happen lazily).
-func (c *fieldCache) invalidate() { c.epoch++ }
+func (c *fieldCache) invalidate() {
+	c.tel.Inc(telemetry.FieldEpochBumps)
+	c.epoch++
+}
 
 // Oracle is the omniscient provider: it permits a step exactly when a
 // minimal path from the neighbour to the destination avoiding all faulty
@@ -228,6 +242,9 @@ func (o *Oracle) Name() string { return "oracle" }
 
 // InvalidateCache implements CacheInvalidator.
 func (o *Oracle) InvalidateCache() { o.cache.invalidate() }
+
+// SetTelemetry implements telemetry.Instrumentable.
+func (o *Oracle) SetTelemetry(s *telemetry.Sink) { o.cache.tel = s }
 
 func (o *Oracle) field(u, v, d grid.Point, dID int32) *minimal.Field {
 	if o.avoid == nil {
@@ -277,6 +294,9 @@ func (p *MCC) Name() string { return "mcc" }
 // when p.Set has been refreshed in place (region.ComponentSet.Refresh after
 // labeling.AddFaults); see CacheInvalidator.
 func (p *MCC) InvalidateCache() { p.cache.invalidate() }
+
+// SetTelemetry implements telemetry.Instrumentable.
+func (p *MCC) SetTelemetry(s *telemetry.Sink) { p.cache.tel = s }
 
 func (p *MCC) field(u, v, d grid.Point, dID int32) *minimal.Field {
 	return p.cache.lookup(p.Set.Mesh.NodeCount(), u, v, d, dID, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
@@ -387,6 +407,9 @@ type Block struct {
 
 // Name implements Provider.
 func (p *Block) Name() string { return "rfb-" + p.Regions.Model.String() }
+
+// SetTelemetry implements telemetry.Instrumentable.
+func (p *Block) SetTelemetry(s *telemetry.Sink) { p.cache.tel = s }
 
 func (p *Block) field(u, v, d grid.Point, dID int32) *minimal.Field {
 	m := p.Regions.Mesh

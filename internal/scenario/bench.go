@@ -62,6 +62,12 @@ type BenchResult struct {
 	EventsPerSec    float64 `json:"events_per_sec"`
 	NsPerPacket     float64 `json:"ns_per_packet"`
 	AllocsPerPacket float64 `json:"allocs_per_packet"`
+	// Telemetry is the counter snapshot of one untimed probe trial (trial 0's
+	// configuration with the counters live), run after the timed loop so the
+	// headline rates stay telemetry-off. Baseline deltas compare it to spot
+	// behavioural drift — e.g. a cache-hit-rate collapse — that wall-clock
+	// rates alone would attribute to noise.
+	Telemetry map[string]int64 `json:"telemetry,omitempty"`
 }
 
 // BenchFile is the on-disk shape of BENCH_traffic.json: one entry per
@@ -184,6 +190,36 @@ func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
 				elapsed := time.Since(start)
 				runtime.ReadMemStats(&ms1)
 
+				// Untimed probe trial: re-run trial 0's configuration with the
+				// counters live. The timed loop above stays telemetry-off, so
+				// the headline rates price the disabled path — the probe only
+				// feeds the counter snapshot of the cell.
+				{
+					seed := rng.Derive(cellSeed, 0)
+					m := spec.Mesh.New()
+					injector.Inject(m, rng.New(rng.Derive(seed, 1<<48)))
+					im, err := traffic.BuildModel(model.Name, core.NewModel(m), model.Args())
+					if err != nil {
+						return nil, err // unreachable after Validate
+					}
+					p, err := traffic.BuildPattern(pattern.Name, m, pattern.Args())
+					if err != nil {
+						return nil, err // unreachable after Validate
+					}
+					e := traffic.NewEngine(m, im, p, traffic.Options{
+						Rate:      rate,
+						Warmup:    simnet.Time(spec.Measure.Warmup),
+						Window:    simnet.Time(spec.Measure.Window),
+						LinkDelay: simnet.Time(spec.Measure.LinkDelay),
+						MaxEvents: spec.Measure.MaxEvents,
+						Timeline:  timeline,
+						Telemetry: true,
+					})
+					if r := e.Run(seed); r.Err == nil && r.Telemetry != nil {
+						res.Telemetry = r.Telemetry.Snapshot()
+					}
+				}
+
 				res.ElapsedSec = elapsed.Seconds()
 				if res.ElapsedSec > 0 {
 					res.EventsPerSec = float64(res.Events) / res.ElapsedSec
@@ -212,6 +248,11 @@ func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
 					},
 				})
 				rep.bench = append(rep.bench, res)
+				if res.Telemetry != nil {
+					rep.Telemetry = append(rep.Telemetry, CellTelemetry{
+						Cell: cell, Label: label, Counters: res.Telemetry,
+					})
+				}
 				sc.emit(Event{Cell: cell, Total: total, Label: label, Done: true, Row: row})
 				cell++
 			}

@@ -550,17 +550,42 @@ func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 						panic(err) // validated up front
 					}
 					e := traffic.NewEngine(m, im, p, traffic.Options{
-						Rate:      rate,
-						Warmup:    simnet.Time(spec.Measure.Warmup),
-						Window:    simnet.Time(spec.Measure.Window),
-						LinkDelay: simnet.Time(spec.Measure.LinkDelay),
-						MaxEvents: spec.Measure.MaxEvents,
-						Faults:    schedule,
-						Timeline:  timeline,
+						Rate:       rate,
+						Warmup:     simnet.Time(spec.Measure.Warmup),
+						Window:     simnet.Time(spec.Measure.Window),
+						LinkDelay:  simnet.Time(spec.Measure.LinkDelay),
+						MaxEvents:  spec.Measure.MaxEvents,
+						Faults:     schedule,
+						Timeline:   timeline,
+						Telemetry:  sc.telemetry,
+						TraceEvery: sc.traceEvery,
+						TraceCap:   sc.traceCap,
 					})
 					return e.Run(seed)
 				})
 				agg := traffic.Collect(results)
+				if sc.telemetry {
+					// Per-trial Progress events stream in trial order after
+					// the sharded trials complete, so the event stream is
+					// identical at any worker count.
+					for trial, r := range results {
+						if r.Telemetry == nil {
+							continue
+						}
+						sc.emit(Event{
+							Cell: cell, Total: total, Label: label,
+							Progress: true, Trial: trial, Counters: r.Telemetry.Snapshot(),
+						})
+						for _, tr := range r.Traces {
+							rep.traces = append(rep.traces, TraceRecord{Cell: cell, Trial: trial, Trace: tr})
+						}
+					}
+					if agg.Telemetry != nil {
+						rep.Telemetry = append(rep.Telemetry, CellTelemetry{
+							Cell: cell, Label: label, Counters: agg.Telemetry.Snapshot(),
+						})
+					}
+				}
 				if agg.Err != nil {
 					// A trial aborted (event budget exhausted): fail this cell
 					// visibly but keep the sweep alive — a runaway cell must

@@ -136,6 +136,18 @@ func WithObserver(f Observer) Option {
 	return func(sc *Scenario) { sc.observer = f }
 }
 
+// WithTelemetry enables the counter sink for every trial (see
+// Scenario.EnableTelemetry).
+func WithTelemetry() Option {
+	return func(sc *Scenario) { sc.EnableTelemetry() }
+}
+
+// WithTracing samples one packet in every n for hop-by-hop tracing (see
+// Scenario.EnableTracing); implies WithTelemetry.
+func WithTracing(n int) Option {
+	return func(sc *Scenario) { sc.EnableTracing(n) }
+}
+
 // WithSpec replaces the whole spec, letting later options patch it.
 func WithSpec(spec Spec) Option {
 	return func(sc *Scenario) { sc.spec = spec }

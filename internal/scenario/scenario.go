@@ -19,12 +19,38 @@ import (
 	"mccmesh/internal/core"
 	"mccmesh/internal/mesh"
 	"mccmesh/internal/stats"
+	"mccmesh/internal/telemetry"
 )
 
 // Scenario is a validated, runnable spec.
 type Scenario struct {
 	spec     Spec
 	observer Observer
+
+	// Telemetry knobs are execution state, not Spec fields: enabling counters
+	// or tracing changes what a run reports, never what the spec means, so
+	// spec files round-trip byte-identically with telemetry on or off (the
+	// same treatment as the -workers override).
+	telemetry            bool
+	traceEvery, traceCap int
+}
+
+// EnableTelemetry turns on the counter sink for every trial of the run: each
+// cell's merged counter snapshot lands in Report.Telemetry and per-trial
+// Progress events stream to the observer.
+func (sc *Scenario) EnableTelemetry() { sc.telemetry = true }
+
+// EnableTracing samples one packet in every n for hop-by-hop tracing (and
+// implies EnableTelemetry); traces land in the report for WriteTracesJSONL.
+func (sc *Scenario) EnableTracing(n int) {
+	if n <= 0 {
+		n = 64
+	}
+	sc.telemetry = true
+	sc.traceEvery = n
+	if sc.traceCap == 0 {
+		sc.traceCap = 256
+	}
 }
 
 // Option configures a Scenario under construction; see the With* functions.
@@ -108,9 +134,62 @@ type Report struct {
 	Table *stats.Table `json:"table"`
 	// Cells are the per-sweep-point results in table-row order.
 	Cells []Cell `json:"cells,omitempty"`
+	// Telemetry holds one merged counter snapshot per cell, in cell order;
+	// nil unless the run enabled telemetry.
+	Telemetry []CellTelemetry `json:"telemetry,omitempty"`
 	// bench holds the machine-readable results of the bench measure (see
 	// BenchResults); other measures leave it nil.
 	bench []BenchResult
+	// traces holds the sampled packet traces of a tracing-enabled run, in
+	// (cell, trial, packet) order.
+	traces []TraceRecord
+}
+
+// CellTelemetry is the merged counter snapshot of one sweep cell.
+type CellTelemetry struct {
+	// Cell is the cell's index (matches Cell.Index); Label identifies it.
+	Cell  int    `json:"cell"`
+	Label string `json:"label"`
+	// Counters maps counter names to merged values (counts sum across trials,
+	// gauges take the max); zero-valued counters are omitted.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// TraceRecord is one sampled packet trace tagged with the cell and trial that
+// produced it.
+type TraceRecord struct {
+	Cell  int `json:"cell"`
+	Trial int `json:"trial"`
+	telemetry.Trace
+}
+
+// Traces returns the sampled packet traces of a tracing-enabled run, in
+// (cell, trial, packet) order; nil otherwise.
+func (rep *Report) Traces() []TraceRecord { return rep.traces }
+
+// WriteTracesJSONL writes the report's sampled packet traces as JSON Lines,
+// one trace per line (`mcc run -trace out.jsonl`).
+func (rep *Report) WriteTracesJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range rep.traces {
+		if err := enc.Encode(&rep.traces[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMetricsJSON writes the telemetry sections of one or more reports as one
+// indented JSON document (`mcc run -metrics out.json`): a list of per-cell
+// counter snapshots under "cells".
+func WriteMetricsJSON(w io.Writer, reps ...*Report) error {
+	cells := make([]CellTelemetry, 0, len(reps))
+	for _, rep := range reps {
+		cells = append(cells, rep.Telemetry...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"cells": cells})
 }
 
 // Cell is one sweep point of a report: the labels that identify it, the
@@ -147,6 +226,13 @@ type Event struct {
 	Done bool
 	// Row is the cell's formatted table row (completion events only).
 	Row []string
+	// Progress marks a per-trial telemetry event (telemetry-enabled runs
+	// only): Trial is the trial index within the cell and Counters its
+	// counter snapshot. Progress events stream in trial order between a
+	// cell's start and Done events, identically at any worker count.
+	Progress bool
+	Trial    int
+	Counters map[string]int64
 }
 
 // Observer receives progress events during Run. Observers run synchronously

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"os"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -425,6 +426,121 @@ func TestObserverStreamsProgress(t *testing.T) {
 		if len(done.Row) == 0 {
 			t.Errorf("cell %d: done event missing row", i)
 		}
+	}
+}
+
+// TestObserverStreamWorkersInvariant pins the full event stream — including
+// the per-trial telemetry Progress events — as deterministic and identical at
+// any worker count: Progress events are emitted in trial order after the
+// sharded trials complete, never from the worker goroutines.
+func TestObserverStreamWorkersInvariant(t *testing.T) {
+	stream := func(workers int) []Event {
+		var mu sync.Mutex
+		var events []Event
+		sc := mustNew(t, tinySpec(),
+			WithWorkers(workers),
+			WithTelemetry(),
+			WithTracing(16),
+			WithObserver(func(ev Event) {
+				mu.Lock()
+				events = append(events, ev)
+				mu.Unlock()
+			}))
+		mustRun(t, sc)
+		return events
+	}
+	one, eight := stream(1), stream(8)
+	if !reflect.DeepEqual(one, eight) {
+		if len(one) != len(eight) {
+			t.Fatalf("event stream length differs: %d at workers=1, %d at workers=8", len(one), len(eight))
+		}
+		for i := range one {
+			if !reflect.DeepEqual(one[i], eight[i]) {
+				t.Fatalf("event %d differs:\nworkers=1: %+v\nworkers=8: %+v", i, one[i], eight[i])
+			}
+		}
+	}
+	var progress, withCounters int
+	for _, ev := range one {
+		if ev.Progress {
+			progress++
+			if ev.Counters != nil {
+				withCounters++
+			}
+			if ev.Done {
+				t.Errorf("Progress event also marked Done: %+v", ev)
+			}
+		}
+	}
+	if progress == 0 || withCounters != progress {
+		t.Fatalf("want per-trial Progress events carrying counters, got %d (%d with counters)", progress, withCounters)
+	}
+}
+
+// TestTelemetryReportSections checks the run-report pipeline end to end: a
+// telemetry-enabled traffic run fills Report.Telemetry per cell, collects
+// traces for WriteTracesJSONL and round-trips through WriteMetricsJSON.
+func TestTelemetryReportSections(t *testing.T) {
+	sc := mustNew(t, tinySpec(), WithTelemetry(), WithTracing(8))
+	rep := mustRun(t, sc)
+	if len(rep.Telemetry) != len(rep.Cells) {
+		t.Fatalf("Report.Telemetry has %d entries, want one per cell (%d)", len(rep.Telemetry), len(rep.Cells))
+	}
+	for i, ct := range rep.Telemetry {
+		if ct.Cell != i || ct.Label == "" || len(ct.Counters) == 0 {
+			t.Errorf("cell %d telemetry malformed: %+v", i, ct)
+		}
+		if ct.Counters["traffic.injected"] == 0 {
+			t.Errorf("cell %d counted no injected packets: %v", i, ct.Counters)
+		}
+	}
+	if len(rep.Traces()) == 0 {
+		t.Fatal("tracing-enabled run collected no traces")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteTracesJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(rep.Traces()) {
+		t.Fatalf("JSONL has %d lines, want %d", len(lines), len(rep.Traces()))
+	}
+	for _, line := range lines {
+		var tr TraceRecord
+		if err := json.Unmarshal([]byte(line), &tr); err != nil {
+			t.Fatalf("trace line is not valid JSON: %v\n%s", err, line)
+		}
+	}
+	buf.Reset()
+	if err := WriteMetricsJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Cells []CellTelemetry `json:"cells"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics JSON malformed: %v", err)
+	}
+	if len(doc.Cells) != len(rep.Telemetry) {
+		t.Errorf("metrics JSON has %d cells, want %d", len(doc.Cells), len(rep.Telemetry))
+	}
+}
+
+// TestTelemetryLeavesSpecAlone pins the spec byte-stability contract:
+// telemetry knobs are execution state, so a telemetry-enabled scenario dumps
+// exactly the same spec JSON as a plain one.
+func TestTelemetryLeavesSpecAlone(t *testing.T) {
+	plain := mustNew(t, tinySpec())
+	instrumented := mustNew(t, tinySpec(), WithTelemetry(), WithTracing(8))
+	var a, b bytes.Buffer
+	if err := plain.WriteSpec(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := instrumented.WriteSpec(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("enabling telemetry changed the dumped spec")
 	}
 }
 

@@ -1,5 +1,7 @@
 package simnet
 
+import "mccmesh/internal/telemetry"
+
 // The event queue of the simulator: a calendar queue (timing wheel) of
 // per-tick buckets for the near future, with a plain binary heap of events as
 // the fallback for the far future.
@@ -32,6 +34,9 @@ type calendarQueue struct {
 	// the next tick that needs one keeps the working set at roughly the number
 	// of simultaneously non-empty buckets.
 	spare [][]event
+	// tel receives queue counters (heap fallbacks, migrations, bucket reuse,
+	// peak occupancy); nil — the default — costs one predicted branch per hook.
+	tel *telemetry.Sink
 }
 
 const (
@@ -77,6 +82,7 @@ func (q *calendarQueue) push(ev event, now, threshold Time) {
 	if ev.time < now+threshold {
 		q.append(ev.time&wheelMask, ev)
 	} else {
+		q.tel.Inc(telemetry.SimHeapEvents)
 		q.far.push(ev)
 	}
 }
@@ -88,10 +94,12 @@ func (q *calendarQueue) append(slot Time, ev event) {
 		if k := len(q.spare); k > 0 {
 			q.ring[slot] = q.spare[k-1]
 			q.spare = q.spare[:k-1]
+			q.tel.Inc(telemetry.SimBucketReuses)
 		}
 	}
 	q.ring[slot] = append(q.ring[slot], ev)
 	q.count++
+	q.tel.Max(telemetry.SimBucketPeak, int64(len(q.ring[slot])))
 }
 
 // nextTime returns the tick of the earliest queued event. The caller
@@ -115,6 +123,7 @@ func (q *calendarQueue) nextTime(now Time) Time {
 func (q *calendarQueue) migrate(t, threshold Time) {
 	for len(q.far) > 0 && q.far[0].time < t+threshold {
 		ev := q.far.pop()
+		q.tel.Inc(telemetry.SimHeapMigrations)
 		q.append(ev.time&wheelMask, ev)
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"mccmesh/internal/grid"
 	"mccmesh/internal/mesh"
+	"mccmesh/internal/telemetry"
 )
 
 // Time is simulated time in abstract ticks.
@@ -100,6 +101,11 @@ type Options struct {
 	LinkDelay Time
 	// MaxEvents aborts runaway protocols. Defaults to 4_000_000.
 	MaxEvents int
+	// Telemetry, when non-nil, receives event-queue counters (heap-fallback
+	// pushes, heap→ring migrations, bucket recycling, peak bucket occupancy).
+	// Nil — the default — keeps every instrumentation point a predicted
+	// nil-check branch.
+	Telemetry *telemetry.Sink
 
 	// farThreshold forces events further than this many ticks in the future
 	// onto the heap fallback instead of the calendar ring. Zero selects the
@@ -123,6 +129,12 @@ type Network struct {
 	kindIDs   map[string]KindID
 	kindNames []string
 	byKind    []int
+
+	// byKindCache is the materialised Stats.ByKind map, rebuilt only when a
+	// delivery has landed since it was built (byKind changes exactly when
+	// stats.Delivered does), so polling Stats per tick does not allocate.
+	byKindCache map[string]int
+	byKindAt    int
 
 	// boxed holds `any` payloads and At callbacks outside the (pointer-free)
 	// event queue; boxedFree is its slot free-list. Ref-based sends never
@@ -158,6 +170,7 @@ func New(m *mesh.Mesh, handler Handler, opts ...Options) *Network {
 		ctxs:    make([]Context, m.NodeCount()),
 	}
 	n.queue.init()
+	n.queue.tel = o.Telemetry
 	// KindID 0 is reserved for control events so Stats never reports them as
 	// deliveries of a user kind.
 	n.intern("control")
@@ -222,16 +235,23 @@ func (n *Network) Mesh() *mesh.Mesh { return n.mesh }
 // Now returns the current simulated time.
 func (n *Network) Now() Time { return n.now }
 
-// Stats returns a copy of the accumulated statistics, materialising the
-// ByKind map from the interned per-kind counters.
+// Stats returns a copy of the accumulated statistics. The ByKind map is
+// materialised from the interned per-kind counters and cached until the next
+// delivery, so repeated polling (progress observers) costs no allocation;
+// callers must treat the map as read-only.
 func (n *Network) Stats() Stats {
 	s := n.stats
-	s.ByKind = make(map[string]int, len(n.byKind))
-	for id, count := range n.byKind {
-		if count > 0 {
-			s.ByKind[n.kindNames[id]] = count
+	if n.byKindCache == nil || n.byKindAt != n.stats.Delivered {
+		cache := make(map[string]int, len(n.byKind))
+		for id, count := range n.byKind {
+			if count > 0 {
+				cache[n.kindNames[id]] = count
+			}
 		}
+		n.byKindCache = cache
+		n.byKindAt = n.stats.Delivered
 	}
+	s.ByKind = n.byKindCache
 	return s
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"mccmesh/internal/grid"
 	"mccmesh/internal/mesh"
+	"mccmesh/internal/telemetry"
 )
 
 // mustRun drains a network in a test that does not expect budget exhaustion.
@@ -406,5 +407,54 @@ func TestKindInterning(t *testing.T) {
 	}
 	if b := net.Kind("beta"); b == a {
 		t.Error("distinct kinds must get distinct IDs")
+	}
+}
+
+func TestStatsByKindIsCached(t *testing.T) {
+	m := mesh.New2D(3, 3)
+	net := New(m, pingPong{limit: 10})
+	net.Post(grid.Point{X: 1, Y: 1}, "start", nil)
+	mustRun(t, net)
+	a := net.Stats()
+	b := net.Stats()
+	if reflect.ValueOf(a.ByKind).Pointer() != reflect.ValueOf(b.ByKind).Pointer() {
+		t.Error("Stats() rebuilt ByKind with no deliveries in between")
+	}
+	if a.ByKind["pong"] != 11 {
+		t.Errorf("ByKind[pong] = %d, want 11", a.ByKind["pong"])
+	}
+	// Mid-run polling must see fresh counts once deliveries advance.
+	m2 := mesh.New2D(3, 3)
+	net2 := New(m2, pingPong{limit: 10})
+	net2.Post(grid.Point{X: 1, Y: 1}, "start", nil)
+	var mid, end int
+	net2.At(3, func() { mid = net2.Stats().ByKind["pong"] })
+	mustRun(t, net2)
+	end = net2.Stats().ByKind["pong"]
+	if mid == 0 || mid >= end {
+		t.Errorf("mid-run ByKind[pong] = %d, end = %d; cache must refresh as deliveries advance", mid, end)
+	}
+}
+
+func TestQueueTelemetryCounters(t *testing.T) {
+	m := mesh.New2D(4, 4)
+	var log []order
+	sink := telemetry.NewSink()
+	net := New(m, &mixHandler{log: &log}, Options{Telemetry: sink})
+	net.Post(grid.Point{X: 1, Y: 1}, "start", 0)
+	mustRun(t, net)
+	// The mix workload schedules far-future timers beyond the calendar window,
+	// so both the heap fallback and its migration path must have fired.
+	if sink.Get(telemetry.SimHeapEvents) == 0 {
+		t.Error("SimHeapEvents = 0; far timers should have hit the heap fallback")
+	}
+	if sink.Get(telemetry.SimHeapMigrations) == 0 {
+		t.Error("SimHeapMigrations = 0; heap events should have migrated into the ring")
+	}
+	if sink.Get(telemetry.SimBucketReuses) == 0 {
+		t.Error("SimBucketReuses = 0; drained buckets should have been recycled")
+	}
+	if sink.Get(telemetry.SimBucketPeak) < 1 {
+		t.Error("SimBucketPeak gauge never recorded an occupied bucket")
 	}
 }

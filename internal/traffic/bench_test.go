@@ -14,6 +14,7 @@ import (
 	"mccmesh/internal/mesh"
 	"mccmesh/internal/rng"
 	"mccmesh/internal/simnet"
+	"mccmesh/internal/telemetry"
 	"mccmesh/internal/traffic"
 )
 
@@ -97,3 +98,33 @@ func BenchmarkHotspot16MCC(b *testing.B) { benchHotspot16(b, "mcc") }
 // stateless local-greedy model makes no information-model queries beyond a
 // constant-time check.
 func BenchmarkHotspot16Local(b *testing.B) { benchHotspot16(b, "local") }
+
+// BenchmarkHotspot16MCCTelemetry is BenchmarkHotspot16MCC with the telemetry
+// counters live — the on/off pair that pins the instrumentation overhead
+// (<5% events/s; see PERFORMANCE.md).
+func BenchmarkHotspot16MCCTelemetry(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := mesh.New3D(16, 16, 16)
+		fault.Uniform{Count: 120}.Inject(m, rng.New(rng.Derive(7, 1<<48)))
+		im, err := traffic.ModelByName("mcc", core.NewModel(m))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := traffic.PatternByName("hotspot", m, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := traffic.NewEngine(m, im, p, traffic.Options{
+			Rate: 0.02, Warmup: 50, Window: 500, MaxEvents: 50_000_000, Telemetry: true,
+		})
+		res := e.Run(7)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Telemetry == nil || res.Telemetry.Get(telemetry.PacketsDelivered) == 0 {
+			b.Fatal("telemetry sink missing or empty")
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"mccmesh/internal/routing"
 	"mccmesh/internal/simnet"
 	"mccmesh/internal/stats"
+	"mccmesh/internal/telemetry"
 )
 
 // Envelope kinds used by the engine.
@@ -60,6 +61,20 @@ type Options struct {
 	// the scenario runner — and ignored when an explicit Pattern value is
 	// passed to NewEngine.
 	PatternParams map[string]any
+	// Telemetry enables the counter sink for this run: the engine creates a
+	// telemetry.Sink, threads it through the information model, the routing
+	// field caches and the simulator queue, and returns it in
+	// Result.Telemetry. Off by default — the disabled instrumentation costs
+	// one predicted nil-check branch per hook.
+	Telemetry bool
+	// TraceEvery samples one packet in every TraceEvery for full hop-by-hop
+	// tracing (0 disables tracing). Sampling is keyed off the per-trial seed
+	// and the packet id, so the sampled set — and the traces themselves — are
+	// identical at any worker count. Implies Telemetry.
+	TraceEvery int
+	// TraceCap bounds the trace ring buffer (default 256); older traces are
+	// evicted when it overflows.
+	TraceCap int
 }
 
 // Result aggregates one engine run.
@@ -105,6 +120,12 @@ type Result struct {
 	// (Collect) and the scenario report surface the failure per cell instead
 	// of killing the process.
 	Err error
+	// Telemetry is the counter sink of the run, nil unless Options.Telemetry
+	// (or tracing) was enabled.
+	Telemetry *telemetry.Sink
+	// Traces holds the sampled packet traces, nil unless Options.TraceEvery
+	// was set.
+	Traces []telemetry.Trace
 }
 
 // PhaseStat is the traffic measured between two consecutive churn events (or
@@ -212,6 +233,11 @@ type run struct {
 
 	dirs []grid.Direction // scratch for CandidateDirs, cap 6
 
+	// tel and trace are the run's telemetry sink and trace ring, both nil
+	// unless enabled in Options.
+	tel   *telemetry.Sink
+	trace *telemetry.TraceSink
+
 	// Churn-timeline state, nil/zero without Options.Timeline. groups records
 	// the nodes each failure group took down so its repair restores exactly
 	// them; nextInject tracks each node's pending injection-timer delivery
@@ -247,6 +273,8 @@ type packet struct {
 	orient grid.Orientation
 	inject simnet.Time
 	hops   int
+	// traceIdx is the packet's slot in the trace ring, -1 when untraced.
+	traceIdx int32
 }
 
 // alloc reserves a pool slot, reusing a released one when available.
@@ -292,7 +320,20 @@ func (e *Engine) Run(seed uint64) *Result {
 	if st.policy == nil {
 		st.policy = routing.Seeded{Seed: rng.Derive(seed, 1<<40)}
 	}
-	net := simnet.New(e.mesh, st, simnet.Options{LinkDelay: e.opts.LinkDelay, MaxEvents: e.opts.MaxEvents})
+	if e.opts.Telemetry || e.opts.TraceEvery > 0 {
+		st.tel = telemetry.NewSink()
+		if inst, ok := e.model.(telemetry.Instrumentable); ok {
+			inst.SetTelemetry(st.tel)
+		}
+		if e.opts.TraceEvery > 0 {
+			capacity := e.opts.TraceCap
+			if capacity <= 0 {
+				capacity = 256
+			}
+			st.trace = telemetry.NewTraceSink(rng.Derive(seed, traceSalt), e.opts.TraceEvery, capacity, st.tel)
+		}
+	}
+	net := simnet.New(e.mesh, st, simnet.Options{LinkDelay: e.opts.LinkDelay, MaxEvents: e.opts.MaxEvents, Telemetry: st.tel})
 	st.injectID = net.Kind(kindInject)
 	st.packetID = net.Kind(kindPacket)
 	for i, ev := range e.opts.Faults {
@@ -348,6 +389,24 @@ func (e *Engine) Run(seed uint64) *Result {
 			Delivered: st.phaseDelivered, LatencySum: st.phaseLatSum,
 		})
 	}
+	if st.tel != nil {
+		// Packet and churn totals come from the Result at the end of the run
+		// instead of per-packet increments: the hot path pays nothing for
+		// counters the aggregates already carry.
+		st.tel.Add(telemetry.PacketsInjected, int64(res.Injected))
+		st.tel.Add(telemetry.PacketsDelivered, int64(res.Delivered))
+		st.tel.Add(telemetry.PacketsStuck, int64(res.Stuck))
+		st.tel.Add(telemetry.PacketsLost, int64(res.Lost))
+		st.tel.Add(telemetry.ChurnFailures, int64(res.Failures))
+		st.tel.Add(telemetry.ChurnRepairs, int64(res.Repairs))
+		st.tel.Add(telemetry.ChurnFailedNodes, int64(res.FailedNodes))
+		st.tel.Add(telemetry.ChurnRepairedNodes, int64(res.RepairedNodes))
+		res.Telemetry = st.tel
+	}
+	if st.trace != nil {
+		st.trace.Close()
+		res.Traces = st.trace.Traces()
+	}
 	return res
 }
 
@@ -357,6 +416,8 @@ func (e *Engine) Run(seed uint64) *Result {
 const (
 	churnProgramSalt = uint64(1) << 41
 	churnPlaceSalt   = uint64(1) << 42
+	// traceSalt keys the packet-trace sampling stream (telemetry).
+	traceSalt = uint64(1) << 43
 )
 
 // applyFaults pushes freshly placed faults through the model's incremental
@@ -514,12 +575,17 @@ func (st *run) inject(ctx *simnet.Context) {
 	}
 	ref := st.alloc()
 	st.pool[ref] = packet{
-		id:     st.nextID,
-		src:    self,
-		dst:    d,
-		dstID:  int32(ctx.Mesh().Index(d)),
-		orient: grid.OrientationOf(self, d),
-		inject: ctx.Time(),
+		id:       st.nextID,
+		src:      self,
+		dst:      d,
+		dstID:    int32(ctx.Mesh().Index(d)),
+		orient:   grid.OrientationOf(self, d),
+		inject:   ctx.Time(),
+		traceIdx: -1,
+	}
+	if st.trace != nil && st.trace.Sampled(st.nextID) {
+		pk := &st.pool[ref]
+		pk.traceIdx = st.trace.Begin(pk.id, ctx.SelfID(), pk.dstID, int64(pk.inject))
 	}
 	st.nextID++
 	st.res.Injected++
@@ -542,6 +608,14 @@ func (st *run) forward(ctx *simnet.Context, ref int32) {
 		pe.id, pe.fast = pe.prov.(routing.IDProvider)
 	}
 	self := ctx.Self()
+	// Hop-source classification is gated on the packet being traced, so the
+	// untraced hot path pays nothing beyond the traceIdx compare.
+	traced := st.trace != nil && pk.traceIdx >= 0
+	var hits0, builds0 int64
+	if traced {
+		hits0 = st.tel.Get(telemetry.FieldHits)
+		builds0 = st.tel.Get(telemetry.FieldColdBuilds) + st.tel.Get(telemetry.FieldRebuilds)
+	}
 	if pe.fast {
 		st.dirs = routing.CandidateDirsID(ctx.Mesh(), pe.id, pk.orient, ctx.SelfID(), self, pk.dstID, pk.dst, st.dirs[:0])
 	} else {
@@ -549,11 +623,26 @@ func (st *run) forward(ctx *simnet.Context, ref int32) {
 	}
 	if len(st.dirs) == 0 {
 		st.res.Stuck++
+		if traced {
+			st.trace.Finish(pk.traceIdx, pk.id, -1, telemetry.StatusStuck)
+		}
 		st.release(ref)
 		return
 	}
 	pick := st.policy.Pick(self, pk.dst, st.dirs)
 	pk.hops++
+	if traced {
+		src := telemetry.HopDirect
+		switch {
+		case !pe.fast:
+			src = telemetry.HopFallback
+		case st.tel.Get(telemetry.FieldColdBuilds)+st.tel.Get(telemetry.FieldRebuilds) > builds0:
+			src = telemetry.HopColdBuild
+		case st.tel.Get(telemetry.FieldHits) > hits0:
+			src = telemetry.HopCacheHit
+		}
+		st.trace.Hop(pk.traceIdx, pk.id, ctx.SelfID(), src)
+	}
 	ctx.SendRef(st.dirs[pick], st.packetID, ref)
 }
 
@@ -561,6 +650,9 @@ func (st *run) forward(ctx *simnet.Context, ref int32) {
 func (st *run) deliver(ctx *simnet.Context, ref int32) {
 	pk := &st.pool[ref]
 	st.res.Delivered++
+	if st.trace != nil && pk.traceIdx >= 0 {
+		st.trace.Finish(pk.traceIdx, pk.id, int64(ctx.Time()), telemetry.StatusDelivered)
+	}
 	if pk.inject >= st.e.opts.Warmup {
 		st.res.MeasuredDelivered++
 		lat := ctx.Time() - pk.inject

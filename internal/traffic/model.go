@@ -8,6 +8,7 @@ import (
 	"mccmesh/internal/grid"
 	"mccmesh/internal/registry"
 	"mccmesh/internal/routing"
+	"mccmesh/internal/telemetry"
 )
 
 // InfoModel adapts one fault-information model to continuous traffic: it hands
@@ -48,6 +49,7 @@ type FaultRepairer interface {
 type mccModel struct {
 	model *core.Model
 	provs [8]*routing.MCC
+	tel   *telemetry.Sink
 }
 
 // NewMCCModel returns the MCC fault-information model over m.
@@ -61,8 +63,21 @@ func (im *mccModel) Provider(orient grid.Orientation) routing.Provider {
 	idx := orient.Index()
 	if im.provs[idx] == nil {
 		im.provs[idx] = &routing.MCC{Set: im.model.Regions(orient)}
+		im.provs[idx].SetTelemetry(im.tel)
 	}
 	return im.provs[idx]
+}
+
+// SetTelemetry implements telemetry.Instrumentable: the sink reaches the core
+// model (labellings) and every cached or future provider's field cache.
+func (im *mccModel) SetTelemetry(s *telemetry.Sink) {
+	im.tel = s
+	im.model.SetTelemetry(s)
+	for _, p := range im.provs {
+		if p != nil {
+			p.SetTelemetry(s)
+		}
+	}
 }
 
 func (im *mccModel) Invalidate() {
@@ -100,6 +115,7 @@ type blockModel struct {
 	model   *core.Model
 	variant block.Model
 	prov    *routing.Block
+	tel     *telemetry.Sink
 }
 
 // NewBlockModel returns the rectangular-block baseline model over m.
@@ -112,8 +128,18 @@ func (im *blockModel) Name() string { return "rfb-" + im.variant.String() }
 func (im *blockModel) Provider(grid.Orientation) routing.Provider {
 	if im.prov == nil {
 		im.prov = &routing.Block{Regions: im.model.Blocks(im.variant)}
+		im.prov.SetTelemetry(im.tel)
 	}
 	return im.prov
+}
+
+// SetTelemetry implements telemetry.Instrumentable.
+func (im *blockModel) SetTelemetry(s *telemetry.Sink) {
+	im.tel = s
+	im.model.SetTelemetry(s)
+	if im.prov != nil {
+		im.prov.SetTelemetry(s)
+	}
 }
 
 func (im *blockModel) Invalidate() {
@@ -140,6 +166,7 @@ func (im *blockModel) RepairFaults(pts []grid.Point) {
 type oracleModel struct {
 	model *core.Model
 	prov  *routing.Oracle
+	tel   *telemetry.Sink
 }
 
 // NewOracleModel returns the omniscient model over m.
@@ -152,8 +179,18 @@ func (im *oracleModel) Name() string { return "oracle" }
 func (im *oracleModel) Provider(grid.Orientation) routing.Provider {
 	if im.prov == nil {
 		im.prov = &routing.Oracle{Mesh: im.model.Mesh()}
+		im.prov.SetTelemetry(im.tel)
 	}
 	return im.prov
+}
+
+// SetTelemetry implements telemetry.Instrumentable.
+func (im *oracleModel) SetTelemetry(s *telemetry.Sink) {
+	im.tel = s
+	im.model.SetTelemetry(s)
+	if im.prov != nil {
+		im.prov.SetTelemetry(s)
+	}
 }
 
 func (im *oracleModel) Invalidate() {
@@ -185,6 +222,10 @@ func NewLabeledModel(model *core.Model) InfoModel {
 }
 
 func (im *labeledModel) Name() string { return "labels" }
+
+// SetTelemetry implements telemetry.Instrumentable: Labeled providers have no
+// field cache, but the core model's labellings count relabel set sizes.
+func (im *labeledModel) SetTelemetry(s *telemetry.Sink) { im.model.SetTelemetry(s) }
 
 func (im *labeledModel) Provider(orient grid.Orientation) routing.Provider {
 	idx := orient.Index()

@@ -6,6 +6,7 @@ import (
 
 	"mccmesh/internal/rng"
 	"mccmesh/internal/stats"
+	"mccmesh/internal/telemetry"
 )
 
 // RunTrials executes trials independent trials across workers goroutines and
@@ -72,6 +73,9 @@ type Aggregate struct {
 	// first such error so callers can fail the sweep cell with a cause.
 	Failed int
 	Err    error
+	// Telemetry merges the per-trial counter sinks (counts sum, gauges take
+	// the max); nil when the trials ran without telemetry.
+	Telemetry *telemetry.Sink
 }
 
 // Collect merges per-trial results in slice order (deterministic for any
@@ -102,6 +106,12 @@ func Collect(results []*Result) *Aggregate {
 			if agg.Err == nil {
 				agg.Err = r.Err
 			}
+		}
+		if r.Telemetry != nil {
+			if agg.Telemetry == nil {
+				agg.Telemetry = telemetry.NewSink()
+			}
+			agg.Telemetry.Merge(r.Telemetry)
 		}
 	}
 	return agg

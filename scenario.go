@@ -35,6 +35,12 @@ type (
 	ScenarioEvent = scenario.Event
 	// Observer receives per-cell progress during Scenario.Run.
 	Observer = scenario.Observer
+	// CellTelemetry is one cell's merged counter snapshot in
+	// Report.Telemetry (telemetry-enabled runs only).
+	CellTelemetry = scenario.CellTelemetry
+	// TraceRecord is one sampled packet trace from Report.Traces
+	// (tracing-enabled runs only).
+	TraceRecord = scenario.TraceRecord
 	// Params carries component parameters for the With* options, e.g.
 	// Params{"fraction": 0.2}.
 	Params = scenario.Params
@@ -111,6 +117,10 @@ const (
 //   - WithWorkers(n)     — parallel trial workers (<= 0 → GOMAXPROCS);
 //     results are bit-identical for any value
 //   - WithObserver(f)    — stream per-cell progress events
+//   - WithTelemetry()    — collect hot-path counters into Report.Telemetry
+//     and stream per-trial Progress events to the observer
+//   - WithTracing(n)     — sample one packet in n for hop-by-hop tracing
+//     (implies WithTelemetry; n <= 0 → 64)
 //   - WithName(s)        — label the scenario
 //   - WithSpec(spec)     — start from a full ScenarioSpec, then patch
 //
@@ -148,6 +158,8 @@ func WithSeed(seed uint64) ScenarioOption          { return scenario.WithSeed(se
 func WithTrials(trials int) ScenarioOption         { return scenario.WithTrials(trials) }
 func WithWorkers(workers int) ScenarioOption       { return scenario.WithWorkers(workers) }
 func WithObserver(f Observer) ScenarioOption       { return scenario.WithObserver(f) }
+func WithTelemetry() ScenarioOption                { return scenario.WithTelemetry() }
+func WithTracing(n int) ScenarioOption             { return scenario.WithTracing(n) }
 func WithSpec(spec ScenarioSpec) ScenarioOption    { return scenario.WithSpec(spec) }
 
 // WithFaults selects the static fault injector by registry name.
