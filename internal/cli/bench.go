@@ -10,6 +10,7 @@ import (
 
 	"mccmesh/internal/experiments"
 	"mccmesh/internal/scenario"
+	"mccmesh/internal/server"
 	"mccmesh/internal/stats"
 )
 
@@ -106,6 +107,17 @@ func cmdBench(args []string) int {
 			printTable(rep.Table, *csv)
 			reps = append(reps, rep)
 			cells = append(cells, rep.BenchResults()...)
+		}
+		// The default suite also prices the serving pipeline: jobs/s for cold
+		// vs cached submissions through an in-process `mcc serve` (scenario
+		// keys "serve-cold"/"serve-cached"; informational in baseline deltas).
+		if *specPath == "" {
+			serveCells, serveTable, err := server.BenchServe(server.Config{}, 0, 0)
+			if err != nil {
+				return fail("bench", err)
+			}
+			printTable(serveTable, *csv)
+			cells = append(cells, serveCells...)
 		}
 		f, err := os.Create(*jsonPath)
 		if err != nil {
@@ -296,6 +308,17 @@ func printBenchDelta(cells []scenario.BenchResult, path string) error {
 	fmt.Fprintf(stdout, "delta vs %s:\n", path)
 	for _, c := range cells {
 		b, ok := byKey[c.Key()]
+		if c.JobsPerSec > 0 {
+			// Server throughput cells: wall-clock jobs/s is too noisy on
+			// shared runners to gate, so the delta is informational only.
+			if ok && b.JobsPerSec > 0 {
+				fmt.Fprintf(stdout, "  %-38s %10.1f jobs/sec (%+.1f%%)\n",
+					c.Key(), c.JobsPerSec, 100*(c.JobsPerSec-b.JobsPerSec)/b.JobsPerSec)
+			} else {
+				fmt.Fprintf(stdout, "  %-38s %10.1f jobs/sec  (no baseline cell)\n", c.Key(), c.JobsPerSec)
+			}
+			continue
+		}
 		if !ok || b.EventsPerSec <= 0 {
 			fmt.Fprintf(stdout, "  %-38s %10.0f events/sec  %6.2f allocs/pkt  (no baseline cell)\n",
 				c.Key(), c.EventsPerSec, c.AllocsPerPacket)

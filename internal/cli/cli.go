@@ -10,6 +10,9 @@
 //	mcc proto  — message costs of the distributed protocols (mccproto)
 //	mcc viz    — ASCII rendering of fault configurations (mccviz)
 //	mcc list   — registered patterns, models, injectors and measures
+//	mcc serve  — scenario-execution daemon (HTTP jobs API, result cache)
+//	mcc submit — send a spec to a daemon, stream progress, print the report
+//	mcc jobs   — list a daemon's jobs
 //
 // The old binaries (mccbench, mccsim, mccproto, mcctraffic, mccviz) were
 // two-line shims over this package for one release and have been removed.
@@ -48,6 +51,12 @@ func Main(args []string) int {
 		return cmdViz(rest)
 	case "list":
 		return cmdList(rest)
+	case "serve":
+		return cmdServe(rest)
+	case "submit":
+		return cmdSubmit(rest)
+	case "jobs":
+		return cmdJobs(rest)
 	case "help", "-h", "-help", "--help":
 		usage(stdout)
 		return 0
@@ -71,6 +80,9 @@ Subcommands:
   proto   message costs of the distributed protocols
   viz     render a fault configuration (and a route) as ASCII art
   list    list registered patterns, models, fault injectors and measures
+  serve   run the scenario-execution daemon (HTTP API over the spec format)
+  submit  send a spec to a running daemon and print its report
+  jobs    list a running daemon's jobs
 
 Every subcommand accepts -spec file.json to load a declarative scenario spec
 ("-" reads stdin) and -dump-spec to print the equivalent spec instead of

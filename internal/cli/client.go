@@ -1,0 +1,230 @@
+package cli
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"mccmesh/internal/server"
+	"mccmesh/internal/stats"
+)
+
+// defaultAddr is the client-side default, matching `mcc serve`'s listen flag.
+const defaultAddr = "127.0.0.1:8322"
+
+// baseURL normalises an -addr value ("host:port" or a full URL) to a URL.
+func baseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimRight(addr, "/")
+	}
+	return "http://" + addr
+}
+
+// getJSON fetches a JSON document into v, translating API error payloads.
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// apiErr extracts the server's {"error": ...} payload from a failed response.
+func apiErr(resp *http.Response) error {
+	var payload struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(body, &payload) == nil && payload.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, payload.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+// cmdSubmit sends a spec file to a running `mcc serve` daemon and (by
+// default) waits for the result, printing the same bytes `mcc run -spec`
+// would print — the cache status goes to stderr, so stdout diffs clean
+// against a local run.
+func cmdSubmit(args []string) int {
+	fs := flag.NewFlagSet("mcc submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr   = fs.String("addr", defaultAddr, "server address (host:port or URL)")
+		wait   = fs.Bool("wait", true, "wait for the job and print its report (false: print the job id and exit)")
+		stream = fs.Bool("stream", false, "stream per-cell progress events to stderr while waiting")
+		csv    = fs.Bool("csv", false, "fetch the report as CSV instead of aligned text")
+		tel    = fs.Bool("telemetry", false, "enable telemetry counters for the run (bypasses the result cache)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		return fail("submit", fmt.Errorf("want exactly one spec file argument (- = stdin)"))
+	}
+	base := baseURL(*addr)
+
+	var spec io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return fail("submit", err)
+		}
+		defer f.Close()
+		spec = f
+	}
+	submitURL := base + "/v1/jobs"
+	if *tel {
+		submitURL += "?telemetry=1"
+	}
+	resp, err := http.Post(submitURL, "application/json", spec)
+	if err != nil {
+		return fail("submit", err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		err := apiErr(resp)
+		resp.Body.Close()
+		return fail("submit", err)
+	}
+	var info server.JobInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	cacheState := resp.Header.Get("X-Cache")
+	resp.Body.Close()
+	if err != nil {
+		return fail("submit", err)
+	}
+	fmt.Fprintf(stderr, "mcc submit: job %s (%s) digest %s cache %s\n",
+		info.ID, info.Status, info.Digest[:12], cacheState)
+	if !*wait {
+		fmt.Fprintln(stdout, info.ID)
+		return 0
+	}
+
+	// Following the event stream doubles as the wait: the server holds the
+	// connection open until the job is terminal.
+	if err := followEvents(base, info.ID, *stream); err != nil {
+		return fail("submit", err)
+	}
+	final, err := fetchReportText(base, info.ID, *csv)
+	if err != nil {
+		return fail("submit", err)
+	}
+	fmt.Fprint(stdout, final)
+	return 0
+}
+
+// followEvents reads the job's NDJSON event stream to EOF (the job's end),
+// optionally rendering progress lines in the `mcc run -progress` format.
+func followEvents(base, id string, render bool) error {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if !render {
+			continue
+		}
+		var ev server.JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad event line: %w", err)
+		}
+		switch {
+		case ev.Progress:
+			// Per-trial telemetry detail; skip in the cell-level view.
+		case ev.Done:
+			fmt.Fprintf(stderr, "[%d/%d] %s: %s\n", ev.Cell+1, ev.Total, ev.Label, strings.Join(ev.Row, "  "))
+		default:
+			fmt.Fprintf(stderr, "[%d/%d] %s ...\n", ev.Cell+1, ev.Total, ev.Label)
+		}
+	}
+	return sc.Err()
+}
+
+// fetchReportText retrieves the terminal job's rendered report — the exact
+// bytes a local `mcc run -spec` (with or without -csv) would print.
+func fetchReportText(base, id string, csv bool) (string, error) {
+	format := "text"
+	if csv {
+		format = "csv"
+	}
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/report?format=" + format)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// A failed or cancelled job has no (complete) report: surface its
+		// recorded error instead of the transport-level message.
+		var info server.JobInfo
+		if err := getJSON(base+"/v1/jobs/"+id, &info); err == nil && info.Error != "" {
+			return "", fmt.Errorf("job %s %s: %s", id, info.Status, info.Error)
+		}
+		return "", apiErr(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// cmdJobs lists a daemon's jobs as a table.
+func cmdJobs(args []string) int {
+	fs := flag.NewFlagSet("mcc jobs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", defaultAddr, "server address (host:port or URL)")
+	showStats := fs.Bool("stats", false, "also print the server's cache/topology/counter statistics")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	base := baseURL(*addr)
+	var payload struct {
+		Jobs []server.JobInfo `json:"jobs"`
+	}
+	if err := getJSON(base+"/v1/jobs", &payload); err != nil {
+		return fail("jobs", err)
+	}
+	t := &stats.Table{
+		Title:   "Jobs",
+		Columns: []string{"id", "name", "status", "cache", "digest", "events", "error"},
+	}
+	for _, j := range payload.Jobs {
+		cache := "-"
+		if j.Cached {
+			cache = "hit"
+		}
+		name := j.Name
+		if name == "" {
+			name = "-"
+		}
+		errText := j.Error
+		if errText == "" {
+			errText = "-"
+		}
+		t.AddRow(j.ID, name, string(j.Status), cache, j.Digest[:12], fmt.Sprint(j.Events), errText)
+	}
+	fmt.Fprintln(stdout, t.Render())
+	if *showStats {
+		var st server.Stats
+		if err := getJSON(base+"/v1/stats", &st); err != nil {
+			return fail("jobs", err)
+		}
+		out, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return fail("jobs", err)
+		}
+		fmt.Fprintln(stdout, string(out))
+	}
+	return 0
+}

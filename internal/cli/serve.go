@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mccmesh/internal/server"
+)
+
+// cmdServe runs the scenario-execution daemon: an HTTP API accepting the same
+// JSON specs as `mcc run -spec`, executing them on a bounded worker pool with
+// a spec-digest result cache and a shared-topology pool (see internal/server).
+func cmdServe(args []string) int {
+	fs := flag.NewFlagSet("mcc serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr  = fs.String("addr", "127.0.0.1:8322", "listen address")
+		jobs  = fs.Int("jobs", 4, "concurrent scenario jobs (each shards trials across its own workers)")
+		queue = fs.Int("queue", 64, "queued jobs beyond the running set before submissions get 503")
+		cache = fs.Int("cache", 128, "result-cache capacity (reports, keyed by spec digest)")
+		topos = fs.Int("topos", 64, "shared-topology pool capacity (mesh prototypes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		return fail("serve", fmt.Errorf("unexpected argument %q", fs.Arg(0)))
+	}
+	srv := server.New(server.Config{Jobs: *jobs, Queue: *queue, CacheSize: *cache, Topos: *topos})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail("serve", err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	fmt.Fprintf(stderr, "mcc serve: listening on http://%s (%d job workers)\n", ln.Addr(), *jobs)
+
+	// Serve until SIGINT/SIGTERM, then stop accepting, cancel running jobs
+	// and drain the worker pool.
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		srv.Close()
+		return fail("serve", err)
+	case s := <-sig:
+		fmt.Fprintf(stderr, "mcc serve: %v, shutting down\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "mcc serve: shutdown: %v\n", err)
+	}
+	srv.Close()
+	return 0
+}

@@ -1,0 +1,190 @@
+package cli
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mccmesh/internal/scenario"
+	"mccmesh/internal/server"
+)
+
+// serveTestSpec writes a small spec file and returns its path and spec.
+func serveTestSpec(t *testing.T) (string, scenario.Spec) {
+	t.Helper()
+	spec := scenario.Spec{
+		Name:   "cli-serve-test",
+		Mesh:   scenario.Cube(5),
+		Faults: scenario.FaultSpec{Inject: scenario.C("uniform"), Counts: []int{4}},
+		Models: scenario.ComponentsOf("mcc"),
+		Workload: scenario.WorkloadSpec{
+			Patterns: scenario.ComponentsOf("uniform"),
+			Rates:    []float64{0.02},
+		},
+		Measure: scenario.MeasureSpec{Kind: scenario.MeasureTraffic, Warmup: 5, Window: 30},
+		Seed:    3,
+		Trials:  2,
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, spec
+}
+
+// startDaemon runs an in-process server behind a real listener, as `mcc
+// serve` would, for the client subcommands to talk to.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	srv := server.New(server.Config{Jobs: 2})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestSubmitMatchesLocalRun is the client-side parity gate: `mcc submit`
+// prints the same bytes as `mcc run -spec` for the same spec, in both text
+// and CSV form, and reports the cache status on stderr.
+func TestSubmitMatchesLocalRun(t *testing.T) {
+	addr := startDaemon(t)
+	path, _ := serveTestSpec(t)
+
+	code, local, errOut := capture(t, "run", "-spec", path)
+	if code != 0 {
+		t.Fatalf("run: %s", errOut)
+	}
+	code, served, errOut := capture(t, "submit", "-addr", addr, path)
+	if code != 0 {
+		t.Fatalf("submit: %s", errOut)
+	}
+	if served != local {
+		t.Errorf("submit output differs from run:\n--- run\n%s\n--- submit\n%s", local, served)
+	}
+	if !strings.Contains(errOut, "cache miss") {
+		t.Errorf("first submit stderr = %q, want cache miss", errOut)
+	}
+
+	code, served2, errOut := capture(t, "submit", "-addr", addr, path)
+	if code != 0 {
+		t.Fatalf("second submit: %s", errOut)
+	}
+	if served2 != local {
+		t.Error("cached submit output differs from run")
+	}
+	if !strings.Contains(errOut, "cache hit") {
+		t.Errorf("second submit stderr = %q, want cache hit", errOut)
+	}
+
+	code, localCSV, _ := capture(t, "run", "-spec", path, "-csv")
+	if code != 0 {
+		t.Fatal("run -csv failed")
+	}
+	code, servedCSV, errOut := capture(t, "submit", "-addr", addr, "-csv", path)
+	if code != 0 {
+		t.Fatalf("submit -csv: %s", errOut)
+	}
+	if servedCSV != localCSV {
+		t.Errorf("submit -csv differs from run -csv:\n--- run\n%s\n--- submit\n%s", localCSV, servedCSV)
+	}
+}
+
+func TestSubmitNoWaitPrintsJobID(t *testing.T) {
+	addr := startDaemon(t)
+	path, _ := serveTestSpec(t)
+	code, out, errOut := capture(t, "submit", "-addr", addr, "-wait=false", path)
+	if code != 0 {
+		t.Fatalf("submit -wait=false: %s", errOut)
+	}
+	if !strings.HasPrefix(out, "j") {
+		t.Errorf("stdout = %q, want a job id", out)
+	}
+}
+
+func TestSubmitStreamRendersProgress(t *testing.T) {
+	addr := startDaemon(t)
+	path, _ := serveTestSpec(t)
+	code, _, errOut := capture(t, "submit", "-addr", addr, "-stream", path)
+	if code != 0 {
+		t.Fatalf("submit -stream: %s", errOut)
+	}
+	if !strings.Contains(errOut, "[1/1]") {
+		t.Errorf("stream stderr = %q, want progress lines", errOut)
+	}
+}
+
+func TestJobsListsSubmissions(t *testing.T) {
+	addr := startDaemon(t)
+	path, spec := serveTestSpec(t)
+	if code, _, errOut := capture(t, "submit", "-addr", addr, path); code != 0 {
+		t.Fatalf("submit: %s", errOut)
+	}
+	code, out, errOut := capture(t, "jobs", "-addr", addr)
+	if code != 0 {
+		t.Fatalf("jobs: %s", errOut)
+	}
+	for _, want := range []string{"j0001", spec.Name, "done"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("jobs output missing %q:\n%s", want, out)
+		}
+	}
+	code, out, errOut = capture(t, "jobs", "-addr", addr, "-stats")
+	if code != 0 {
+		t.Fatalf("jobs -stats: %s", errOut)
+	}
+	if !strings.Contains(out, "server.jobs_submitted") {
+		t.Errorf("jobs -stats output missing counters:\n%s", out)
+	}
+}
+
+func TestSubmitSurfacesValidationErrors(t *testing.T) {
+	addr := startDaemon(t)
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"mesh": {"x": 5, "y": 5, "z": 5}, "model": ["nope"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := capture(t, "submit", "-addr", addr, path)
+	if code == 0 {
+		t.Fatal("submit of an invalid spec succeeded")
+	}
+	if !strings.Contains(errOut, "nope") {
+		t.Errorf("stderr = %q, want the server's validation error", errOut)
+	}
+}
+
+func TestSubmitUnreachableServer(t *testing.T) {
+	path, _ := serveTestSpec(t)
+	code, _, errOut := capture(t, "submit", "-addr", "127.0.0.1:1", path)
+	if code == 0 {
+		t.Fatal("submit to an unreachable server succeeded")
+	}
+	if !strings.Contains(errOut, "mcc submit:") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestListSpecPrintsDigest(t *testing.T) {
+	path, spec := serveTestSpec(t)
+	code, out, errOut := capture(t, "list", "-spec", path)
+	if code != 0 {
+		t.Fatalf("list -spec: %s", errOut)
+	}
+	if !strings.Contains(out, spec.Digest()) {
+		t.Errorf("list -spec output missing the digest:\n%s", out)
+	}
+	if !strings.Contains(out, spec.TopoKey()) {
+		t.Errorf("list -spec output missing the topo key:\n%s", out)
+	}
+	if !strings.Contains(out, "cli-serve-test") || !strings.Contains(out, "5x5x5") {
+		t.Errorf("list -spec output missing headline fields:\n%s", out)
+	}
+}

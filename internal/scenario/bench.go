@@ -62,6 +62,13 @@ type BenchResult struct {
 	EventsPerSec    float64 `json:"events_per_sec"`
 	NsPerPacket     float64 `json:"ns_per_packet"`
 	AllocsPerPacket float64 `json:"allocs_per_packet"`
+	// JobsPerSec is the headline rate of the server throughput cells
+	// (scenario "serve-cold"/"serve-cached"): spec submissions completed per
+	// wall-clock second through the `mcc serve` HTTP pipeline. Zero for
+	// event-core cells; server cells leave the event-core rates zero, which
+	// keeps them outside the events/sec and allocs/packet baseline gates
+	// (wall-clock job throughput on shared runners is informational only).
+	JobsPerSec float64 `json:"jobs_per_sec,omitempty"`
 	// Telemetry is the counter snapshot of one untimed probe trial (trial 0's
 	// configuration with the counters live), run after the timed loop so the
 	// headline rates stay telemetry-off. Baseline deltas compare it to spot
@@ -162,7 +169,7 @@ func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
 				start := time.Now()
 				for trial := 0; trial < spec.Trials; trial++ {
 					seed := rng.Derive(cellSeed, uint64(trial))
-					m := spec.Mesh.New()
+					m := sc.newMesh()
 					injector.Inject(m, rng.New(rng.Derive(seed, 1<<48)))
 					im, err := traffic.BuildModel(model.Name, core.NewModel(m), model.Args())
 					if err != nil {
@@ -196,7 +203,7 @@ func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
 				// feeds the counter snapshot of the cell.
 				{
 					seed := rng.Derive(cellSeed, 0)
-					m := spec.Mesh.New()
+					m := sc.newMesh()
 					injector.Inject(m, rng.New(rng.Derive(seed, 1<<48)))
 					im, err := traffic.BuildModel(model.Name, core.NewModel(m), model.Args())
 					if err != nil {

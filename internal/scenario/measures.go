@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"mccmesh/internal/block"
@@ -145,7 +146,7 @@ func measureAbsorption(ctx context.Context, sc *Scenario) (*Report, error) {
 		sc.emit(Event{Cell: i, Total: len(spec.Faults.Counts), Label: "faults=" + sc.faultLabel(n)})
 		var mcc, mccRegions, rfb, rule stats.Summary
 		for trial := 0; trial < spec.Trials; trial++ {
-			m := spec.Mesh.New()
+			m := sc.newMesh()
 			sc.injectorFor(n).Inject(m, r)
 			l := labeling.Compute(m, grid.PositiveOrientation)
 			cs := region.FindMCCs(l)
@@ -203,7 +204,7 @@ func measureSuccess(ctx context.Context, sc *Scenario) (*Report, error) {
 		sc.emit(Event{Cell: i, Total: len(spec.Faults.Counts), Label: "faults=" + sc.faultLabel(n)})
 		var mcc, rfb, rule, labelsOnly, greedy, optimal stats.Summary
 		for trial := 0; trial < spec.Trials; trial++ {
-			m := spec.Mesh.New()
+			m := sc.newMesh()
 			sc.injectorFor(n).Inject(m, r)
 			bb := block.Build(m, block.BoundingBox)
 			cr := block.Build(m, block.ConvexityRule)
@@ -271,7 +272,7 @@ func measureDistance(ctx context.Context, sc *Scenario) (*Report, error) {
 	rep := &Report{Table: t}
 	sc.emit(Event{Cell: 0, Total: 1, Label: "faults=" + sc.faultLabel(faults)})
 	r := rng.New(spec.Seed)
-	diameter := spec.Mesh.New().Diameter()
+	diameter := sc.newMesh().Diameter()
 	buckets := 4
 	// The measure spans all distances, so the pair filter is only a floor:
 	// at least 2 so a zero-distance pair can never produce a negative bucket.
@@ -285,7 +286,7 @@ func measureDistance(ctx context.Context, sc *Scenario) (*Report, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		m := spec.Mesh.New()
+		m := sc.newMesh()
 		sc.injectorFor(faults).Inject(m, r)
 		bb := block.Build(m, block.BoundingBox)
 		s, d, l, ok := samplePair(r, m, minDist)
@@ -342,7 +343,7 @@ func measureOverhead(ctx context.Context, sc *Scenario) (*Report, error) {
 		sc.emit(Event{Cell: i, Total: len(spec.Faults.Counts), Label: "faults=" + sc.faultLabel(n)})
 		var label, ident, bound, detect, coverage stats.Summary
 		for trial := 0; trial < spec.Trials; trial++ {
-			m := spec.Mesh.New()
+			m := sc.newMesh()
 			sc.injectorFor(n).Inject(m, r)
 			orient := grid.PositiveOrientation
 			lr := protocol.RunLabeling(m, orient)
@@ -406,7 +407,7 @@ func measureAblation(ctx context.Context, sc *Scenario) (*Report, error) {
 		sc.emit(Event{Cell: i, Total: len(spec.Faults.Counts), Label: "faults=" + sc.faultLabel(n)})
 		var safe, blocked, rfb, rule, single stats.Summary
 		for trial := 0; trial < spec.Trials; trial++ {
-			m := spec.Mesh.New()
+			m := sc.newMesh()
 			sc.injectorFor(n).Inject(m, r)
 			lSafe := labeling.Compute(m, grid.PositiveOrientation)
 			lBlocked := labeling.Compute(m, grid.PositiveOrientation, labeling.Options{Border: labeling.BorderBlocked})
@@ -463,7 +464,7 @@ func measureAdaptivity(ctx context.Context, sc *Scenario) (*Report, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		m := spec.Mesh.New()
+		m := sc.newMesh()
 		sc.injectorFor(faults).Inject(m, r)
 		s, d, l, ok := samplePair(r, m, spec.Measure.MinDistance)
 		if !ok {
@@ -539,7 +540,14 @@ func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 				sc.emit(Event{Cell: cell, Total: total, Label: label})
 				cellSeed := rng.Derive(spec.Seed, uint64(cell))
 				results := traffic.RunTrials(spec.Workers, spec.Trials, cellSeed, func(_ int, seed uint64) *traffic.Result {
-					m := spec.Mesh.New()
+					// Cancellation is checked per trial, not only per cell, so
+					// a job cancel lands within one trial's runtime; the
+					// context error flows into Result.Err and is surfaced as a
+					// distinguishable CANCELLED cell below.
+					if err := ctx.Err(); err != nil {
+						return &traffic.Result{Err: err}
+					}
+					m := sc.newMesh()
 					injector.Inject(m, rng.New(rng.Derive(seed, 1<<48)))
 					im, err := traffic.BuildModel(model.Name, core.NewModel(m), model.Args())
 					if err != nil {
@@ -585,6 +593,27 @@ func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 							Cell: cell, Label: label, Counters: agg.Telemetry.Snapshot(),
 						})
 					}
+				}
+				if agg.Err != nil && (errors.Is(agg.Err, context.Canceled) || errors.Is(agg.Err, context.DeadlineExceeded)) {
+					// The run was cancelled mid-cell. Mark the interrupted
+					// cell distinguishably — Cell.Err carries the context
+					// error, not a generic failure — and return the completed
+					// prefix of the sweep with the context's error, so a job
+					// runner reports "cancelled", never "failed".
+					row := []string{
+						pattern.Name, model.Name, fmt.Sprintf("%.3f", rate),
+						fmt.Sprintf("CANCELLED: %v", agg.Err),
+					}
+					for len(row) < len(columns) {
+						row = append(row, "-")
+					}
+					t.AddRow(row...)
+					rep.Cells = append(rep.Cells, Cell{
+						Index: cell, Pattern: pattern.Name, Model: model.Name, Rate: rate, Faults: faults, Row: row,
+						Err: agg.Err.Error(),
+					})
+					sc.emit(Event{Cell: cell, Total: total, Label: label, Done: true, Row: row})
+					return rep, agg.Err
 				}
 				if agg.Err != nil {
 					// A trial aborted (event budget exhausted): fail this cell

@@ -1,5 +1,7 @@
 package scenario
 
+import "mccmesh/internal/mesh"
+
 // The With* functions are the functional-options vocabulary behind
 // mccmesh.NewScenario: each one sets one part of the Spec (or installs an
 // observer) and they may be combined in any order. Options are applied before
@@ -129,6 +131,14 @@ func WithTrials(trials int) Option {
 // results are bit-identical for any value.
 func WithWorkers(workers int) Option {
 	return func(sc *Scenario) { sc.spec.Workers = workers }
+}
+
+// WithMeshSource installs a trial-mesh factory (see Scenario.SetMeshSource):
+// trials draw their meshes from fn — typically Clones of a shared immutable
+// topology prototype — instead of constructing them from the spec extents.
+// fn must be safe for concurrent use.
+func WithMeshSource(fn func() *mesh.Mesh) Option {
+	return func(sc *Scenario) { sc.meshSource = fn }
 }
 
 // WithObserver installs a progress observer (see Observer).

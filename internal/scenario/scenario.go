@@ -33,6 +33,31 @@ type Scenario struct {
 	// same treatment as the -workers override).
 	telemetry            bool
 	traceEvery, traceCap int
+
+	// meshSource overrides how trial meshes are built (nil = spec.Mesh.New).
+	// It is called concurrently from trial workers, so an implementation must
+	// be safe for concurrent use; the meshes it returns become trial-private
+	// mutable state. `mcc serve` installs a source cloning from a shared
+	// immutable topology prototype here.
+	meshSource func() *mesh.Mesh
+}
+
+// SetMeshSource installs a trial-mesh factory: every trial of the run draws
+// its mesh from fn instead of building one from the spec's extents. fn must
+// return a fresh fault-free mesh of the spec's topology each call and must be
+// safe for concurrent use (trials run on parallel workers). The canonical
+// source is a shared-topology pool handing out Clones of one immutable
+// prototype, so concurrent jobs over the same topology share the read-only
+// neighbour/point tables and clone only the mutable fault state.
+func (sc *Scenario) SetMeshSource(fn func() *mesh.Mesh) { sc.meshSource = fn }
+
+// newMesh builds one trial's mesh: the installed source, or the spec's own
+// constructor.
+func (sc *Scenario) newMesh() *mesh.Mesh {
+	if sc.meshSource != nil {
+		return sc.meshSource()
+	}
+	return sc.spec.Mesh.New()
 }
 
 // EnableTelemetry turns on the counter sink for every trial of the run: each
@@ -107,20 +132,23 @@ func (sc *Scenario) WriteSpec(w io.Writer) error {
 func (sc *Scenario) Observe(f Observer) { sc.observer = f }
 
 // Run executes the scenario's measure and returns the structured report. The
-// context is checked between cells; cancelling it abandons the run and
-// returns the context's error.
+// context is checked between cells and between trials; cancelling it abandons
+// the run and returns an error satisfying errors.Is(err, ctx.Err()) — job
+// runners distinguish cancellation from failure that way. Measures that can
+// return the completed prefix of a cancelled sweep do (the traffic measure
+// marks the interrupted cell CANCELLED in Cell.Err), so the report may be
+// non-nil alongside the error.
 func (sc *Scenario) Run(ctx context.Context) (*Report, error) {
 	e, err := Measures.Lookup(sc.spec.Measure.Kind)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	rep, err := e.New(ctx, sc)
-	if err != nil {
-		return nil, err
+	if rep != nil {
+		rep.Spec = sc.spec
+		rep.Measure = e.Name
 	}
-	rep.Spec = sc.spec
-	rep.Measure = e.Name
-	return rep, nil
+	return rep, err
 }
 
 // Report is the structured outcome of one scenario run: the rendered table

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"mccmesh/internal/scenario"
+	"mccmesh/internal/stats"
+)
+
+// ServeBenchSpec returns the workload of the server throughput benchmark: the
+// CI smoke shape shrunk to one cell, small enough that a cold job completes
+// in a fraction of a second — the benchmark prices the serving pipeline
+// (HTTP, validation, queueing, topology pool, cache), not the simulator.
+func ServeBenchSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:   "serve",
+		Mesh:   scenario.Cube(7),
+		Faults: scenario.FaultSpec{Inject: scenario.C("uniform"), Counts: []int{10}},
+		Models: scenario.ComponentsOf("mcc"),
+		Workload: scenario.WorkloadSpec{
+			Patterns: scenario.ComponentsOf("uniform"),
+			Rates:    []float64{0.01},
+		},
+		Measure: scenario.MeasureSpec{Kind: scenario.MeasureTraffic, Warmup: 20, Window: 80},
+		Seed:    7,
+		Trials:  2,
+	}
+}
+
+// BenchServe measures end-to-end submission throughput of an in-process
+// server: `cold` jobs with distinct seeds (every submission computes) and
+// `cached` resubmissions of one digest (every submission is answered from the
+// result cache). It returns one BenchResult per mode — scenario "serve-cold"
+// and "serve-cached", JobsPerSec as the headline rate — plus a rendered
+// table for the bench output.
+func BenchServe(cfg Config, cold, cached int) ([]scenario.BenchResult, *stats.Table, error) {
+	if cold <= 0 {
+		cold = 8
+	}
+	if cached <= 0 {
+		cached = 64
+	}
+	cfg = cfg.withDefaults()
+	s := New(cfg)
+	defer s.Close()
+
+	spec := ServeBenchSpec()
+	coldElapsed, err := runSubmissions(s, spec, cold, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server bench (cold): %w", err)
+	}
+	// Prime the cache with the unmodified spec, then time pure hits.
+	if _, err := runSubmissions(s, spec, 1, false); err != nil {
+		return nil, nil, fmt.Errorf("server bench (prime): %w", err)
+	}
+	cachedElapsed, err := runSubmissions(s, spec, cached, false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server bench (cached): %w", err)
+	}
+
+	cells := []scenario.BenchResult{
+		serveCell("serve-cold", spec, cold, coldElapsed),
+		serveCell("serve-cached", spec, cached, cachedElapsed),
+	}
+	t := &stats.Table{
+		Title: fmt.Sprintf("bench: serve throughput (%s mesh, %d job workers, warmup %d + window %d ticks)",
+			spec.Mesh, cfg.Jobs, spec.Measure.Warmup, spec.Measure.Window),
+		Columns: []string{"mode", "jobs", "elapsed", "jobs/sec"},
+	}
+	for _, c := range cells {
+		t.AddRow(strings.TrimPrefix(c.Scenario, "serve-"),
+			fmt.Sprintf("%d", c.Trials),
+			fmt.Sprintf("%.3fs", c.ElapsedSec),
+			fmt.Sprintf("%.1f", c.JobsPerSec))
+	}
+	t.AddNote("cold: distinct seeds, every submission computes; cached: one digest, every submission is a cache hit.")
+	return cells, t, nil
+}
+
+// serveCell shapes one throughput measurement as a benchmark cell. The spec's
+// workload fields keep the cell key unique next to the event-core cells.
+func serveCell(name string, spec scenario.Spec, jobs int, elapsed time.Duration) scenario.BenchResult {
+	res := scenario.BenchResult{
+		Scenario: name,
+		Mesh:     spec.Mesh.String(),
+		Pattern:  spec.Workload.Patterns[0].Name,
+		Model:    spec.Models[0].Name,
+		Rate:     spec.Workload.Rates[0],
+		Faults:   spec.Faults.Counts[0],
+		Warmup:   spec.Measure.Warmup,
+		Window:   spec.Measure.Window,
+		Trials:   jobs,
+		Seed:     spec.Seed,
+	}
+	res.ElapsedSec = elapsed.Seconds()
+	if res.ElapsedSec > 0 {
+		res.JobsPerSec = float64(jobs) / res.ElapsedSec
+	}
+	return res
+}
+
+// runSubmissions pushes n submissions through the full HTTP handler path and
+// waits for all of them to reach a terminal state, returning the wall-clock
+// total. distinctSeeds defeats the result cache (each job computes); without
+// it every submission shares one digest.
+func runSubmissions(s *Server, spec scenario.Spec, n int, distinctSeeds bool) (time.Duration, error) {
+	start := time.Now()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		submitSpec := spec
+		if distinctSeeds {
+			submitSpec.Seed = spec.Seed + 1000 + uint64(i)
+		}
+		body, err := json.Marshal(submitSpec)
+		if err != nil {
+			return 0, err
+		}
+		req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted && rec.Code != http.StatusOK {
+			return 0, fmt.Errorf("submission %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		var info JobInfo
+		if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+			return 0, err
+		}
+		ids = append(ids, info.ID)
+	}
+	for _, id := range ids {
+		job, ok := s.job(id)
+		if !ok {
+			return 0, fmt.Errorf("job %s vanished", id)
+		}
+		if err := waitJob(job); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// waitJob blocks until a job is terminal, failing on anything but done.
+func waitJob(j *Job) error {
+	from := 0
+	for {
+		evs, terminal, wait := j.eventsFrom(from)
+		from += len(evs)
+		if terminal {
+			info := j.Info(false)
+			if info.Status != StatusDone {
+				return fmt.Errorf("job %s: %s (%s)", info.ID, info.Status, info.Error)
+			}
+			return nil
+		}
+		if wait != nil {
+			<-wait
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"testing"
+)
+
+// BenchmarkSubmitCold measures end-to-end cold submissions: every iteration
+// computes (distinct seeds defeat the cache), through the full HTTP handler
+// path of an in-process server.
+func BenchmarkSubmitCold(b *testing.B) {
+	s := New(Config{Jobs: 4})
+	defer s.Close()
+	spec := ServeBenchSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := runSubmissions(s, spec, b.N, true); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSubmitCached measures pure cache-hit submissions: one primed
+// digest answered without recompute.
+func BenchmarkSubmitCached(b *testing.B) {
+	s := New(Config{Jobs: 4})
+	defer s.Close()
+	spec := ServeBenchSpec()
+	if _, err := runSubmissions(s, spec, 1, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := runSubmissions(s, spec, b.N, false); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestBenchServeProducesCells(t *testing.T) {
+	cells, table, err := BenchServe(Config{Jobs: 2}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	if cells[0].Scenario != "serve-cold" || cells[1].Scenario != "serve-cached" {
+		t.Errorf("cell scenarios = %q, %q", cells[0].Scenario, cells[1].Scenario)
+	}
+	for _, c := range cells {
+		if c.JobsPerSec <= 0 {
+			t.Errorf("%s: jobs/sec = %v, want > 0", c.Scenario, c.JobsPerSec)
+		}
+		if c.EventsPerSec != 0 {
+			t.Errorf("%s: events/sec = %v, want 0 (server cells stay outside the event-core gates)", c.Scenario, c.EventsPerSec)
+		}
+	}
+	if cells[0].Key() == cells[1].Key() {
+		t.Error("cold and cached cells share a baseline key")
+	}
+	if cells[1].JobsPerSec <= cells[0].JobsPerSec {
+		t.Errorf("cached (%.1f jobs/s) not faster than cold (%.1f jobs/s)",
+			cells[1].JobsPerSec, cells[0].JobsPerSec)
+	}
+	if table == nil || len(table.Rows) != 2 {
+		t.Error("bench table missing or wrong shape")
+	}
+}

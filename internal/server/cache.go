@@ -1,0 +1,95 @@
+package server
+
+import (
+	"sync"
+
+	"mccmesh/internal/scenario"
+)
+
+// resultCache is the server's report cache, keyed by the canonical spec
+// digest: a resubmission of a byte-equal spec (after normalisation, and
+// ignoring the Workers execution knob — see scenario.Spec.Digest) is answered
+// with the stored report and replayed event log instead of recomputing.
+// Results are workers-invariant by construction, so a cached report is
+// bit-identical to what a fresh run would produce. Only telemetry-free runs
+// are cached: telemetry changes report content without changing the digest.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+	order   []string // LRU order, oldest first
+	hits    int64
+	misses  int64
+}
+
+// cacheEntry stores one completed job's outcome. The report and events are
+// treated as immutable once inserted; handlers serialise them without copying.
+type cacheEntry struct {
+	report *scenario.Report
+	events []JobEvent
+	jobID  string // the job that computed the result, echoed to clients
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &resultCache{max: max, entries: make(map[string]*cacheEntry)}
+}
+
+// get returns the cached outcome for a digest, refreshing its LRU position.
+func (c *resultCache) get(digest string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[digest]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.touchLocked(digest)
+	return e, true
+}
+
+// put stores a completed job's outcome, evicting the least recently used
+// entry when full.
+func (c *resultCache) put(digest string, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[digest]; ok {
+		c.entries[digest] = e
+		c.touchLocked(digest)
+		return
+	}
+	c.entries[digest] = e
+	c.order = append(c.order, digest)
+	for len(c.entries) > c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+}
+
+// touchLocked moves a digest to the most-recently-used end; callers hold mu.
+func (c *resultCache) touchLocked(digest string) {
+	for i, d := range c.order {
+		if d == digest {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, digest)
+}
+
+// CacheStats is the cache's observable state (the /v1/stats payload).
+type CacheStats struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+}

@@ -1,0 +1,279 @@
+// Package server is the scenario-execution daemon behind `mcc serve`: an HTTP
+// API that accepts the same JSON specs as `mcc run -spec`, validates them
+// up front, runs them on a bounded worker pool, and exposes the job lifecycle
+// (status, structured reports, cancellation, streamed progress events).
+//
+// Two layers keep repeated work cheap. A result cache keyed by the canonical
+// spec digest answers resubmissions of byte-equal specs with the stored
+// report — results are workers-invariant, so a cached report is bit-identical
+// to a recompute. A shared-topology pool hands jobs whose mesh/fault
+// configuration hashes equal Clones of one immutable mesh prototype, so
+// concurrent jobs share the read-only topology tables and allocate only the
+// per-trial fault state.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mccmesh/internal/mesh"
+	"mccmesh/internal/scenario"
+	"mccmesh/internal/telemetry"
+)
+
+// Config sizes the server; zero values select the defaults.
+type Config struct {
+	// Jobs is the worker-pool size — the number of scenarios running
+	// concurrently (default 4). Each job additionally shards its trials
+	// across its spec's own Workers setting.
+	Jobs int
+	// Queue bounds the jobs waiting for a worker (default 64); submissions
+	// beyond it are rejected with 503 rather than buffered without limit.
+	Queue int
+	// CacheSize bounds the result cache (default 128 reports).
+	CacheSize int
+	// Topos bounds the shared-topology pool (default 64 prototypes).
+	Topos int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Jobs <= 0 {
+		c.Jobs = 4
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.Topos <= 0 {
+		c.Topos = 64
+	}
+	return c
+}
+
+// Server is the daemon: an http.Handler plus the worker pool behind it.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *Job
+	pool  *TopoPool
+	cache *resultCache
+
+	// baseCtx parents every job context; Close cancels it, aborting running
+	// jobs before the worker goroutines are awaited.
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listings
+	nextID int
+	tel    *telemetry.Sink // guarded by mu: Sink itself is not goroutine-safe
+	queued int             // jobs accepted but not yet claimed by a worker
+}
+
+// New returns a started server: workers are running and ServeHTTP is live.
+// Call Close to drain it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *Job, cfg.Queue),
+		pool:    NewTopoPool(cfg.Topos),
+		cache:   newResultCache(cfg.CacheSize),
+		baseCtx: ctx,
+		stop:    cancel,
+		jobs:    make(map[string]*Job),
+		tel:     telemetry.NewSink(),
+	}
+	s.mux = s.routes()
+	for i := 0; i < cfg.Jobs; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops accepting queued work, cancels running jobs and waits for the
+// workers to exit. In-flight jobs surface as canceled.
+func (s *Server) Close() {
+	s.stop()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// counter applies fn to the server's telemetry sink under the server lock
+// (the Sink type itself is single-threaded by design).
+func (s *Server) counter(fn func(*telemetry.Sink)) {
+	s.mu.Lock()
+	fn(s.tel)
+	s.mu.Unlock()
+}
+
+// Counters returns a snapshot of the server's lifecycle counters.
+func (s *Server) Counters() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tel.Snapshot()
+}
+
+// submit registers a validated scenario as a job. When the spec's digest is
+// cached (and telemetry is off — telemetry changes report content), the job
+// is sealed immediately from the cache; otherwise it is queued. The error is
+// non-nil only when the queue is full.
+func (s *Server) submit(sc *scenario.Scenario, withTelemetry bool) (*Job, error) {
+	jobCtx, cancel := context.WithCancel(s.baseCtx)
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("j%04d", s.nextID)
+	s.mu.Unlock()
+	job := newJob(id, sc, cancel)
+	job.telemetry = withTelemetry
+	job.ctx = jobCtx
+
+	if !withTelemetry {
+		if e, ok := s.cache.get(job.digest); ok {
+			job.fillCached(e.report, e.events)
+			cancel()
+			s.register(job)
+			s.counter(func(t *telemetry.Sink) {
+				t.Inc(telemetry.ServerJobsSubmitted)
+				t.Inc(telemetry.ServerCacheHits)
+			})
+			return job, nil
+		}
+	}
+
+	s.mu.Lock()
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("job queue full (%d waiting)", s.cfg.Queue)
+	}
+	s.queued++
+	s.tel.Inc(telemetry.ServerJobsSubmitted)
+	s.tel.Max(telemetry.ServerQueueDepth, int64(s.queued))
+	s.mu.Unlock()
+	s.register(job)
+	return job, nil
+}
+
+// register indexes a job for the lookup and list endpoints.
+func (s *Server) register(job *Job) {
+	s.mu.Lock()
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.mu.Unlock()
+}
+
+// job looks a job up by id.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list returns every job's summary, in submission order.
+func (s *Server) list() []JobInfo {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	infos := make([]JobInfo, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.job(id); ok {
+			infos = append(infos, j.Info(false))
+		}
+	}
+	return infos
+}
+
+// worker drains the queue, running one job at a time until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job: it wires the observer into the job's event log,
+// installs a shared-topology mesh source, runs the scenario under the job
+// context and seals the outcome. Successful telemetry-free runs populate the
+// result cache.
+func (s *Server) runJob(job *Job) {
+	if !job.claim() { // cancelled while queued
+		s.counter(func(t *telemetry.Sink) { t.Inc(telemetry.ServerJobsCancelled) })
+		return
+	}
+	sc := job.sc
+	sc.Observe(job.appendEvent)
+	src, release := s.pool.Source(sc.Spec())
+	defer release()
+	sc.SetMeshSource(func() *mesh.Mesh {
+		s.counter(func(t *telemetry.Sink) { t.Inc(telemetry.ServerTopoClones) })
+		return src()
+	})
+
+	rep, err := sc.Run(job.ctx)
+	switch {
+	case err == nil:
+		job.finish(StatusDone, rep, "")
+		if !job.telemetry {
+			report, events := job.snapshot()
+			s.cache.put(job.digest, &cacheEntry{report: report, events: events, jobID: job.id})
+		}
+		s.counter(func(t *telemetry.Sink) { t.Inc(telemetry.ServerJobsCompleted) })
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		job.finish(StatusCanceled, rep, err.Error())
+		s.counter(func(t *telemetry.Sink) { t.Inc(telemetry.ServerJobsCancelled) })
+	default:
+		job.finish(StatusFailed, rep, err.Error())
+		s.counter(func(t *telemetry.Sink) { t.Inc(telemetry.ServerJobsFailed) })
+	}
+}
+
+// Stats is the /v1/stats payload: job-lifecycle counters plus the cache and
+// topology-pool snapshots.
+type Stats struct {
+	Jobs     map[string]int   `json:"jobs"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Cache    CacheStats       `json:"cache"`
+	Topo     TopoStats        `json:"topo"`
+}
+
+// StatsSnapshot assembles the current server statistics.
+func (s *Server) StatsSnapshot() Stats {
+	st := Stats{
+		Jobs:     make(map[string]int),
+		Counters: s.Counters(),
+		Cache:    s.cache.stats(),
+		Topo:     s.pool.Stats(),
+	}
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		st.Jobs[string(j.Info(false).Status)]++
+	}
+	return st
+}

@@ -77,6 +77,22 @@ const (
 	TracesSampled
 	TracesEvicted
 
+	// ServerJobsSubmitted / ServerJobsCompleted / ServerJobsFailed /
+	// ServerJobsCancelled count the job lifecycle of the scenario-execution
+	// daemon (`mcc serve`); ServerCacheHits counts submissions answered from
+	// the spec-digest result cache without recompute.
+	ServerJobsSubmitted
+	ServerJobsCompleted
+	ServerJobsFailed
+	ServerJobsCancelled
+	ServerCacheHits
+	// ServerQueueDepth is a gauge: the maximum number of jobs waiting for a
+	// worker at any point of the server's lifetime.
+	ServerQueueDepth
+	// ServerTopoClones counts meshes cloned from the shared-topology pool's
+	// immutable prototypes (per-trial mutable copies over shared tables).
+	ServerTopoClones
+
 	// NumCounters is the Sink slot count, not a counter.
 	NumCounters
 )
@@ -84,27 +100,34 @@ const (
 // counterNames are the stable external names, indexed by CounterID; they key
 // every JSON snapshot and counter table.
 var counterNames = [NumCounters]string{
-	SimHeapEvents:      "simnet.heap_events",
-	SimHeapMigrations:  "simnet.heap_migrations",
-	SimBucketReuses:    "simnet.bucket_reuses",
-	SimBucketPeak:      "simnet.bucket_peak",
-	FieldHits:          "routing.field_hits",
-	FieldColdBuilds:    "routing.field_cold_builds",
-	FieldRebuilds:      "routing.field_rebuilds",
-	FieldEvictions:     "routing.field_evictions",
-	FieldEpochBumps:    "routing.epoch_bumps",
-	RelabelAddNodes:    "labeling.relabel_add_nodes",
-	RelabelRemoveNodes: "labeling.relabel_remove_nodes",
-	PacketsInjected:    "traffic.injected",
-	PacketsDelivered:   "traffic.delivered",
-	PacketsStuck:       "traffic.stuck",
-	PacketsLost:        "traffic.lost",
-	ChurnFailures:      "churn.failures",
-	ChurnRepairs:       "churn.repairs",
-	ChurnFailedNodes:   "churn.failed_nodes",
-	ChurnRepairedNodes: "churn.repaired_nodes",
-	TracesSampled:      "trace.sampled",
-	TracesEvicted:      "trace.evicted",
+	SimHeapEvents:       "simnet.heap_events",
+	SimHeapMigrations:   "simnet.heap_migrations",
+	SimBucketReuses:     "simnet.bucket_reuses",
+	SimBucketPeak:       "simnet.bucket_peak",
+	FieldHits:           "routing.field_hits",
+	FieldColdBuilds:     "routing.field_cold_builds",
+	FieldRebuilds:       "routing.field_rebuilds",
+	FieldEvictions:      "routing.field_evictions",
+	FieldEpochBumps:     "routing.epoch_bumps",
+	RelabelAddNodes:     "labeling.relabel_add_nodes",
+	RelabelRemoveNodes:  "labeling.relabel_remove_nodes",
+	PacketsInjected:     "traffic.injected",
+	PacketsDelivered:    "traffic.delivered",
+	PacketsStuck:        "traffic.stuck",
+	PacketsLost:         "traffic.lost",
+	ChurnFailures:       "churn.failures",
+	ChurnRepairs:        "churn.repairs",
+	ChurnFailedNodes:    "churn.failed_nodes",
+	ChurnRepairedNodes:  "churn.repaired_nodes",
+	TracesSampled:       "trace.sampled",
+	TracesEvicted:       "trace.evicted",
+	ServerJobsSubmitted: "server.jobs_submitted",
+	ServerJobsCompleted: "server.jobs_completed",
+	ServerJobsFailed:    "server.jobs_failed",
+	ServerJobsCancelled: "server.jobs_cancelled",
+	ServerCacheHits:     "server.cache_hits",
+	ServerQueueDepth:    "server.queue_depth",
+	ServerTopoClones:    "server.topo_clones",
 }
 
 // String returns the stable external name of the counter.
@@ -116,7 +139,7 @@ func (id CounterID) String() string {
 }
 
 // gauge reports whether the slot merges by max instead of by sum.
-func (id CounterID) gauge() bool { return id == SimBucketPeak }
+func (id CounterID) gauge() bool { return id == SimBucketPeak || id == ServerQueueDepth }
 
 // Sink is one trial's counter slice. The zero value is ready to use; a nil
 // *Sink is the disabled state — every method nil-checks and returns, so
