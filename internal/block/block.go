@@ -57,7 +57,8 @@ type Regions struct {
 	// Blocks lists the fault blocks.
 	Blocks []*Block
 
-	inBlock []int // node index -> block id or -1
+	inBlock []int    // node index -> block id or -1
+	avoidW  []uint64 // lazily-built bitset form of inBlock (AvoidWords)
 }
 
 // Block is a single rectangular faulty block.
@@ -281,6 +282,23 @@ func (r *Regions) ContainsID(id int32) bool {
 func (r *Regions) AvoidID() func(id int32) bool {
 	inBlock := r.inBlock
 	return func(id int32) bool { return inBlock[id] >= 0 }
+}
+
+// AvoidWords returns the union of all blocks as a bitset over dense node IDs
+// — the word-level form of AvoidID that the row-at-a-time reachability sweep
+// consumes. Built once on first use: a Regions snapshot is immutable (fault
+// changes rebuild it wholesale). The caller must not mutate the slice.
+func (r *Regions) AvoidWords() []uint64 {
+	if r.avoidW == nil {
+		w := make([]uint64, (len(r.inBlock)+63)/64)
+		for i, b := range r.inBlock {
+			if b >= 0 {
+				w[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		r.avoidW = w
+	}
+	return r.avoidW
 }
 
 // BlockOf returns the block containing p, or nil.

@@ -230,7 +230,7 @@ func TestRunTelemetryOutputs(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("run -v failed: %s", errOut)
 	}
-	for _, want := range []string{"Telemetry counters", "traffic.injected", "routing.field_hits"} {
+	for _, want := range []string{"Telemetry counters", "traffic.injected", "routing.decision_hits"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("run -v output missing %q:\n%s", want, out)
 		}

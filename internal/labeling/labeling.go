@@ -101,6 +101,11 @@ type Labeling struct {
 
 	queue []int32 // worklist scratch, reused across AddFaults calls
 
+	// unsafeW is the unsafe set as a bitset over dense node IDs, rebuilt
+	// lazily by UnsafeWords after any relabelling (wordsStale tracks that).
+	unsafeW    []uint64
+	wordsStale bool
+
 	// tel receives incremental-relabel set sizes; nil — the default — costs a
 	// predicted branch per AddFaults/RemoveFaults call, nothing per node.
 	tel *telemetry.Sink
@@ -131,6 +136,7 @@ func Compute(m *mesh.Mesh, orient grid.Orientation, opts ...Options) *Labeling {
 
 func (l *Labeling) run() {
 	m := l.mesh
+	l.wordsStale = true
 	// Step 1: label all faulty nodes faulty, everything else safe.
 	l.counts = [4]int{}
 	for i := 0; i < m.NodeCount(); i++ {
@@ -250,6 +256,7 @@ func (l *Labeling) promote(id int32, s Status) {
 // injectors do this); out-of-bounds points are ignored.
 func (l *Labeling) AddFaults(pts []grid.Point) {
 	m := l.mesh
+	l.wordsStale = true
 	queue := l.queue[:0]
 	for _, p := range pts {
 		id := m.ID(p)
@@ -299,6 +306,7 @@ func (l *Labeling) AddFaults(pts []grid.Point) {
 // out-of-bounds points and points not labelled Faulty are ignored.
 func (l *Labeling) RemoveFaults(pts []grid.Point) {
 	m := l.mesh
+	l.wordsStale = true
 	dirs := m.Directions()
 	queue := l.queue[:0]
 	for _, p := range pts {
@@ -366,6 +374,33 @@ func (l *Labeling) UnsafeAt(idx int) bool { return l.status[idx] != Safe }
 func (l *Labeling) AvoidUnsafeID() func(id int32) bool {
 	status := l.status
 	return func(id int32) bool { return status[id] != Safe }
+}
+
+// UnsafeWords returns the unsafe set as a bitset over dense node IDs (bit set
+// = unsafe), the word-level form of AvoidUnsafeID that the reachability sweep
+// consumes a row at a time (minimal.ReachabilityWordsInto). The bitset is
+// rebuilt lazily after a relabelling and must not be mutated or retained
+// across AddFaults/RemoveFaults by the caller.
+func (l *Labeling) UnsafeWords() []uint64 {
+	if l.unsafeW != nil && !l.wordsStale {
+		return l.unsafeW
+	}
+	n := (len(l.status) + 63) / 64
+	if cap(l.unsafeW) < n {
+		l.unsafeW = make([]uint64, n)
+	} else {
+		l.unsafeW = l.unsafeW[:n]
+		for i := range l.unsafeW {
+			l.unsafeW[i] = 0
+		}
+	}
+	for i, s := range l.status {
+		if s != Safe {
+			l.unsafeW[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	l.wordsStale = false
+	return l.unsafeW
 }
 
 // Unsafe reports whether p is faulty, useless or can't-reach.

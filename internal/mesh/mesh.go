@@ -224,6 +224,12 @@ func (m *Mesh) FaultyAt(idx int) bool {
 	return m.faulty[idx>>6]&(uint64(1)<<(idx&63)) != 0
 }
 
+// FaultyWords exposes the fault bitset (bit i = node i is faulty) for
+// word-level consumers — the routing decision-mask sweep reads 64 nodes'
+// status at a time from it. Callers must not mutate the returned slice, and
+// must not hold it across SetFaulty calls that could be concurrent.
+func (m *Mesh) FaultyWords() []uint64 { return m.faulty }
+
 // Faults returns the coordinates of all faulty nodes in index order.
 func (m *Mesh) Faults() []grid.Point {
 	out := make([]grid.Point, 0, m.nfault)

@@ -164,6 +164,134 @@ func ReachabilityIDInto(f *Field, m *mesh.Mesh, avoid AvoidID, s, d grid.Point) 
 	return f
 }
 
+// ReachabilityWordsInto computes the field like ReachabilityIDInto but takes
+// the obstacle set as a bitset over dense node IDs (bit set = avoid) instead
+// of a predicate, which lets the sweep run a whole box row at a time: extract
+// the row's free bits and the already-resolved forward-Y/Z neighbour rows as
+// words, then resolve the X recurrence ok(x) = free(x) ∧ (seed(x) ∨ ok(x±1))
+// with a logarithmic shift-propagate cascade — six shift/mask steps per row
+// instead of a predicate call and three bit probes per cell. Boxes wider than
+// 64 nodes (beyond every mesh in the evaluation) fall back to the per-node
+// sweep through a bitset-reading predicate.
+//
+// The providers' avoid sets are all natively bitsets — the mesh fault words
+// for the oracle, the labelling's unsafe words for MCC, the block table's
+// membership words for RFB — so this is the build path behind the direction
+// masks of the per-hop decision memoisation.
+func ReachabilityWordsInto(f *Field, m *mesh.Mesh, avoid []uint64, s, d grid.Point) *Field {
+	orient := grid.OrientationOf(s, d)
+	box := grid.BoxOf(s, d)
+	w := box.Max.X - box.Min.X + 1
+	if w > 64 {
+		return ReachabilityIDInto(f, m, func(id int32) bool {
+			return avoid[id>>6]&(1<<uint(id&63)) != 0
+		}, s, d)
+	}
+	if f == nil {
+		f = &Field{}
+	}
+	f.m = m
+	f.orient = orient
+	f.box = box
+	f.d = d
+	f.dims = [3]int{w, box.Max.Y - box.Min.Y + 1, box.Max.Z - box.Min.Z + 1}
+	nbits := w * f.dims[1] * f.dims[2]
+	nwords := (nbits + 63) / 64
+	if cap(f.words) < nwords {
+		f.words = make([]uint64, nwords)
+	} else {
+		f.words = f.words[:nwords]
+	}
+	// Every bit below nbits is overwritten row by row; only the tail of the
+	// last word needs clearing, so recycled storage cannot leak garbage bits
+	// to word-level consumers of the finished bitset.
+	if t := uint(nbits & 63); t != 0 {
+		f.words[nwords-1] &= 1<<t - 1
+	}
+
+	dims := m.Dims()
+	locDY := orient.SY * w
+	locDZ := orient.SZ * w * f.dims[1]
+	rowMask := ^uint64(0)
+	if w < 64 {
+		rowMask = 1<<uint(w) - 1
+	}
+	dxBit := uint64(1) << uint(d.X-box.Min.X)
+	// Rows in decreasing order of remaining distance to d, as in the per-node
+	// sweep: the forward-Y and forward-Z neighbour rows are always resolved
+	// before the rows that read them.
+	dc := orient.Canon(s, d)
+	for cz := dc.Z; cz >= 0; cz-- {
+		for cy := dc.Y; cy >= 0; cy-- {
+			p := orient.Uncanon(s, grid.Point{X: dc.X, Y: cy, Z: cz})
+			idRow := box.Min.X + dims.X*(p.Y+dims.Y*p.Z)
+			locRow := w * ((p.Y - box.Min.Y) + f.dims[1]*(p.Z-box.Min.Z))
+			free := ^bitsRange(avoid, idRow, w) & rowMask
+			// seed(x): reachable through a forward Y or Z step (or being the
+			// destination itself); the X recurrence then extends each seed
+			// through runs of free cells toward the source side.
+			var seed uint64
+			if cy < dc.Y {
+				seed = bitsRange(f.words, locRow+locDY, w)
+			}
+			if cz < dc.Z {
+				seed |= bitsRange(f.words, locRow+locDZ, w)
+			}
+			if cy == dc.Y && cz == dc.Z {
+				seed |= dxBit
+			}
+			r := seed & free
+			run := free
+			if orient.SX >= 0 {
+				// d on the high-x side: ok(x) looks at ok(x+1), so set bits
+				// propagate downward. run(x) tracks "free on [x, x+k)".
+				r |= (r >> 1) & run
+				run &= run >> 1
+				r |= (r >> 2) & run
+				run &= run >> 2
+				r |= (r >> 4) & run
+				run &= run >> 4
+				r |= (r >> 8) & run
+				run &= run >> 8
+				r |= (r >> 16) & run
+				run &= run >> 16
+				r |= (r >> 32) & run
+			} else {
+				r |= (r << 1) & run
+				run &= run << 1
+				r |= (r << 2) & run
+				run &= run << 2
+				r |= (r << 4) & run
+				run &= run << 4
+				r |= (r << 8) & run
+				run &= run << 8
+				r |= (r << 16) & run
+				run &= run << 16
+				r |= (r << 32) & run
+			}
+			setBitsRange(f.words, locRow, w, r)
+		}
+	}
+	return f
+}
+
+// setBitsRange writes v's low n bits into bits [start, start+n) of the
+// bitset, leaving every other bit untouched. start must be non-negative and
+// n at most 64.
+func setBitsRange(words []uint64, start, n int, v uint64) {
+	m := ^uint64(0)
+	if n < 64 {
+		m = 1<<uint(n) - 1
+		v &= m
+	}
+	w, off := start>>6, uint(start&63)
+	words[w] = words[w]&^(m<<off) | v<<off
+	if off != 0 && int(off)+n > 64 {
+		sh := 64 - off
+		words[w+1] = words[w+1]&^(m>>sh) | v>>sh
+	}
+}
+
 func (f *Field) index(p grid.Point) int {
 	x := p.X - f.box.Min.X
 	y := p.Y - f.box.Min.Y
@@ -199,9 +327,43 @@ func (f *Field) CanReachCovered(p grid.Point) bool {
 	return f.words[i>>6]&(1<<uint(i&63)) != 0
 }
 
+// bitsRange extracts bits [start, start+n) of a bitset as the low n bits of a
+// word, zero-filling positions outside the bitset (including negative starts,
+// which the negative-orientation neighbour shifts produce at box edges).
+// n must be at most 64.
+func bitsRange(words []uint64, start, n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if start < 0 {
+		if start+n <= 0 {
+			return 0
+		}
+		return bitsRange(words, 0, start+n) << uint(-start)
+	}
+	if start >= len(words)*64 {
+		return 0
+	}
+	w, off := start>>6, uint(start&63)
+	out := words[w] >> off
+	if off != 0 && w+1 < len(words) {
+		out |= words[w+1] << (64 - off)
+	}
+	if n < 64 {
+		out &= 1<<uint(n) - 1
+	}
+	return out
+}
+
 // Words returns the number of 64-bit words currently backing the field's
 // bitset (a sizing hint for storage arenas).
 func (f *Field) Words() int { return len(f.words) }
+
+// BitWords exposes the field's bitset words (box-local row-major indexing,
+// row width the box's X extent). The routing decision fast path probes
+// neighbour bits in place through this view. Callers must not mutate the
+// slice, and must treat it as stale after the next build into this field.
+func (f *Field) BitWords() []uint64 { return f.words }
 
 // PrepareStorage hands the field a words buffer to use for its next build:
 // ReachabilityIDInto reuses the buffer as long as its capacity suffices. The

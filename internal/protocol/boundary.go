@@ -47,7 +47,7 @@ const recordsKey = "mcc-records"
 
 func (h *infoHandler) Init(*simnet.Context) {}
 
-func (h *infoHandler) Receive(ctx *simnet.Context, env simnet.Envelope) {
+func (h *infoHandler) Receive(ctx *simnet.Context, env *simnet.Envelope) {
 	switch msg := env.Payload.(type) {
 	case identMsg:
 		h.stepIdentify(ctx, msg)

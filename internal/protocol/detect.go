@@ -64,7 +64,7 @@ func (h *detectHandler) Init(*simnet.Context) {}
 
 func (h *detectHandler) safe(p grid.Point) bool { return h.lab.Safe(p) }
 
-func (h *detectHandler) Receive(ctx *simnet.Context, env simnet.Envelope) {
+func (h *detectHandler) Receive(ctx *simnet.Context, env *simnet.Envelope) {
 	switch msg := env.Payload.(type) {
 	case detectMsg:
 		h.stepWalker(ctx, msg)

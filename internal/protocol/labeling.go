@@ -78,7 +78,7 @@ func (h *labelHandler) Init(ctx *simnet.Context) {
 }
 
 // Receive implements simnet.Handler.
-func (h *labelHandler) Receive(ctx *simnet.Context, env simnet.Envelope) {
+func (h *labelHandler) Receive(ctx *simnet.Context, env *simnet.Envelope) {
 	msg, ok := env.Payload.(labelMsg)
 	if !ok {
 		return

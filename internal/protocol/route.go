@@ -36,7 +36,7 @@ type routeHandler struct {
 
 func (h *routeHandler) Init(*simnet.Context) {}
 
-func (h *routeHandler) Receive(ctx *simnet.Context, env simnet.Envelope) {
+func (h *routeHandler) Receive(ctx *simnet.Context, env *simnet.Envelope) {
 	msg, ok := env.Payload.(routeMsg)
 	if !ok {
 		return

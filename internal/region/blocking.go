@@ -52,7 +52,7 @@ func (s *ComponentSet) BlockedByAny(from, to grid.Point) bool {
 // coincides with blocking by the faulty nodes alone whenever the endpoints are
 // safe.
 func (s *ComponentSet) BlockedByUnion(from, to grid.Point) bool {
-	return !minimal.ReachabilityID(s.Mesh, s.unionAvoidID(), from, to).CanReach(from)
+	return !minimal.ReachabilityWordsInto(nil, s.Mesh, s.UnionAvoidWords(), from, to).CanReach(from)
 }
 
 // UnionField returns the monotone-reachability field toward `to` over the box
@@ -64,10 +64,11 @@ func (s *ComponentSet) UnionField(from, to grid.Point) *minimal.Field {
 
 // UnionFieldInto is UnionField reusing f's storage when f is non-nil (see
 // minimal.ReachabilityIDInto); the routing providers' epoch caches use it to
-// rebuild fields without allocating after a fault injection. The obstacle
-// test is ID-addressed: one status-array (or component-array) read per cell.
+// rebuild fields without allocating after a fault injection. The obstacle set
+// is the word-level union bitset, so the sweep runs a box row at a time
+// (minimal.ReachabilityWordsInto) instead of one status read per cell.
 func (s *ComponentSet) UnionFieldInto(f *minimal.Field, from, to grid.Point) *minimal.Field {
-	return minimal.ReachabilityIDInto(f, s.Mesh, s.unionAvoidID(), from, to)
+	return minimal.ReachabilityWordsInto(f, s.Mesh, s.UnionAvoidWords(), from, to)
 }
 
 // unionAvoidID returns (building once) the ID-addressed obstacle test for the
@@ -83,6 +84,28 @@ func (s *ComponentSet) unionAvoidID() func(id int32) bool {
 		}
 	}
 	return s.avoidID
+}
+
+// UnionAvoidWords returns the union of all fault regions as a bitset over
+// dense node IDs — the word-level form of unionAvoidID that the row-at-a-time
+// reachability sweep consumes. Labelled sets delegate to the labelling's
+// lazily-maintained unsafe bitset; fault-only cluster sets derive one from
+// byNode, invalidated by Refresh. The caller must not mutate or retain the
+// slice across Refresh.
+func (s *ComponentSet) UnionAvoidWords() []uint64 {
+	if s.Labeling != nil {
+		return s.Labeling.UnsafeWords()
+	}
+	if s.avoidW == nil {
+		w := make([]uint64, (len(s.byNode)+63)/64)
+		for i, b := range s.byNode {
+			if b >= 0 {
+				w[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		s.avoidW = w
+	}
+	return s.avoidW
 }
 
 // InForbidden reports whether node v lies in the forbidden region of component

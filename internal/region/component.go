@@ -79,6 +79,7 @@ type ComponentSet struct {
 	member  func(idx int) bool           // membership rule, kept for Refresh
 	count   func(*Component, grid.Point) // label accounting, kept for Refresh
 	avoidID func(id int32) bool          // cached union obstacle test
+	avoidW  []uint64                     // cached union obstacle bitset (fault-only sets)
 
 	// Extraction storage, reused across Refresh calls so the per-churn-event
 	// re-extraction allocates nothing in steady state: slab backs the
@@ -199,6 +200,7 @@ func findComponents(m *mesh.Mesh, member func(idx int) bool, l *labeling.Labelin
 func (s *ComponentSet) extract() {
 	m := s.Mesh
 	n := m.NodeCount()
+	s.avoidW = nil // byNode is about to change; rebuild the bitset on demand
 	for i := range s.byNode {
 		s.byNode[i] = -1
 	}

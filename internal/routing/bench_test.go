@@ -25,11 +25,17 @@ type benchState struct {
 	lab  *labeling.Labeling
 	set  *region.ComponentSet
 	prov *routing.MCC
-	u, v []int32
-	d    []int32
-	uP   []grid.Point
-	vP   []grid.Point
-	dP   []grid.Point
+	// provs is the per-orientation provider array the decision benchmarks
+	// index with oi, mirroring the traffic engine: all sources feeding one
+	// provider approach their destinations from the same octant, so octant
+	// field builds converge instead of thrashing between opposite corners.
+	provs [8]*routing.MCC
+	u, v  []int32
+	d     []int32
+	oi    []uint8 // orientation index of each query
+	uP    []grid.Point
+	vP    []grid.Point
+	dP    []grid.Point
 }
 
 func newBenchState(tb testing.TB) *benchState {
@@ -38,6 +44,9 @@ func newBenchState(tb testing.TB) *benchState {
 	lab := labeling.Compute(m, grid.PositiveOrientation)
 	set := region.FindMCCs(lab)
 	st := &benchState{m: m, lab: lab, set: set, prov: &routing.MCC{Set: set}}
+	for i := range st.provs {
+		st.provs[i] = &routing.MCC{Set: set}
+	}
 	r := rng.New(23)
 	for len(st.u) < 4096 {
 		ui := int32(r.Intn(m.NodeCount()))
@@ -63,6 +72,7 @@ func newBenchState(tb testing.TB) *benchState {
 		st.u = append(st.u, ui)
 		st.v = append(st.v, vi)
 		st.d = append(st.d, di)
+		st.oi = append(st.oi, uint8(orient.Index()))
 		st.uP = append(st.uP, uP)
 		st.vP = append(st.vP, m.Point(int(vi)))
 		st.dP = append(st.dP, dP)
@@ -83,6 +93,9 @@ func (st *benchState) churn(r *rng.Rand) {
 		st.lab.AddFaults([]grid.Point{p})
 		st.set.Refresh()
 		st.prov.InvalidateCache()
+		for _, pr := range st.provs {
+			pr.InvalidateCache()
+		}
 		return
 	}
 }
@@ -124,5 +137,64 @@ func BenchmarkMCCAllowedIDChurn16(b *testing.B) {
 		}
 		k := i & 4095
 		st.prov.AllowedID(st.u[k], st.v[k], st.d[k])
+	}
+}
+
+// BenchmarkMCCDecisionHit16 is the steady-state per-hop decision: every
+// destination's field is already built for the current epoch, so each
+// CandidateMaskID call is the pure fast path — one slot read plus up to
+// three bit probes. This is the cost the traffic engine pays for the vast
+// majority of hops between fault events.
+func BenchmarkMCCDecisionHit16(b *testing.B) {
+	st := newBenchState(b)
+	for k := range st.u {
+		st.provs[st.oi[k]].CandidateMaskID(st.m, st.u[k], st.uP[k], st.d[k], st.dP[k])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & 4095
+		st.provs[st.oi[k]].CandidateMaskID(st.m, st.u[k], st.uP[k], st.d[k], st.dP[k])
+	}
+}
+
+// BenchmarkMCCDecisionBuild16 is the decision miss path: the epoch is bumped
+// before every call, so each decision resolves through an in-place field
+// rebuild (the first query after any fault event pays this, once per
+// destination).
+func BenchmarkMCCDecisionBuild16(b *testing.B) {
+	st := newBenchState(b)
+	for k := range st.u {
+		st.provs[st.oi[k]].CandidateMaskID(st.m, st.u[k], st.uP[k], st.d[k], st.dP[k])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pr := range st.provs {
+			pr.InvalidateCache()
+		}
+		k := i & 4095
+		st.provs[st.oi[k]].CandidateMaskID(st.m, st.u[k], st.uP[k], st.d[k], st.dP[k])
+	}
+}
+
+// BenchmarkMCCDecisionChurn16 drives the decision path through sustained
+// fault churn: an incremental fault injection (relabel, refresh, epoch bump)
+// every 2048 decisions. The query stream cycles through 4096 distinct
+// destinations, so every revisit lands in a fresh epoch and rebuilds — this
+// measures the lazy-rebuild regime, the worst case the engine approaches
+// only around fault events (its hit ratio between events is what
+// BenchmarkMCCDecisionHit16 measures).
+func BenchmarkMCCDecisionChurn16(b *testing.B) {
+	st := newBenchState(b)
+	r := rng.New(31)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2048 == 2047 && st.m.FaultCount() < st.m.NodeCount()/8 {
+			st.churn(r)
+		}
+		k := i & 4095
+		st.provs[st.oi[k]].CandidateMaskID(st.m, st.u[k], st.uP[k], st.d[k], st.dP[k])
 	}
 }

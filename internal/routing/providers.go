@@ -72,38 +72,57 @@ type fieldCache struct {
 	arena []uint64
 
 	// tel receives cache counters (hits, cold builds, rebuilds, evictions,
-	// epoch bumps); nil — the default — costs one predicted branch per hook.
+	// epoch bumps, decision hits/builds); nil — the default — costs one
+	// predicted branch per hook.
 	tel *telemetry.Sink
 }
 
+// fieldSlot is one destination's cache entry: the memoised reachability field
+// plus a flattened view of it — the bitset words and the box geometry as
+// int32s — that the per-hop decision fast path reads without touching the
+// Field struct. The view is restamped on every (re)build, so it always
+// matches the live field even when a same-epoch AllowedID lookup widens the
+// box. Geometry is stored as min corner plus extents so the in-box check is
+// three subtract-and-unsigned-compare pairs whose results double as the
+// box-local coordinates of the bit probes, and as int32s so the whole slot is
+// one 64-byte cache line: a decision() hit touches exactly one line of the
+// slot array plus one to three field words.
 type fieldSlot struct {
-	epoch uint32
-	field *minimal.Field
+	field            *minimal.Field
+	words            []uint64
+	epoch            uint32
+	minX, minY, minZ int32
+	boxW, boxH, boxD int32
 }
 
 // lookup returns a current-epoch field for destination d that covers v,
-// building (or rebuilding in place) one when needed. n is the mesh's node
-// count, used to size the slot table on first use. build must fill f (which
+// building (or rebuilding in place) one when needed. build must fill f (which
 // may be nil) with the reachability field toward dst from src and return it.
-func (c *fieldCache) lookup(n int, u, v, d grid.Point, dID int32, build func(f *minimal.Field, src, dst grid.Point) *minimal.Field) *minimal.Field {
+func (c *fieldCache) lookup(m *mesh.Mesh, u, v, d grid.Point, dID int32, build func(f *minimal.Field, src, dst grid.Point) *minimal.Field) *minimal.Field {
 	if c.slots == nil {
 		c.epoch = 1
-		c.slots = make([]fieldSlot, n)
+		c.slots = make([]fieldSlot, m.NodeCount())
 	}
 	s := &c.slots[dID]
 	if s.field != nil && s.epoch == c.epoch && s.field.Covers(v) {
 		c.tel.Inc(telemetry.FieldHits)
 		return s.field
 	}
-	src := u
+	// Build over the whole octant behind u rather than just BoxOf(u, d):
+	// every later source approaching d from the same side is then covered by
+	// the one build, so a destination slot builds once per epoch instead of
+	// widening toward that same converged box one source at a time (each
+	// widening being a full rebuild). Enlarging the box is exact — each
+	// cell's value depends only on the cells between it and d.
+	src := octantSource(m.Dims(), u, d)
 	reuse := s.field
 	if reuse != nil && s.epoch == c.epoch {
 		// Live field that doesn't cover v: widen the box so the old coverage
 		// and the new source both fit, when d stays a corner of the union.
 		// This stops two sources with the same destination from rebuilding
-		// the field back and forth; enlarging the box is exact (each cell's
-		// value depends only on the cells between it and d).
-		if wide, ok := widenSource(reuse.Box(), u, d); ok {
+		// the field back and forth (e.g. axes resolved at the first build's
+		// source that a later source approaches from either side).
+		if wide, ok := widenSource(reuse.Box(), src, d); ok {
 			src = wide
 		}
 	}
@@ -125,7 +144,89 @@ func (c *fieldCache) lookup(n int, u, v, d grid.Point, dID int32, build func(f *
 	f := build(reuse, src, d)
 	s.field = f
 	s.epoch = c.epoch
+	// Restamp the decision view: the build may have widened the box or grown
+	// the bitset storage, and the probes index the live words directly.
+	box := f.Box()
+	s.words = f.BitWords()
+	s.minX, s.minY, s.minZ = int32(box.Min.X), int32(box.Min.Y), int32(box.Min.Z)
+	s.boxW = int32(box.Max.X - box.Min.X + 1)
+	s.boxH = int32(box.Max.Y - box.Min.Y + 1)
+	s.boxD = int32(box.Max.Z - box.Min.Z + 1)
 	return f
+}
+
+// decision answers a hop from the memoised reachability field — the per-hop
+// fast path: one epoch compare, one box check and at most three bit probes
+// into the field's bitset (the forward neighbour on each unresolved axis; a
+// set bit means the neighbour still reaches d, and since every provider's
+// obstacle set contains the faults, it also means the neighbour is healthy).
+// A miss (no field built this epoch, or u outside its box) falls to
+// decisionMask. Probing the field directly instead of a precomputed byte
+// table keeps the hot working set at the fields themselves — an eighth the
+// footprint of one byte per node — which is what the per-hop latency is
+// bound by.
+func (c *fieldCache) decision(uPt, dPt grid.Point, d int32) (uint8, bool) {
+	if c.slots == nil {
+		return 0, false
+	}
+	s := &c.slots[d]
+	if s.epoch != c.epoch {
+		return 0, false
+	}
+	x := int32(uPt.X) - s.minX
+	y := int32(uPt.Y) - s.minY
+	z := int32(uPt.Z) - s.minZ
+	if uint32(x) >= uint32(s.boxW) || uint32(y) >= uint32(s.boxH) || uint32(z) >= uint32(s.boxD) {
+		return 0, false
+	}
+	c.tel.Inc(telemetry.DecisionHits)
+	return s.dirMask(uPt, dPt, x, y, z), true
+}
+
+// dirMask probes the forward neighbour's field bit on each axis still
+// unresolved toward d and packs the answers into a direction mask (bit
+// grid.Direction). (x, y, z) are u's box-local coordinates, already
+// bounds-checked. Each probe stays inside the box: a nonzero delta means d
+// lies strictly beyond u on that axis, and d's plane bounds the box, so the
+// one-step neighbour is between them. Zero-delta axes contribute no bit,
+// which matches the field's geometry — u then sits on d's corner plane where
+// a forward step would leave the box.
+//
+// The probes are branchless: which side of u the destination lies on varies
+// packet to packet, so sign branches here would mispredict constantly. Each
+// axis derives a step of -1, 0 or +1 rows/planes from the delta's sign bits,
+// probes loc+step (loc itself when the axis is resolved — always in range)
+// and nulls the resolved-axis bit with the nonzero mask.
+func (s *fieldSlot) dirMask(uPt, dPt grid.Point, x, y, z int32) uint8 {
+	words := s.words
+	loc := x + s.boxW*(y+s.boxH*z)
+	probe := func(delta, stride int32, axisShift uint32) uint8 {
+		neg := uint32(delta) >> 31
+		nz := uint32(delta|-delta) >> 31
+		n := loc + int32(nz)*(1-2*int32(neg))*stride
+		bit := uint8(words[n>>6]>>(uint32(n)&63)) & uint8(nz)
+		return bit << (axisShift + neg)
+	}
+	mk := probe(int32(dPt.X-uPt.X), 1, uint32(grid.XPos))
+	mk |= probe(int32(dPt.Y-uPt.Y), s.boxW, uint32(grid.YPos))
+	mk |= probe(int32(dPt.Z-uPt.Z), s.boxW*s.boxH, uint32(grid.ZPos))
+	return mk
+}
+
+// decisionMask is the miss path of decision: resolve a current-epoch field
+// covering u through the ordinary lookup — building or rebuilding it in
+// place when stale, widening its box when u lies outside — which also
+// restamps the slot's decision view, then answer the hop with the same bit
+// probes the fast path uses. Every later hop toward d from inside the box is
+// then a decision() hit until the next epoch bump.
+func (c *fieldCache) decisionMask(m *mesh.Mesh, uPt grid.Point, d int32, dPt grid.Point, build func(f *minimal.Field, src, dst grid.Point) *minimal.Field) uint8 {
+	c.lookup(m, uPt, uPt, dPt, d, build)
+	c.tel.Inc(telemetry.DecisionBuilds)
+	s := &c.slots[d]
+	x := int32(uPt.X) - s.minX
+	y := int32(uPt.Y) - s.minY
+	z := int32(uPt.Z) - s.minZ
+	return s.dirMask(uPt, dPt, x, y, z)
 }
 
 // covered returns the live field for destination dID when it covers v, nil
@@ -170,7 +271,9 @@ func (c *fieldCache) newField(src, d grid.Point) *minimal.Field {
 }
 
 // evictOldest drops the least-recently-inserted live field, parking its
-// storage for reuse.
+// storage for reuse. The slot's epoch is zeroed so the decision fast path
+// cannot answer from a view whose words the parked field will overwrite for
+// another destination (epochs start at 1 and only increase).
 func (c *fieldCache) evictOldest() {
 	c.tel.Inc(telemetry.FieldEvictions)
 	for c.head < len(c.order) {
@@ -181,12 +284,36 @@ func (c *fieldCache) evictOldest() {
 				c.spare = append(c.spare, s.field)
 			}
 			s.field = nil
+			s.words = nil
+			s.epoch = 0
 			break
 		}
 	}
 	if c.head >= fieldCacheMax {
 		c.order = append(c.order[:0], c.order[c.head:]...)
 		c.head = 0
+	}
+}
+
+// octantSource returns the far corner of u's octant behind d: the source
+// whose box with d covers every node approaching d from u's side on each
+// unresolved axis. Axes already resolved at u stay flat — a later source on
+// either side of such an axis still widens the box, with d staying a corner.
+func octantSource(dims mesh.Dims, u, d grid.Point) grid.Point {
+	pick := func(uc, dc, hi int) int {
+		switch {
+		case uc < dc:
+			return 0
+		case uc > dc:
+			return hi
+		default:
+			return dc
+		}
+	}
+	return grid.Point{
+		X: pick(u.X, d.X, dims.X-1),
+		Y: pick(u.Y, d.Y, dims.Y-1),
+		Z: pick(u.Z, d.Z, dims.Z-1),
 	}
 }
 
@@ -234,7 +361,6 @@ type Oracle struct {
 	Mesh *mesh.Mesh
 
 	cache fieldCache
-	avoid minimal.AvoidID
 }
 
 // Name implements Provider.
@@ -247,11 +373,10 @@ func (o *Oracle) InvalidateCache() { o.cache.invalidate() }
 func (o *Oracle) SetTelemetry(s *telemetry.Sink) { o.cache.tel = s }
 
 func (o *Oracle) field(u, v, d grid.Point, dID int32) *minimal.Field {
-	if o.avoid == nil {
-		o.avoid = minimal.AvoidFaultyID(o.Mesh)
-	}
-	return o.cache.lookup(o.Mesh.NodeCount(), u, v, d, dID, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
-		return minimal.ReachabilityIDInto(f, o.Mesh, o.avoid, src, dst)
+	// The oracle's obstacle set is exactly the mesh's fault bitset, consumed
+	// word-level by the row-at-a-time sweep.
+	return o.cache.lookup(o.Mesh, u, v, d, dID, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
+		return minimal.ReachabilityWordsInto(f, o.Mesh, o.Mesh.FaultyWords(), src, dst)
 	})
 }
 
@@ -272,6 +397,16 @@ func (o *Oracle) AllowedID(u, v, d int32) bool {
 		return f.CanReachCovered(vP)
 	}
 	return o.field(m.Point(int(u)), vP, m.Point(int(d)), d).CanReach(vP)
+}
+
+// CandidateMaskID implements DecisionProvider.
+func (o *Oracle) CandidateMaskID(_ *mesh.Mesh, _ int32, uPt grid.Point, d int32, dPt grid.Point) uint8 {
+	if b, ok := o.cache.decision(uPt, dPt, d); ok {
+		return b
+	}
+	return o.cache.decisionMask(o.Mesh, uPt, d, dPt, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
+		return minimal.ReachabilityWordsInto(f, o.Mesh, o.Mesh.FaultyWords(), src, dst)
+	})
 }
 
 // MCC is the paper's fault-information provider backed by globally known MCC
@@ -299,7 +434,7 @@ func (p *MCC) InvalidateCache() { p.cache.invalidate() }
 func (p *MCC) SetTelemetry(s *telemetry.Sink) { p.cache.tel = s }
 
 func (p *MCC) field(u, v, d grid.Point, dID int32) *minimal.Field {
-	return p.cache.lookup(p.Set.Mesh.NodeCount(), u, v, d, dID, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
+	return p.cache.lookup(p.Set.Mesh, u, v, d, dID, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
 		return p.Set.UnionFieldInto(f, src, dst)
 	})
 }
@@ -332,6 +467,18 @@ func (p *MCC) AllowedID(u, v, d int32) bool {
 		return f.CanReachCovered(vP)
 	}
 	return p.field(m.Point(int(u)), vP, m.Point(int(d)), d).CanReach(vP)
+}
+
+// CandidateMaskID implements DecisionProvider. The unsafe-node pre-check of
+// AllowedID is subsumed by the field: the union reachability field is built
+// over the unsafe set, so an unsafe neighbour's bit is already clear.
+func (p *MCC) CandidateMaskID(_ *mesh.Mesh, _ int32, uPt grid.Point, d int32, dPt grid.Point) uint8 {
+	if b, ok := p.cache.decision(uPt, dPt, d); ok {
+		return b
+	}
+	return p.cache.decisionMask(p.Set.Mesh, uPt, d, dPt, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
+		return p.Set.UnionFieldInto(f, src, dst)
+	})
 }
 
 // Records is the boundary-information provider: each node holds only the MCC
@@ -402,7 +549,8 @@ func (p *Records) Allowed(u, v, d grid.Point) bool {
 type Block struct {
 	Regions *block.Regions
 
-	cache fieldCache
+	cache    fieldCache
+	scratchW []uint64 // destination-carve-out copy of the avoid bitset
 }
 
 // Name implements Provider.
@@ -411,18 +559,27 @@ func (p *Block) Name() string { return "rfb-" + p.Regions.Model.String() }
 // SetTelemetry implements telemetry.Instrumentable.
 func (p *Block) SetTelemetry(s *telemetry.Sink) { p.cache.tel = s }
 
-func (p *Block) field(u, v, d grid.Point, dID int32) *minimal.Field {
-	m := p.Regions.Mesh
-	return p.cache.lookup(m.NodeCount(), u, v, d, dID, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
-		avoid := p.Regions.AvoidID()
-		if p.Regions.Contains(dst) {
-			// The destination sits inside a block (it is healthy but the
-			// coarse model swallowed it); carve it out so routes can at least
-			// try to terminate.
-			inner := avoid
-			avoid = func(id int32) bool { return id != dID && inner(id) }
+// buildField fills f with the union reachability field over the block set.
+// When the destination sits inside a block (healthy but swallowed by the
+// coarse model), its bit is carved out of a scratch copy of the avoid bitset
+// so routes can at least try to terminate.
+func (p *Block) buildField(f *minimal.Field, src, dst grid.Point, dID int32) *minimal.Field {
+	avoid := p.Regions.AvoidWords()
+	if p.Regions.Contains(dst) {
+		if cap(p.scratchW) < len(avoid) {
+			p.scratchW = make([]uint64, len(avoid))
 		}
-		return minimal.ReachabilityIDInto(f, m, avoid, src, dst)
+		w := p.scratchW[:len(avoid)]
+		copy(w, avoid)
+		w[dID>>6] &^= 1 << uint(dID&63)
+		avoid = w
+	}
+	return minimal.ReachabilityWordsInto(f, p.Regions.Mesh, avoid, src, dst)
+}
+
+func (p *Block) field(u, v, d grid.Point, dID int32) *minimal.Field {
+	return p.cache.lookup(p.Regions.Mesh, u, v, d, dID, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
+		return p.buildField(f, src, dst, dID)
 	})
 }
 
@@ -451,6 +608,18 @@ func (p *Block) AllowedID(u, v, d int32) bool {
 	return p.field(m.Point(int(u)), vP, m.Point(int(d)), d).CanReach(vP)
 }
 
+// CandidateMaskID implements DecisionProvider. As with MCC, the
+// inside-a-block pre-check is subsumed by the avoid set the field is built
+// over (with the same destination carve-out as AllowedID's v == d escape).
+func (p *Block) CandidateMaskID(_ *mesh.Mesh, _ int32, uPt grid.Point, d int32, dPt grid.Point) uint8 {
+	if b, ok := p.cache.decision(uPt, dPt, d); ok {
+		return b
+	}
+	return p.cache.decisionMask(p.Regions.Mesh, uPt, d, dPt, func(f *minimal.Field, src, dst grid.Point) *minimal.Field {
+		return p.buildField(f, src, dst, d)
+	})
+}
+
 // LocalGreedy is the floor baseline: it only knows the fault status of the
 // current node's neighbours and therefore accepts any healthy preferred
 // neighbour. It can run into dead ends, which count as routing failures.
@@ -464,6 +633,12 @@ func (LocalGreedy) Allowed(_, _, _ grid.Point) bool { return true }
 
 // AllowedID implements IDProvider.
 func (LocalGreedy) AllowedID(_, _, _ int32) bool { return true }
+
+// CandidateMaskID implements DecisionProvider: with no fault information
+// beyond the neighbours, the decision is exactly the healthy forward set.
+func (LocalGreedy) CandidateMaskID(m *mesh.Mesh, u int32, uPt grid.Point, _ int32, dPt grid.Point) uint8 {
+	return healthyForwardMask(m, u, uPt, dPt)
+}
 
 // Labeled avoids any unsafe node but applies no region reasoning: it shows the
 // value of the forbidden/critical rule on top of the raw labelling.
@@ -482,4 +657,27 @@ func (p *Labeled) Allowed(_, v, d grid.Point) bool {
 // AllowedID implements IDProvider.
 func (p *Labeled) AllowedID(_, v, d int32) bool {
 	return v == d || !p.Labeling.UnsafeAt(int(v))
+}
+
+// CandidateMaskID implements DecisionProvider: the healthy forward set minus
+// unsafe neighbours (the destination excepted), computed on the fly — the
+// labelling carries no per-destination state worth memoising.
+func (p *Labeled) CandidateMaskID(m *mesh.Mesh, u int32, uPt grid.Point, d int32, dPt grid.Point) uint8 {
+	var mk uint8
+	for _, a := range m.Axes() {
+		delta := dPt.Axis(a) - uPt.Axis(a)
+		if delta == 0 {
+			continue
+		}
+		dir := grid.DirectionOf(a, grid.Sign(delta))
+		v := m.NeighborID(u, dir)
+		if v == mesh.NoNeighbor || m.FaultyAt(int(v)) {
+			continue
+		}
+		if v != d && p.Labeling.UnsafeAt(int(v)) {
+			continue
+		}
+		mk |= 1 << uint(dir)
+	}
+	return mk
 }

@@ -18,6 +18,7 @@ package routing
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"mccmesh/internal/grid"
 	"mccmesh/internal/mesh"
@@ -42,6 +43,63 @@ type IDProvider interface {
 	Provider
 	// AllowedID is Allowed with u, v and d given as dense node IDs.
 	AllowedID(u, v, d int32) bool
+}
+
+// DecisionProvider is the packed-decision fast path of IDProvider: one call
+// answers the entire hop. The returned mask has bit i set exactly when
+// grid.Direction(i) is an allowed candidate forwarding direction from u
+// toward d — the same set CandidateDirsID collects from per-direction
+// AllowedID consultations, folded into one byte.
+//
+// The field-cache providers (Oracle, MCC, Block) answer from the memoised
+// reachability field of the destination: while the fault epoch is stable, a
+// hop is one slot read plus at most three bit probes, with no per-direction
+// interface calls. Stateless providers (LocalGreedy, Labeled) compute it on
+// the fly, which
+// still collapses the per-direction interface calls into one. Every built-in
+// IDProvider implements it; the traffic engine type-asserts once per provider
+// and falls back to CandidateDirsID for third-party providers that don't.
+type DecisionProvider interface {
+	IDProvider
+	// CandidateMaskID returns the packed candidate-direction mask for a hop
+	// from u toward d. m is the routing mesh (used by stateless providers for
+	// the neighbour and fault tables; caching providers consult their own
+	// snapshot's mesh). u/uPt and d/dPt name the same nodes in both
+	// addressings, exactly as in CandidateDirsID.
+	CandidateMaskID(m *mesh.Mesh, u int32, uPt grid.Point, d int32, dPt grid.Point) uint8
+}
+
+// AppendMaskDirs appends the directions set in mask to dst, in direction-enum
+// order — the order CandidateDirsID produces (at most one direction per axis,
+// axes in X, Y, Z order), so selection policies see identical candidate
+// slices on either path.
+func AppendMaskDirs(dst []grid.Direction, mask uint8) []grid.Direction {
+	for mask != 0 {
+		d := bits.TrailingZeros8(mask)
+		mask &= mask - 1
+		dst = append(dst, grid.Direction(d))
+	}
+	return dst
+}
+
+// healthyForwardMask packs the preferred (forward) directions from u toward d
+// whose neighbour exists and is healthy — the provider-independent part of a
+// hop decision. On the minimal paths the engine routes, the per-axis sign of
+// d-u equals the packet orientation's sign wherever the axis is unresolved,
+// so the mask needs no orientation input.
+func healthyForwardMask(m *mesh.Mesh, u int32, uPt, dPt grid.Point) uint8 {
+	var mk uint8
+	for _, a := range m.Axes() {
+		delta := dPt.Axis(a) - uPt.Axis(a)
+		if delta == 0 {
+			continue
+		}
+		dir := grid.DirectionOf(a, grid.Sign(delta))
+		if v := m.NeighborID(u, dir); v != mesh.NoNeighbor && !m.FaultyAt(int(v)) {
+			mk |= 1 << uint(dir)
+		}
+	}
+	return mk
 }
 
 // Policy picks one direction among the allowed candidate directions.

@@ -21,7 +21,7 @@ type chainHandler struct {
 
 func (h *chainHandler) Init(ctx *Context) {}
 
-func (h *chainHandler) Receive(ctx *Context, env Envelope) {
+func (h *chainHandler) Receive(ctx *Context, env *Envelope) {
 	h.hops++
 	if h.hops >= h.limit {
 		return
@@ -55,7 +55,7 @@ type broadcastHandler struct{ rounds int }
 
 func (broadcastHandler) Init(ctx *Context) {}
 
-func (h broadcastHandler) Receive(ctx *Context, env Envelope) {
+func (h broadcastHandler) Receive(ctx *Context, env *Envelope) {
 	n := env.Payload.(int)
 	if n >= h.rounds {
 		return
@@ -84,7 +84,7 @@ type timerHeavyHandler struct{ fired, limit int }
 
 func (h *timerHeavyHandler) Init(ctx *Context) {}
 
-func (h *timerHeavyHandler) Receive(ctx *Context, env Envelope) {
+func (h *timerHeavyHandler) Receive(ctx *Context, env *Envelope) {
 	h.fired++
 	if h.fired >= h.limit {
 		return

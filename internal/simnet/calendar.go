@@ -28,18 +28,43 @@ type calendarQueue struct {
 	ring  [][]event
 	count int // events resident in the ring
 	far   farHeap
-	// spare is the free-list of drained bucket arrays. A run shorter than one
-	// ring revolution touches every slot at most once, so in-place slot reuse
-	// alone would allocate a fresh array per tick; handing drained arrays to
-	// the next tick that needs one keeps the working set at roughly the number
-	// of simultaneously non-empty buckets.
-	spare [][]event
+	// spare and spareBig are the free-lists of drained bucket arrays, split at
+	// bigBucketCap. A run shorter than one ring revolution touches every slot
+	// at most once, so in-place slot reuse alone would allocate a fresh array
+	// per tick; handing drained arrays to the next tick that needs one keeps
+	// the working set at roughly the number of simultaneously non-empty
+	// buckets. The size split matters because bucket sizes are bimodal: each
+	// tick has one big delivery bucket and dozens of near-empty timer buckets.
+	// A single mixed free-list hands the delivery bucket a tiny array and lets
+	// append realloc-and-discard its way up the doubling ladder every tick;
+	// keeping the big arrays apart lets growth jump straight onto one.
+	spare    [][]event
+	spareBig [][]event
+	// arena is the current storage chunk bucket growth carves from. The spare
+	// free-lists bound the steady state, but the ramp-up still used to pay one
+	// allocator round trip per doubling of every bucket that grows before the
+	// spare population catches up — a couple of thousand small allocations per
+	// run. Carving doubled arrays out of chunk-sized slabs instead collapses
+	// the ramp to a handful of chunk allocations; outgrown fragments are
+	// parked on the free-lists and serve other slots, so the waste is bounded
+	// by roughly twice the peak ring occupancy for the lifetime of the run.
+	arena []event
 	// tel receives queue counters (heap fallbacks, migrations, bucket reuse,
 	// peak occupancy); nil — the default — costs one predicted branch per hook.
 	tel *telemetry.Sink
 }
 
 const (
+	// bigBucketCap splits the spare free-lists: drained arrays at or beyond it
+	// are parked separately so bucket growth can adopt one directly.
+	bigBucketCap = 256
+
+	// arenaChunk is the carving granularity of the bucket-storage arena, in
+	// events: large enough that a run's ramp-up costs a handful of chunk
+	// allocations, small enough that the last partially-used chunk wastes
+	// little.
+	arenaChunk = 4096
+
 	wheelBits = 11
 	// wheelSize is the width of the calendar window in ticks. Link delays are
 	// tiny and traffic timers are geometric with means well under this, so in
@@ -88,18 +113,77 @@ func (q *calendarQueue) push(ev event, now, threshold Time) {
 }
 
 // append adds an event to a ring slot, seeding empty slots from the spare
-// free-list.
+// free-list and switching a slot that outgrows a small array onto a drained
+// big one (parking the small array back) so the per-tick delivery bucket
+// never realloc-discards its way up the append doubling ladder. Growth the
+// free-lists cannot serve carves a doubled array from the arena instead of
+// going to the allocator.
 func (q *calendarQueue) append(slot Time, ev event) {
-	if q.ring[slot] == nil {
+	b := q.ring[slot]
+	if b == nil {
 		if k := len(q.spare); k > 0 {
-			q.ring[slot] = q.spare[k-1]
+			b = q.spare[k-1]
 			q.spare = q.spare[:k-1]
 			q.tel.Inc(telemetry.SimBucketReuses)
 		}
 	}
-	q.ring[slot] = append(q.ring[slot], ev)
+	if len(b) == cap(b) {
+		if cap(b) < bigBucketCap {
+			if k := len(q.spareBig); k > 0 {
+				nb := q.spareBig[k-1][:len(b)]
+				q.spareBig = q.spareBig[:k-1]
+				copy(nb, b)
+				q.park(b)
+				b = nb
+				q.tel.Inc(telemetry.SimBucketReuses)
+			}
+		}
+		if len(b) == cap(b) {
+			nb := q.carve(growCap(cap(b)))[:len(b)]
+			copy(nb, b)
+			q.park(b)
+			b = nb
+		}
+	}
+	b = append(b, ev)
+	q.ring[slot] = b
 	q.count++
-	q.tel.Max(telemetry.SimBucketPeak, int64(len(q.ring[slot])))
+	q.tel.Max(telemetry.SimBucketPeak, int64(len(b)))
+}
+
+// growCap doubles a bucket capacity, seeding empty buckets at a size that
+// holds a slot's typical timer population without an immediate regrow.
+func growCap(c int) int {
+	if c == 0 {
+		return 8
+	}
+	return 2 * c
+}
+
+// carve cuts an n-event array out of the arena, starting a fresh chunk when
+// the current one cannot fit it. The three-index slice caps the result at
+// exactly n, so a bucket appending at capacity can never spill into storage
+// carved for another slot.
+func (q *calendarQueue) carve(n int) []event {
+	if len(q.arena)+n > cap(q.arena) {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		q.arena = make([]event, 0, size)
+	}
+	off := len(q.arena)
+	q.arena = q.arena[:off+n]
+	return q.arena[off : off : off+n]
+}
+
+// park returns a drained (or outgrown) backing array to its free-list.
+func (q *calendarQueue) park(b []event) {
+	if cap(b) >= bigBucketCap {
+		q.spareBig = append(q.spareBig, b[:0])
+	} else if cap(b) > 0 {
+		q.spare = append(q.spare, b[:0])
+	}
 }
 
 // nextTime returns the tick of the earliest queued event. The caller
@@ -134,9 +218,7 @@ func (q *calendarQueue) migrate(t, threshold Time) {
 func (q *calendarQueue) consume(bucket *[]event, n int) {
 	q.count -= n
 	if n == len(*bucket) {
-		if cap(*bucket) > 0 {
-			q.spare = append(q.spare, (*bucket)[:0])
-		}
+		q.park(*bucket)
 		*bucket = nil
 		return
 	}

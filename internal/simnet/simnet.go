@@ -72,8 +72,10 @@ type Envelope struct {
 type Handler interface {
 	// Init runs once per healthy node before any message is delivered.
 	Init(ctx *Context)
-	// Receive handles one delivered envelope.
-	Receive(ctx *Context, env Envelope)
+	// Receive handles one delivered envelope. The envelope points into a
+	// scratch slot the simulator reuses for the next delivery; handlers must
+	// copy anything they keep past the call.
+	Receive(ctx *Context, env *Envelope)
 }
 
 // Stats aggregates what happened during a run.
@@ -124,6 +126,10 @@ type Network struct {
 	seq   int64
 	queue calendarQueue
 	stats Stats
+
+	// env is the delivery scratch slot handed (by pointer) to Handler.Receive;
+	// see process.
+	env Envelope
 
 	// kindIDs interns kind strings; kindNames and byKind are indexed by KindID.
 	kindIDs   map[string]KindID
@@ -338,7 +344,7 @@ func (n *Network) Drain() (Stats, error) {
 			n.now = t
 			n.stats.Events++
 			n.stats.FinalTime = t
-			n.process(ev)
+			n.process(&ev)
 		}
 		n.queue.consume(bucket, len(*bucket))
 	}
@@ -346,7 +352,7 @@ func (n *Network) Drain() (Stats, error) {
 }
 
 // process dispatches one dequeued event.
-func (n *Network) process(ev event) {
+func (n *Network) process(ev *event) {
 	if ev.ctrl {
 		n.stats.Control++
 		n.unbox(ev.box).(func())()
@@ -359,16 +365,21 @@ func (n *Network) process(ev event) {
 	}
 	n.stats.Delivered++
 	n.byKind[ev.kind]++
-	n.handler.Receive(&n.ctxs[ev.to], Envelope{
-		From:        n.pointOf(ev.from),
-		To:          n.mesh.Point(int(ev.to)),
-		Kind:        n.kindNames[ev.kind],
-		KindID:      ev.kind,
-		Payload:     n.unbox(ev.box),
-		Ref:         ev.ref,
-		SendTime:    ev.sendTime,
-		DeliverTime: ev.time,
-	})
+	// env is a reusable scratch slot, not a fresh value: passing a pointer
+	// through the Handler interface would otherwise heap-allocate an Envelope
+	// per delivery, and it is filled field by field — a composite literal here
+	// compiles to a build-then-copy of the whole struct. Receive must not
+	// retain it.
+	env := &n.env
+	env.From = n.pointOf(ev.from)
+	env.To = n.mesh.Point(int(ev.to))
+	env.Kind = n.kindNames[ev.kind]
+	env.KindID = ev.kind
+	env.Payload = n.unbox(ev.box)
+	env.Ref = ev.ref
+	env.SendTime = ev.sendTime
+	env.DeliverTime = ev.time
+	n.handler.Receive(&n.ctxs[ev.to], env)
 }
 
 // pointOf maps a dense ID back to coordinates, tolerating the out-of-mesh

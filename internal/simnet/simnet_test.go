@@ -27,7 +27,7 @@ type floodHandler struct{}
 
 func (floodHandler) Init(ctx *Context) {}
 
-func (floodHandler) Receive(ctx *Context, env Envelope) {
+func (floodHandler) Receive(ctx *Context, env *Envelope) {
 	if _, seen := ctx.Store()["seen"]; seen {
 		return
 	}
@@ -87,7 +87,7 @@ type pingPong struct{ limit int }
 
 func (pingPong) Init(ctx *Context) {}
 
-func (h pingPong) Receive(ctx *Context, env Envelope) {
+func (h pingPong) Receive(ctx *Context, env *Envelope) {
 	switch env.Kind {
 	case "start":
 		ctx.SendDir(grid.XPos, "pong", 0)
@@ -144,7 +144,7 @@ type timerHandler struct{ fired *int }
 
 func (timerHandler) Init(ctx *Context) {}
 
-func (h timerHandler) Receive(ctx *Context, env Envelope) {
+func (h timerHandler) Receive(ctx *Context, env *Envelope) {
 	if env.Kind == "start" {
 		ctx.After(5, "timer", nil)
 		return
@@ -257,7 +257,7 @@ type mixHandler struct {
 
 func (h *mixHandler) Init(ctx *Context) {}
 
-func (h *mixHandler) Receive(ctx *Context, env Envelope) {
+func (h *mixHandler) Receive(ctx *Context, env *Envelope) {
 	*h.log = append(*h.log, order{T: ctx.Time(), Kind: env.Kind, Node: ctx.Self(), Seq: env.Payload.(int)})
 	if len(*h.log) > 400 {
 		return
@@ -322,7 +322,7 @@ type seqHandler struct{ log *[]string }
 
 func (seqHandler) Init(ctx *Context) {}
 
-func (h seqHandler) Receive(ctx *Context, env Envelope) {
+func (h seqHandler) Receive(ctx *Context, env *Envelope) {
 	*h.log = append(*h.log, fmt.Sprintf("%s@%d", env.Kind, ctx.Time()))
 	if env.Kind == "start" {
 		// All three of these land on the same future tick; among equal times,
@@ -364,7 +364,7 @@ type refHandler struct {
 
 func (h *refHandler) Init(ctx *Context) {}
 
-func (h *refHandler) Receive(ctx *Context, env Envelope) {
+func (h *refHandler) Receive(ctx *Context, env *Envelope) {
 	if env.KindID != h.kind {
 		return
 	}

@@ -50,6 +50,15 @@ const (
 	FieldEvictions
 	// FieldEpochBumps counts O(1) cache invalidations (fault churn).
 	FieldEpochBumps
+	// DecisionHits counts per-hop routing decisions answered entirely from
+	// the memoised reachability field — an epoch check plus at most three
+	// bit probes, the hop fast path.
+	DecisionHits
+	// DecisionBuilds counts decision misses resolved through a field lookup:
+	// they run when a destination's field is first consulted after an epoch
+	// bump, outside its current box, or cold, and pair one-to-one with the
+	// builds that result.
+	DecisionBuilds
 
 	// RelabelAddNodes totals the label promotions performed by incremental
 	// AddFaults fixpoints (the relabelled-set size of fault injections).
@@ -109,6 +118,8 @@ var counterNames = [NumCounters]string{
 	FieldRebuilds:       "routing.field_rebuilds",
 	FieldEvictions:      "routing.field_evictions",
 	FieldEpochBumps:     "routing.epoch_bumps",
+	DecisionHits:        "routing.decision_hits",
+	DecisionBuilds:      "routing.decision_builds",
 	RelabelAddNodes:     "labeling.relabel_add_nodes",
 	RelabelRemoveNodes:  "labeling.relabel_remove_nodes",
 	PacketsInjected:     "traffic.injected",
@@ -241,6 +252,10 @@ const (
 	// HopFallback took the Point-based provider fallback (a provider without
 	// the dense-ID fast path).
 	HopFallback
+	// HopDecisionHit answered the whole hop with decision probes into the
+	// memoised reachability field — no per-direction provider consultation
+	// at all.
+	HopDecisionHit
 )
 
 // String returns the stable external name of the hop source.
@@ -252,6 +267,8 @@ func (h HopSource) String() string {
 		return "cold-build"
 	case HopFallback:
 		return "fallback"
+	case HopDecisionHit:
+		return "decision-hit"
 	default:
 		return "direct"
 	}
@@ -269,7 +286,7 @@ func (h *HopSource) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &name); err != nil {
 		return err
 	}
-	for _, s := range []HopSource{HopDirect, HopCacheHit, HopColdBuild, HopFallback} {
+	for _, s := range []HopSource{HopDirect, HopCacheHit, HopColdBuild, HopFallback, HopDecisionHit} {
 		if s.String() == name {
 			*h = s
 			return nil

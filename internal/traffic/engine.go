@@ -254,13 +254,16 @@ type run struct {
 	phaseLatSum    int64
 }
 
-// provEntry is one cached per-orientation provider; fast selects the
-// index-first AllowedID path (every built-in provider), the Provider field
-// the Point fallback for third-party providers.
+// provEntry is one cached per-orientation provider; masked selects the
+// packed-decision CandidateMaskID path (every built-in provider), fast the
+// index-first AllowedID path, and the Provider field the Point fallback for
+// third-party providers implementing neither.
 type provEntry struct {
-	prov routing.Provider
-	id   routing.IDProvider
-	fast bool
+	prov   routing.Provider
+	id     routing.IDProvider
+	dec    routing.DecisionProvider
+	fast   bool
+	masked bool
 }
 
 // packet is the typed, pooled payload of one in-flight packet; the
@@ -542,7 +545,7 @@ func geometricGap(r *rng.Rand, rate float64) simnet.Time {
 
 // Receive implements simnet.Handler. It dispatches on the interned KindID;
 // packet envelopes carry a pool reference, never a boxed payload.
-func (st *run) Receive(ctx *simnet.Context, env simnet.Envelope) {
+func (st *run) Receive(ctx *simnet.Context, env *simnet.Envelope) {
 	switch env.KindID {
 	case st.injectID:
 		st.inject(ctx)
@@ -597,28 +600,36 @@ func (st *run) inject(ctx *simnet.Context) {
 
 // forward advances a packet one hop using the information model, or records it
 // as stuck when every preferred direction is excluded. The hop runs on dense
-// node IDs end to end — neighbour table, fault bitset, AllowedID — with no
-// ID→Point→ID round-trip; the Point forms ride along for the axis compare and
-// the policy, which already live in the context and the packet.
+// node IDs end to end with no ID→Point→ID round-trip; for built-in providers
+// it is one CandidateMaskID call — an epoch compare plus at most three bit
+// probes into the destination's memoised field while the fault epoch is
+// stable — with CandidateDirsID (per-direction AllowedID) and the Point-based
+// CandidateDirs as the fallbacks for third-party providers.
 func (st *run) forward(ctx *simnet.Context, ref int32) {
 	pk := &st.pool[ref]
 	pe := &st.provs[pk.orient.Index()]
 	if pe.prov == nil {
 		pe.prov = st.e.model.Provider(pk.orient)
 		pe.id, pe.fast = pe.prov.(routing.IDProvider)
+		pe.dec, pe.masked = pe.prov.(routing.DecisionProvider)
 	}
 	self := ctx.Self()
 	// Hop-source classification is gated on the packet being traced, so the
 	// untraced hot path pays nothing beyond the traceIdx compare.
 	traced := st.trace != nil && pk.traceIdx >= 0
-	var hits0, builds0 int64
+	var hits0, builds0, dhits0 int64
 	if traced {
 		hits0 = st.tel.Get(telemetry.FieldHits)
-		builds0 = st.tel.Get(telemetry.FieldColdBuilds) + st.tel.Get(telemetry.FieldRebuilds)
+		builds0 = st.tel.Get(telemetry.FieldColdBuilds) + st.tel.Get(telemetry.FieldRebuilds) + st.tel.Get(telemetry.DecisionBuilds)
+		dhits0 = st.tel.Get(telemetry.DecisionHits)
 	}
-	if pe.fast {
+	switch {
+	case pe.masked:
+		mk := pe.dec.CandidateMaskID(ctx.Mesh(), ctx.SelfID(), self, pk.dstID, pk.dst)
+		st.dirs = routing.AppendMaskDirs(st.dirs[:0], mk)
+	case pe.fast:
 		st.dirs = routing.CandidateDirsID(ctx.Mesh(), pe.id, pk.orient, ctx.SelfID(), self, pk.dstID, pk.dst, st.dirs[:0])
-	} else {
+	default:
 		st.dirs = routing.CandidateDirs(ctx.Mesh(), pe.prov, pk.orient, self, pk.dst, st.dirs[:0])
 	}
 	if len(st.dirs) == 0 {
@@ -634,9 +645,11 @@ func (st *run) forward(ctx *simnet.Context, ref int32) {
 	if traced {
 		src := telemetry.HopDirect
 		switch {
-		case !pe.fast:
+		case !pe.fast && !pe.masked:
 			src = telemetry.HopFallback
-		case st.tel.Get(telemetry.FieldColdBuilds)+st.tel.Get(telemetry.FieldRebuilds) > builds0:
+		case st.tel.Get(telemetry.DecisionHits) > dhits0:
+			src = telemetry.HopDecisionHit
+		case st.tel.Get(telemetry.FieldColdBuilds)+st.tel.Get(telemetry.FieldRebuilds)+st.tel.Get(telemetry.DecisionBuilds) > builds0:
 			src = telemetry.HopColdBuild
 		case st.tel.Get(telemetry.FieldHits) > hits0:
 			src = telemetry.HopCacheHit
