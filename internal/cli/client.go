@@ -2,14 +2,19 @@ package cli
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
+	"mccmesh/internal/rng"
 	"mccmesh/internal/server"
 	"mccmesh/internal/stats"
 )
@@ -58,11 +63,13 @@ func cmdSubmit(args []string) int {
 	fs := flag.NewFlagSet("mcc submit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr   = fs.String("addr", defaultAddr, "server address (host:port or URL)")
-		wait   = fs.Bool("wait", true, "wait for the job and print its report (false: print the job id and exit)")
-		stream = fs.Bool("stream", false, "stream per-cell progress events to stderr while waiting")
-		csv    = fs.Bool("csv", false, "fetch the report as CSV instead of aligned text")
-		tel    = fs.Bool("telemetry", false, "enable telemetry counters for the run (bypasses the result cache)")
+		addr    = fs.String("addr", defaultAddr, "server address (host:port or URL)")
+		wait    = fs.Bool("wait", true, "wait for the job and print its report (false: print the job id and exit)")
+		stream  = fs.Bool("stream", false, "stream per-cell progress events to stderr while waiting")
+		csv     = fs.Bool("csv", false, "fetch the report as CSV instead of aligned text")
+		tel     = fs.Bool("telemetry", false, "enable telemetry counters for the run (bypasses the result cache)")
+		retries = fs.Int("retries", 0, "resubmissions after a 503 rejection or connection failure (0 = fail fast)")
+		backoff = fs.Duration("backoff", 500*time.Millisecond, "initial retry delay, doubled per attempt up to 60s, with deterministic jitter; the server's Retry-After hint raises it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,11 +88,17 @@ func cmdSubmit(args []string) int {
 		defer f.Close()
 		spec = f
 	}
+	// The spec is buffered so a retry can resend the same bytes (and so the
+	// backoff jitter can be seeded from them).
+	specBytes, err := io.ReadAll(spec)
+	if err != nil {
+		return fail("submit", err)
+	}
 	submitURL := base + "/v1/jobs"
 	if *tel {
 		submitURL += "?telemetry=1"
 	}
-	resp, err := http.Post(submitURL, "application/json", spec)
+	resp, err := submitWithRetry(submitURL, specBytes, *retries, *backoff)
 	if err != nil {
 		return fail("submit", err)
 	}
@@ -119,6 +132,70 @@ func cmdSubmit(args []string) int {
 	}
 	fmt.Fprint(stdout, final)
 	return 0
+}
+
+// submitWithRetry posts a spec, resubmitting after 503 rejections and
+// connection failures with capped exponential backoff. Retrying is safe:
+// submission is idempotent by spec digest, so a duplicate of an attempt that
+// did land is answered straight from the result cache. The jitter is seeded
+// deterministically from the spec bytes — a fleet of clients submitting
+// different specs spreads out, while re-running one invocation reproduces its
+// timing — and the server's Retry-After hint, when present, becomes the floor
+// of the computed delay. Retried attempts carry an X-Mcc-Retry header so the
+// server's retries_observed counter sees them.
+func submitWithRetry(url string, spec []byte, retries int, backoff time.Duration) (*http.Response, error) {
+	jitter := rng.New(fnvSeed(spec))
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest("POST", url, bytes.NewReader(spec))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if attempt > 0 {
+			req.Header.Set("X-Mcc-Retry", strconv.Itoa(attempt))
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		if attempt == retries {
+			return resp, err // out of attempts: surface the last outcome as is
+		}
+		var retryAfter time.Duration
+		if err == nil {
+			if n, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && n > 0 {
+				retryAfter = time.Duration(n) * time.Second
+			}
+			err = apiErr(resp)
+			resp.Body.Close()
+		}
+		delay := retryDelay(attempt, backoff, retryAfter, jitter)
+		fmt.Fprintf(stderr, "mcc submit: attempt %d/%d failed (%v), retrying in %s\n",
+			attempt+1, retries+1, err, delay.Round(time.Millisecond))
+		time.Sleep(delay)
+	}
+}
+
+// retryDelay computes one backoff step: the base doubled per attempt, capped
+// at 60s, jittered into [0.5x, 1.5x), and never below the server's hint.
+func retryDelay(attempt int, base time.Duration, retryAfter time.Duration, jitter *rng.Rand) time.Duration {
+	const ceiling = 60 * time.Second
+	d := base << uint(attempt)
+	if d <= 0 || d > ceiling {
+		d = ceiling
+	}
+	d = time.Duration(float64(d) * (0.5 + jitter.Float64()))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// fnvSeed hashes the spec bytes into the jitter seed.
+func fnvSeed(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b) //nolint:errcheck // fnv.Write never fails
+	return h.Sum64()
 }
 
 // followEvents reads the job's NDJSON event stream to EOF (the job's end),

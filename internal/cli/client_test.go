@@ -1,0 +1,140 @@
+package cli
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mccmesh/internal/rng"
+	"mccmesh/internal/scenario"
+	"mccmesh/internal/server"
+)
+
+// TestRetryDelayDeterministicAndFloored pins the backoff schedule: seeded
+// from the spec bytes it reproduces exactly, doubles per attempt within the
+// jitter band, and never undercuts the server's Retry-After hint.
+func TestRetryDelayDeterministicAndFloored(t *testing.T) {
+	spec := []byte(`{"seed": 1}`)
+	a, b := rng.New(fnvSeed(spec)), rng.New(fnvSeed(spec))
+	base := 100 * time.Millisecond
+	for attempt := 0; attempt < 6; attempt++ {
+		da := retryDelay(attempt, base, 0, a)
+		db := retryDelay(attempt, base, 0, b)
+		if da != db {
+			t.Fatalf("attempt %d: same seed gave %s then %s", attempt, da, db)
+		}
+		step := base << uint(attempt)
+		if lo, hi := step/2, step+step/2; da < lo || da >= hi {
+			t.Errorf("attempt %d: delay %s outside jitter band [%s, %s)", attempt, da, lo, hi)
+		}
+	}
+	if d := retryDelay(0, 10*time.Millisecond, 2*time.Second, rng.New(1)); d < 2*time.Second {
+		t.Errorf("delay %s undercuts the Retry-After floor", d)
+	}
+	if d := retryDelay(62, time.Second, 0, rng.New(1)); d >= 90*time.Second {
+		t.Errorf("overflowed attempt count escaped the 60s ceiling: %s", d)
+	}
+}
+
+// TestSubmitRetriesAfter503 drives the full client-side resilience loop: the
+// daemon's queue is provably full when the submission starts, the first
+// attempt bounces with 503 + Retry-After, and a later backoff attempt lands
+// and runs to completion. The server counts the retry.
+func TestSubmitRetriesAfter503(t *testing.T) {
+	srv, err := server.New(server.Config{Jobs: 1, Queue: 1, DrainTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	// Moderate blockers: long enough to hold the worker and the queue slot
+	// past the first attempt, short enough to finish within the backoff run.
+	writeSpec := func(name string, seed uint64) string {
+		t.Helper()
+		spec := scenario.Spec{
+			Name:   name,
+			Mesh:   scenario.Cube(5),
+			Faults: scenario.FaultSpec{Inject: scenario.C("uniform"), Counts: []int{4}},
+			Models: scenario.ComponentsOf("mcc"),
+			Workload: scenario.WorkloadSpec{
+				Patterns: scenario.ComponentsOf("uniform"),
+				Rates:    []float64{0.01, 0.02, 0.03},
+			},
+			Measure: scenario.MeasureSpec{Kind: scenario.MeasureTraffic, Warmup: 5, Window: 1500},
+			Seed:    seed,
+			Trials:  6,
+		}
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), name+".json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	waitCount := func(status string, want int) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for srv.StatsSnapshot().Jobs[status] != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("never saw %d %s job(s): %v", want, status, srv.StatsSnapshot().Jobs)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	if code, _, errOut := capture(t, "submit", "-addr", addr, "-wait=false", writeSpec("blocker1", 501)); code != 0 {
+		t.Fatalf("blocker1: %s", errOut)
+	}
+	waitCount("running", 1)
+	if code, _, errOut := capture(t, "submit", "-addr", addr, "-wait=false", writeSpec("blocker2", 502)); code != 0 {
+		t.Fatalf("blocker2: %s", errOut)
+	}
+	waitCount("queued", 1) // queue (capacity 1) is now provably full
+
+	code, _, errOut := capture(t, "submit", "-addr", addr,
+		"-retries", "10", "-backoff", "100ms", writeSpec("target", 503))
+	if code != 0 {
+		t.Fatalf("submit with retries failed: %s", errOut)
+	}
+	if !strings.Contains(errOut, "retrying in") {
+		t.Errorf("stderr shows no retry attempt:\n%s", errOut)
+	}
+	if got := srv.Counters()["server.retries_observed"]; got < 1 {
+		t.Errorf("server.retries_observed = %d, want >= 1", got)
+	}
+}
+
+// TestSubmitFailsFastWithoutRetries pins the default: one attempt, the 503
+// surfaces immediately with the server's structured error.
+func TestSubmitFailsFastWithoutRetries(t *testing.T) {
+	srv, err := server.New(server.Config{Jobs: 1, DrainTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	srv.BeginDrain()
+	path, _ := serveTestSpec(t)
+	code, _, errOut := capture(t, "submit", "-addr", strings.TrimPrefix(ts.URL, "http://"), path)
+	if code == 0 {
+		t.Fatal("submission to a draining server succeeded")
+	}
+	if !strings.Contains(errOut, "draining") {
+		t.Errorf("stderr = %q, want the server's draining error", errOut)
+	}
+}

@@ -2,9 +2,11 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"strings"
+	"time"
 
 	"mccmesh/internal/scenario"
 )
@@ -84,8 +86,25 @@ func cmdRun(args []string) int {
 	if *trace != "" {
 		sc.EnableTracing(0) // default 1-in-64 sampling
 	}
-	rep, err := sc.Run(context.Background())
+	ctx := context.Background()
+	if secs := sc.Spec().Timeout; secs > 0 {
+		// The spec's own wall-clock budget, honoured locally exactly as
+		// `mcc serve` honours it: the run stops at the deadline with the
+		// completed cells kept and the interrupted cell marked TIMEOUT.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(secs*float64(time.Second)))
+		defer cancel()
+	}
+	rep, err := sc.Run(ctx)
 	if err != nil {
+		if rep != nil && errors.Is(err, context.DeadlineExceeded) {
+			// Salvage the completed prefix before reporting the timeout.
+			if *csv {
+				fmt.Fprint(stdout, rep.Table.CSV())
+			} else {
+				fmt.Fprintln(stdout, rep.Table.Render())
+			}
+		}
 		return fail("run", err)
 	}
 	if *csv {

@@ -22,11 +22,14 @@ func cmdServe(args []string) int {
 	fs := flag.NewFlagSet("mcc serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr  = fs.String("addr", "127.0.0.1:8322", "listen address")
-		jobs  = fs.Int("jobs", 4, "concurrent scenario jobs (each shards trials across its own workers)")
-		queue = fs.Int("queue", 64, "queued jobs beyond the running set before submissions get 503")
-		cache = fs.Int("cache", 128, "result-cache capacity (reports, keyed by spec digest)")
-		topos = fs.Int("topos", 64, "shared-topology pool capacity (mesh prototypes)")
+		addr       = fs.String("addr", "127.0.0.1:8322", "listen address")
+		jobs       = fs.Int("jobs", 4, "concurrent scenario jobs (each shards trials across its own workers)")
+		queue      = fs.Int("queue", 64, "queued jobs beyond the running set before submissions get 503")
+		cache      = fs.Int("cache", 128, "result-cache capacity (reports, keyed by spec digest)")
+		topos      = fs.Int("topos", 64, "shared-topology pool capacity (mesh prototypes)")
+		jobTimeout = fs.Duration("job-timeout", 0, "wall-clock cap per job, and the default for specs without a timeout (0 = unbounded)")
+		drain      = fs.Duration("drain-timeout", 5*time.Second, "how long a shutdown lets running jobs finish before hard-cancelling them")
+		state      = fs.String("state", "", "state directory for the crash-safe job journal; on restart, jobs in flight at the crash are resubmitted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -34,7 +37,13 @@ func cmdServe(args []string) int {
 	if fs.NArg() > 0 {
 		return fail("serve", fmt.Errorf("unexpected argument %q", fs.Arg(0)))
 	}
-	srv := server.New(server.Config{Jobs: *jobs, Queue: *queue, CacheSize: *cache, Topos: *topos})
+	srv, err := server.New(server.Config{
+		Jobs: *jobs, Queue: *queue, CacheSize: *cache, Topos: *topos,
+		JobTimeout: *jobTimeout, DrainTimeout: *drain, StateDir: *state,
+	})
+	if err != nil {
+		return fail("serve", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -43,8 +52,10 @@ func cmdServe(args []string) int {
 	httpSrv := &http.Server{Handler: srv}
 	fmt.Fprintf(stderr, "mcc serve: listening on http://%s (%d job workers)\n", ln.Addr(), *jobs)
 
-	// Serve until SIGINT/SIGTERM, then stop accepting, cancel running jobs
-	// and drain the worker pool.
+	// Serve until SIGINT/SIGTERM, then drain gracefully: admission stops
+	// first (new submissions get 503 + Retry-After), running jobs get the
+	// drain-timeout to finish, queued jobs are sealed EVICTED, and only then
+	// is whatever still runs hard-cancelled.
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	sig := make(chan os.Signal, 1)
@@ -54,9 +65,10 @@ func cmdServe(args []string) int {
 		srv.Close()
 		return fail("serve", err)
 	case s := <-sig:
-		fmt.Fprintf(stderr, "mcc serve: %v, shutting down\n", s)
+		fmt.Fprintf(stderr, "mcc serve: %v, draining (up to %s)\n", s, *drain)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(stderr, "mcc serve: shutdown: %v\n", err)

@@ -43,7 +43,10 @@ func serveTestSpec(t *testing.T) (string, scenario.Spec) {
 // serve` would, for the client subcommands to talk to.
 func startDaemon(t *testing.T) string {
 	t.Helper()
-	srv := server.New(server.Config{Jobs: 2})
+	srv, err := server.New(server.Config{Jobs: 2, DrainTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()

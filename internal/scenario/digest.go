@@ -13,12 +13,15 @@ import (
 // and only if they describe the same experiment, so the digest keys the
 // `mcc serve` result cache and tags every job.
 //
-// Workers is cleared before hashing: it is an execution knob, not part of the
-// result — the same spec produces bit-identical reports at any worker count,
-// so submissions differing only in Workers must share a cache entry.
+// Workers and Timeout are cleared before hashing: both are execution knobs,
+// not part of the result — the same spec produces bit-identical reports at
+// any worker count, and a deadline changes when a run is abandoned, never
+// what a completed run reports — so submissions differing only in those
+// knobs must share a cache entry.
 func (s Spec) Digest() string {
 	s = s.withDefaults()
 	s.Workers = 0
+	s.Timeout = 0
 	return hexSHA256(canonicalDump(s))
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"mccmesh/internal/block"
 	"mccmesh/internal/core"
@@ -533,13 +534,23 @@ func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 	for _, pattern := range spec.Workload.Patterns {
 		for _, model := range spec.Models {
 			for _, rate := range spec.Workload.Rates {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
+				// No early return on an expired context here: the trial-level
+				// check below observes it, the cell is marked CANCELLED /
+				// TIMEOUT, and the completed prefix survives in the report —
+				// even when the deadline beats the very first cell.
 				label := fmt.Sprintf("%s/%s/%.3f", pattern.Name, model.Name, rate)
 				sc.emit(Event{Cell: cell, Total: total, Label: label})
 				cellSeed := rng.Derive(spec.Seed, uint64(cell))
-				results := traffic.RunTrials(spec.Workers, spec.Trials, cellSeed, func(_ int, seed uint64) *traffic.Result {
+				results := traffic.RunTrials(spec.Workers, spec.Trials, cellSeed, func(trial int, seed uint64) (res *traffic.Result) {
+					// A panicking trial must fail its cell, not the process:
+					// trial goroutines are outside any caller's recover, so the
+					// boundary recover lives here. The captured stack rides
+					// Result.Err into the FAILED cell row.
+					defer func() {
+						if p := recover(); p != nil {
+							res = &traffic.Result{Err: fmt.Errorf("trial %d panicked: %v\n%s", trial, p, debug.Stack())}
+						}
+					}()
 					// Cancellation is checked per trial, not only per cell, so
 					// a job cancel lands within one trial's runtime; the
 					// context error flows into Result.Err and is surfaced as a
@@ -599,10 +610,15 @@ func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 					// cell distinguishably — Cell.Err carries the context
 					// error, not a generic failure — and return the completed
 					// prefix of the sweep with the context's error, so a job
-					// runner reports "cancelled", never "failed".
+					// runner reports "cancelled" (or "timeout" for an expired
+					// deadline), never "failed".
+					verdict := "CANCELLED"
+					if errors.Is(agg.Err, context.DeadlineExceeded) {
+						verdict = "TIMEOUT"
+					}
 					row := []string{
 						pattern.Name, model.Name, fmt.Sprintf("%.3f", rate),
-						fmt.Sprintf("CANCELLED: %v", agg.Err),
+						fmt.Sprintf("%s: %v", verdict, agg.Err),
 					}
 					for len(row) < len(columns) {
 						row = append(row, "-")

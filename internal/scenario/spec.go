@@ -43,6 +43,13 @@ type Spec struct {
 	// Workers shards trials across goroutines where the measure supports it
 	// (<= 0 selects GOMAXPROCS). Results are bit-identical for any value.
 	Workers int `json:"workers,omitempty"`
+	// Timeout bounds the run's wall-clock time in seconds (0 = unbounded).
+	// Like Workers it is an execution knob, not part of the result: it is
+	// excluded from the digest, and runners enforce it via
+	// context.WithTimeout — `mcc serve` seals an expired job as TIMEOUT with
+	// its completed cells preserved (`mcc serve -job-timeout` supplies the
+	// default and caps spec-requested values).
+	Timeout float64 `json:"timeout,omitempty"`
 }
 
 // MeshSpec names a 2-D or 3-D mesh topology. Z == 0 selects a 2-D mesh.
@@ -431,6 +438,10 @@ func (s Spec) Validate() error {
 	}
 	if _, err := Measures.Lookup(s.Measure.Kind); err != nil {
 		return err
+	}
+	// The inverted comparison rejects NaN, which satisfies neither bound.
+	if !(s.Timeout >= 0) {
+		return fmt.Errorf("timeout: %v out of range (want seconds >= 0)", s.Timeout)
 	}
 	probe := s.Mesh.New()
 	total := s.Mesh.NodeCount()

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"mccmesh/internal/scenario"
+	"mccmesh/internal/telemetry"
 )
 
 // maxSpecBytes bounds a submitted spec document; real specs are a few KB.
@@ -28,9 +29,17 @@ func (s *Server) routes() *http.ServeMux {
 	return mux
 }
 
-// apiError is the uniform error payload.
+// apiError is the uniform structured error payload: every 4xx/5xx body
+// carries the message, the HTTP status it rode in on, and — for backpressure
+// rejections — the same retry hint as the Retry-After header, so clients
+// parsing only the body still see it.
 type apiError struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+	// RetryAfterSec mirrors the Retry-After header on 503 responses: the
+	// server's estimate (from observed job service times and queue pressure)
+	// of when a resubmission could be admitted.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -42,7 +51,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...), Status: status})
+}
+
+// writeUnavailable rejects with 503, a Retry-After header and the mirrored
+// body field — the graceful-degradation contract for a full queue or a
+// draining server.
+func writeUnavailable(w http.ResponseWriter, retryAfterSec int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	writeJSON(w, http.StatusServiceUnavailable, apiError{
+		Error:         fmt.Sprintf(format, args...),
+		Status:        http.StatusServiceUnavailable,
+		RetryAfterSec: retryAfterSec,
+	})
 }
 
 // handleSubmit accepts a scenario spec (the exact JSON `mcc run -spec`
@@ -50,6 +71,11 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // X-Cache: hit) or enqueues a job (202). `?telemetry=1` enables per-trial
 // counters for the run — such jobs bypass the cache in both directions.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if n, err := strconv.Atoi(r.Header.Get("X-Mcc-Retry")); err == nil && n > 0 {
+		// A backoff-aware client re-sending after a 503; count it so the
+		// operator can see retry pressure in /v1/stats.
+		s.counter(func(t *telemetry.Sink) { t.Inc(telemetry.ServerRetriesObserved) })
+	}
 	body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
 	sc, err := scenario.Load(body)
 	if err != nil {
@@ -69,7 +95,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.submit(sc, withTelemetry)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeUnavailable(w, s.retryAfterSeconds(), "%v", err)
 		return
 	}
 	info := job.Info(false)
@@ -121,8 +147,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	changed := job.Cancel()
+	info := job.Info(false)
+	if changed && info.Status == StatusCanceled {
+		// Sealed while still queued: the worker never sees it, so the seal is
+		// journaled here (duplicate seals from the worker path are harmless).
+		s.journalSeal(info.ID, string(StatusCanceled), info.Error)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"id": r.PathValue("id"), "cancelled": changed, "status": job.Info(false).Status,
+		"id": r.PathValue("id"), "cancelled": changed, "status": info.Status,
 	})
 }
 

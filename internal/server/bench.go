@@ -46,7 +46,10 @@ func BenchServe(cfg Config, cold, cached int) ([]scenario.BenchResult, *stats.Ta
 		cached = 64
 	}
 	cfg = cfg.withDefaults()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server bench: %w", err)
+	}
 	defer s.Close()
 
 	spec := ServeBenchSpec()

@@ -8,7 +8,10 @@ import (
 // computes (distinct seeds defeat the cache), through the full HTTP handler
 // path of an in-process server.
 func BenchmarkSubmitCold(b *testing.B) {
-	s := New(Config{Jobs: 4})
+	s, err := New(Config{Jobs: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer s.Close()
 	spec := ServeBenchSpec()
 	b.ReportAllocs()
@@ -21,7 +24,10 @@ func BenchmarkSubmitCold(b *testing.B) {
 // BenchmarkSubmitCached measures pure cache-hit submissions: one primed
 // digest answered without recompute.
 func BenchmarkSubmitCached(b *testing.B) {
-	s := New(Config{Jobs: 4})
+	s, err := New(Config{Jobs: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer s.Close()
 	spec := ServeBenchSpec()
 	if _, err := runSubmissions(s, spec, 1, false); err != nil {

@@ -22,11 +22,22 @@ const (
 	// StatusCanceled: cancelled by the client (context.Canceled surfaced from
 	// the run, or cancelled while still queued).
 	StatusCanceled Status = "canceled"
+	// StatusTimeout: the job's wall-clock deadline (spec timeout field or the
+	// server's -job-timeout default/cap) expired; the report keeps the
+	// completed cells with the interrupted cell marked TIMEOUT.
+	StatusTimeout Status = "timeout"
+	// StatusEvicted: sealed while still queued by a graceful drain — the job
+	// never ran and the client should resubmit.
+	StatusEvicted Status = "evicted"
 )
 
 // Terminal reports whether the status is final.
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+	switch s {
+	case StatusDone, StatusFailed, StatusCanceled, StatusTimeout, StatusEvicted:
+		return true
+	}
+	return false
 }
 
 // JobEvent is the wire form of one scenario progress event, streamed over
@@ -73,6 +84,7 @@ type Job struct {
 	status  Status
 	cached  bool
 	errText string
+	stack   string // captured goroutine stack of a recovered panic
 	report  *scenario.Report
 	events  []JobEvent
 	// changed is closed and replaced whenever events grow or the status turns
@@ -120,6 +132,27 @@ func (j *Job) finish(st Status, rep *scenario.Report, errText string) {
 	j.errText = errText
 	j.wakeLocked()
 	j.mu.Unlock()
+}
+
+// setStack records the captured stack of a recovered panic.
+func (j *Job) setStack(stack string) {
+	j.mu.Lock()
+	j.stack = stack
+	j.mu.Unlock()
+}
+
+// evict seals a still-queued job as EVICTED (graceful drain); it refuses
+// once the job has been claimed or sealed, and reports whether it sealed.
+func (j *Job) evict() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusEvicted
+	j.errText = "evicted: server draining; resubmit the spec"
+	j.wakeLocked()
+	return true
 }
 
 // fillCached seals a job as answered from the result cache: the report and
@@ -196,7 +229,7 @@ func (j *Job) Info(withReport bool) JobInfo {
 	defer j.mu.Unlock()
 	info := JobInfo{
 		ID: j.id, Name: j.name, Digest: j.digest, TopoKey: j.topo,
-		Status: j.status, Cached: j.cached, Error: j.errText,
+		Status: j.status, Cached: j.cached, Error: j.errText, Stack: j.stack,
 		Events: len(j.events),
 	}
 	if withReport && j.status.Terminal() {
@@ -230,6 +263,9 @@ type JobInfo struct {
 	Cached bool   `json:"cached,omitempty"`
 	// Error carries the failure (or cancellation) message of a terminal job.
 	Error string `json:"error,omitempty"`
+	// Stack is the captured goroutine stack of a job failed by a recovered
+	// panic — the daemon survives; the evidence lands here.
+	Stack string `json:"stack,omitempty"`
 	// Events is the current event-log length (what /events would replay).
 	Events int `json:"events"`
 	// Report is the final structured report, attached on detail requests once

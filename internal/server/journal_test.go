@@ -1,0 +1,78 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalTornTailTolerated pins crash tolerance on the read side: a
+// half-written final line (the append the crash interrupted) ends the replay
+// cleanly, keeping everything before it.
+func TestJournalTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, journalFile)
+	content := `{"op":"submit","id":"j0001","spec":{"seed":1}}
+{"op":"seal","id":"j0001","status":"done"}
+{"op":"submit","id":"j0002","spec":{"seed":2}}
+{"op":"submit","id":"j00`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pending, maxID, err := readJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].ID != "j0002" {
+		t.Fatalf("pending = %+v, want just j0002", pending)
+	}
+	if maxID != 2 {
+		t.Errorf("maxID = %d, want 2 (the torn record must not count)", maxID)
+	}
+
+	// The journal opens for appending right past the torn tail.
+	jnl, pending2, _, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl.close()
+	if len(pending2) != 1 {
+		t.Fatalf("openJournal pending = %+v", pending2)
+	}
+	if err := jnl.append(journalRecord{Op: "seal", ID: "j0002", Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalSealWithoutSubmit covers out-of-order and duplicate seals: they
+// must be ignored rather than corrupt the pending set.
+func TestJournalSealWithoutSubmit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, journalFile)
+	content := `{"op":"seal","id":"j0009","status":"done"}
+{"op":"submit","id":"j0010","spec":{}}
+{"op":"seal","id":"j0010","status":"done"}
+{"op":"seal","id":"j0010","status":"canceled"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pending, maxID, err := readJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Errorf("pending = %+v, want none", pending)
+	}
+	if maxID != 10 {
+		t.Errorf("maxID = %d, want 10", maxID)
+	}
+}
+
+func TestIDSeq(t *testing.T) {
+	for id, want := range map[string]int{"j0042": 42, "j1": 1, "weird": 0, "": 0, "j-3": 0} {
+		if got := idSeq(id); got != want {
+			t.Errorf("idSeq(%q) = %d, want %d", id, got, want)
+		}
+	}
+}

@@ -46,7 +46,13 @@ func specJSON(t *testing.T, spec scenario.Spec) string {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = -1 // tests hard-cancel on Close unless they opt in
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
@@ -544,9 +550,17 @@ func TestQueueFullReturns503(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var payload apiError
+	json.NewDecoder(resp.Body).Decode(&payload) //nolint:errcheck
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("over-capacity submission: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue-full 503 carries no Retry-After header")
+	}
+	if payload.Status != http.StatusServiceUnavailable || payload.RetryAfterSec < 1 {
+		t.Errorf("queue-full structured body = %+v", payload)
 	}
 	for _, id := range ids {
 		http.Post(ts.URL+"/v1/jobs/"+id+"/cancel", "", nil) //nolint:errcheck

@@ -101,6 +101,20 @@ const (
 	// ServerTopoClones counts meshes cloned from the shared-topology pool's
 	// immutable prototypes (per-trial mutable copies over shared tables).
 	ServerTopoClones
+	// ServerPanics counts panics recovered at the job-runner boundary: each
+	// one failed its job with a captured stack instead of killing the daemon.
+	ServerPanics
+	// ServerTimeouts counts jobs sealed TIMEOUT by their wall-clock deadline.
+	ServerTimeouts
+	// ServerRetriesObserved counts submissions that announced themselves as
+	// client retries (the X-Mcc-Retry header `mcc submit -retries` sends).
+	ServerRetriesObserved
+	// ServerJobsReplayed counts jobs resubmitted from the crash-safe journal
+	// on daemon restart (`mcc serve -state`).
+	ServerJobsReplayed
+	// ServerJobsEvicted counts queued jobs sealed EVICTED by a graceful drain
+	// so their clients could resubmit elsewhere.
+	ServerJobsEvicted
 
 	// NumCounters is the Sink slot count, not a counter.
 	NumCounters
@@ -139,6 +153,12 @@ var counterNames = [NumCounters]string{
 	ServerCacheHits:     "server.cache_hits",
 	ServerQueueDepth:    "server.queue_depth",
 	ServerTopoClones:    "server.topo_clones",
+
+	ServerPanics:          "server.panics",
+	ServerTimeouts:        "server.timeouts",
+	ServerRetriesObserved: "server.retries_observed",
+	ServerJobsReplayed:    "server.jobs_replayed",
+	ServerJobsEvicted:     "server.jobs_evicted",
 }
 
 // String returns the stable external name of the counter.
