@@ -36,6 +36,7 @@ func cmdBench(args []string) int {
 		clustered = fs.Bool("clustered", false, "inject clustered faults instead of uniform random faults")
 		csize     = fs.Int("clustersize", 5, "faults per cluster when -clustered is set")
 		workers   = fs.Int("workers", 0, "parallel trial workers for e7 (0 = GOMAXPROCS)")
+		shards    = fs.Int("shards", 0, "with -spec: spatial shards per trial (0/1 = sequential); any value gives identical tables")
 		specPath  = fs.String("spec", "", "run a scenario spec file instead (- = stdin)")
 		dump      = fs.Bool("dump-spec", false, "print the spec of the selected experiment (requires exactly one -exp) and exit")
 		jsonPath  = fs.String("json", "", "run the event-core benchmark (measure \"bench\") and write machine-readable results to this file, e.g. BENCH_traffic.json")
@@ -149,11 +150,11 @@ func cmdBench(args []string) int {
 	}
 
 	if *specPath != "" {
-		if err := rejectFlagSpecClash(fs, "dump-spec", "workers", "csv",
+		if err := rejectFlagSpecClash(fs, "dump-spec", "workers", "shards", "csv",
 			"cpuprofile", "memprofile", "metrics", "v"); err != nil {
 			return fail("bench", err)
 		}
-		sc, err := loadSpecWithWorkers(*specPath, fs, *workers)
+		sc, err := loadSpecWithExec(*specPath, fs, *workers, *shards)
 		if err != nil {
 			return fail("bench", err)
 		}
@@ -322,6 +323,17 @@ func printBenchDelta(cells []scenario.BenchResult, path string) error {
 		if !ok || b.EventsPerSec <= 0 {
 			fmt.Fprintf(stdout, "  %-38s %10.0f events/sec  %6.2f allocs/pkt  (no baseline cell)\n",
 				c.Key(), c.EventsPerSec, c.AllocsPerPacket)
+			continue
+		}
+		if c.Informational {
+			// Sharded cells: tracked so scaling regressions are visible in the
+			// delta, but never gated — multi-shard throughput depends on the
+			// runner's free cores, which CI does not guarantee.
+			fmt.Fprintf(stdout, "  %-38s %10.0f events/sec (%+.1f%%, %.2fx)  allocs/pkt %.2f -> %.2f  (informational)\n",
+				c.Key(), c.EventsPerSec,
+				100*(c.EventsPerSec-b.EventsPerSec)/b.EventsPerSec, c.EventsPerSec/b.EventsPerSec,
+				b.AllocsPerPacket, c.AllocsPerPacket)
+			printCounterDelta(b.Telemetry, c.Telemetry)
 			continue
 		}
 		fmt.Fprintf(stdout, "  %-38s %10.0f events/sec (%+.1f%%, %.2fx)  allocs/pkt %.2f -> %.2f\n",

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mccmesh/internal/rng"
+	"mccmesh/internal/scenario"
 	"mccmesh/internal/server"
 	"mccmesh/internal/stats"
 )
@@ -68,6 +69,7 @@ func cmdSubmit(args []string) int {
 		stream  = fs.Bool("stream", false, "stream per-cell progress events to stderr while waiting")
 		csv     = fs.Bool("csv", false, "fetch the report as CSV instead of aligned text")
 		tel     = fs.Bool("telemetry", false, "enable telemetry counters for the run (bypasses the result cache)")
+		shards  = fs.Int("shards", 0, "override the spec's per-trial shard count before submitting (0 = leave the spec alone); any value gives identical results")
 		retries = fs.Int("retries", 0, "resubmissions after a 503 rejection or connection failure (0 = fail fast)")
 		backoff = fs.Duration("backoff", 500*time.Millisecond, "initial retry delay, doubled per attempt up to 60s, with deterministic jitter; the server's Retry-After hint raises it")
 	)
@@ -93,6 +95,15 @@ func cmdSubmit(args []string) int {
 	specBytes, err := io.ReadAll(spec)
 	if err != nil {
 		return fail("submit", err)
+	}
+	if *shards != 0 {
+		// The override rides inside the spec document itself (its exec block),
+		// so the server needs no side channel — and the digest is unchanged,
+		// because exec knobs are excluded from a spec's identity.
+		specBytes, err = specWithShards(specBytes, *shards)
+		if err != nil {
+			return fail("submit", err)
+		}
 	}
 	submitURL := base + "/v1/jobs"
 	if *tel {
@@ -132,6 +143,27 @@ func cmdSubmit(args []string) int {
 	}
 	fmt.Fprint(stdout, final)
 	return 0
+}
+
+// specWithShards re-serialises a spec document with its exec shard count set
+// to n — validating it locally in passing, exactly as `mcc run -spec -shards`
+// would.
+func specWithShards(specBytes []byte, n int) ([]byte, error) {
+	sc, err := scenario.Load(bytes.NewReader(specBytes))
+	if err != nil {
+		return nil, err
+	}
+	spec := sc.Spec()
+	spec.SetShards(n)
+	sc, err = scenario.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := sc.WriteSpec(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // submitWithRetry posts a spec, resubmitting after 503 rejections and

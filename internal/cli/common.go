@@ -59,24 +59,34 @@ func rejectFlagSpecClash(fs *flag.FlagSet, allowed ...string) error {
 	return rejectFlagClash(fs, "spec", "edit the spec file instead", allowed...)
 }
 
-// loadSpecWithWorkers loads a spec file and applies a -workers override (the
-// one execution knob that is not part of the result).
-func loadSpecWithWorkers(path string, fs *flag.FlagSet, workers int) (*scenario.Scenario, error) {
+// loadSpecWithExec loads a spec file and applies the -workers / -shards
+// execution overrides, each only when the flag was given on the command line
+// (the execution knobs are the one part of a spec the CLI may override — they
+// are not part of the result).
+func loadSpecWithExec(path string, fs *flag.FlagSet, workers, shards int) (*scenario.Scenario, error) {
 	sc, err := loadSpec(path)
 	if err != nil {
 		return nil, err
 	}
-	set := false
+	setWorkers, setShards := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "workers" {
-			set = true
+		switch f.Name {
+		case "workers":
+			setWorkers = true
+		case "shards":
+			setShards = true
 		}
 	})
-	if !set {
+	if !setWorkers && !setShards {
 		return sc, nil
 	}
 	spec := sc.Spec()
-	spec.Workers = workers
+	if setWorkers {
+		spec.SetWorkers(workers)
+	}
+	if setShards {
+		spec.SetShards(shards)
+	}
 	return scenario.New(spec)
 }
 

@@ -36,6 +36,7 @@ func cmdRun(args []string) int {
 		warmup   = fs.Int("warmup", 50, "warmup ticks before measurement (traffic)")
 		window   = fs.Int("window", 200, "measurement window in ticks (traffic)")
 		workers  = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); any value gives identical tables")
+		shards   = fs.Int("shards", 0, "spatial shards per trial (0/1 = sequential); any value gives identical tables")
 		hotFrac  = fs.Float64("hotspot", 0, "hotspot traffic fraction (0 = pattern default)")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		progress = fs.Bool("progress", false, "stream per-cell progress to stderr")
@@ -57,18 +58,18 @@ func cmdRun(args []string) int {
 	if *specPath != "" {
 		// With -spec, the scenario is the file; only execution/output flags
 		// may be combined with it.
-		if err := rejectFlagSpecClash(fs, "dump-spec", "workers", "csv", "progress",
+		if err := rejectFlagSpecClash(fs, "dump-spec", "workers", "shards", "csv", "progress",
 			"metrics", "trace", "v", "cpuprofile", "memprofile"); err != nil {
 			return fail("run", err)
 		}
-		sc, err = loadSpecWithWorkers(*specPath, fs, *workers)
+		sc, err = loadSpecWithExec(*specPath, fs, *workers, *shards)
 	} else {
 		sc, err = flagScenario(flagSpecInputs{
 			measure: *measure, dim: *dim, twoD: *twoD, faults: *faultsF,
 			clustered: *clust, csize: *csize, seed: *seed,
 			patterns: *patterns, models: *models, rates: *rates,
 			trials: *trials, pairs: *pairs, minDist: *minDist,
-			warmup: *warmup, window: *window, workers: *workers, hotFrac: *hotFrac,
+			warmup: *warmup, window: *window, workers: *workers, shards: *shards, hotFrac: *hotFrac,
 		})
 	}
 	if err != nil {
@@ -87,7 +88,8 @@ func cmdRun(args []string) int {
 		sc.EnableTracing(0) // default 1-in-64 sampling
 	}
 	ctx := context.Background()
-	if secs := sc.Spec().Timeout; secs > 0 {
+	spec := sc.Spec()
+	if secs := spec.TimeoutSeconds(); secs > 0 {
 		// The spec's own wall-clock budget, honoured locally exactly as
 		// `mcc serve` honours it: the run stops at the deadline with the
 		// completed cells kept and the interrupted cell marked TIMEOUT.
@@ -144,7 +146,7 @@ type flagSpecInputs struct {
 	trials, pairs    int
 	minDist          int
 	warmup, window   int
-	workers          int
+	workers, shards  int
 	hotFrac          float64
 }
 
@@ -188,9 +190,12 @@ func flagScenario(in flagSpecInputs) (*scenario.Scenario, error) {
 			Warmup:      in.warmup,
 			Window:      in.window,
 		},
-		Seed:    in.seed,
-		Trials:  in.trials,
-		Workers: in.workers,
+		Seed:   in.seed,
+		Trials: in.trials,
+	}
+	spec.SetWorkers(in.workers)
+	if in.shards != 0 {
+		spec.SetShards(in.shards)
 	}
 	return scenario.New(spec)
 }

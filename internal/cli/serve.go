@@ -28,6 +28,7 @@ func cmdServe(args []string) int {
 		cache      = fs.Int("cache", 128, "result-cache capacity (reports, keyed by spec digest)")
 		topos      = fs.Int("topos", 64, "shared-topology pool capacity (mesh prototypes)")
 		jobTimeout = fs.Duration("job-timeout", 0, "wall-clock cap per job, and the default for specs without a timeout (0 = unbounded)")
+		maxShards  = fs.Int("max-shards", 0, "clamp the per-trial shard count submitted specs may request (0 = unlimited); shards are digest-excluded, so clamping never changes results")
 		drain      = fs.Duration("drain-timeout", 5*time.Second, "how long a shutdown lets running jobs finish before hard-cancelling them")
 		state      = fs.String("state", "", "state directory for the crash-safe job journal; on restart, jobs in flight at the crash are resubmitted")
 	)
@@ -40,6 +41,7 @@ func cmdServe(args []string) int {
 	srv, err := server.New(server.Config{
 		Jobs: *jobs, Queue: *queue, CacheSize: *cache, Topos: *topos,
 		JobTimeout: *jobTimeout, DrainTimeout: *drain, StateDir: *state,
+		MaxShards: *maxShards,
 	})
 	if err != nil {
 		return fail("serve", err)

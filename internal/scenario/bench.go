@@ -69,6 +69,11 @@ type BenchResult struct {
 	// keeps them outside the events/sec and allocs/packet baseline gates
 	// (wall-clock job throughput on shared runners is informational only).
 	JobsPerSec float64 `json:"jobs_per_sec,omitempty"`
+	// Informational marks cells whose wall-clock rates are tracked but never
+	// gated by the baseline comparison: sharded cells (Shards > 1 in the
+	// spec's exec block) measure parallel speed-up, which moves with the
+	// runner's core count and load, exactly like the JobsPerSec server cells.
+	Informational bool `json:"informational,omitempty"`
 	// Telemetry is the counter snapshot of one untimed probe trial (trial 0's
 	// configuration with the counters live), run after the timed loop so the
 	// headline rates stay telemetry-off. Baseline deltas compare it to spot
@@ -163,6 +168,9 @@ func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
 					Rate: rate, Faults: faults,
 					Warmup: spec.Measure.Warmup, Window: spec.Measure.Window,
 					Trials: spec.Trials, Seed: spec.Seed,
+					// Sharded cells measure parallel speed-up, a property of the
+					// runner as much as of the code — never gate on them.
+					Informational: spec.ShardCount() > 1,
 				}
 				var ms0, ms1 runtime.MemStats
 				runtime.ReadMemStats(&ms0)
@@ -186,6 +194,10 @@ func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
 						LinkDelay: simnet.Time(spec.Measure.LinkDelay),
 						MaxEvents: spec.Measure.MaxEvents,
 						Timeline:  timeline,
+						Shards:    spec.ShardCount(),
+						ShardModel: func() (traffic.InfoModel, error) {
+							return traffic.BuildModel(model.Name, core.NewModel(m), model.Args())
+						},
 					})
 					r := e.Run(seed)
 					if r.Err != nil {
@@ -221,6 +233,10 @@ func measureBench(ctx context.Context, sc *Scenario) (*Report, error) {
 						MaxEvents: spec.Measure.MaxEvents,
 						Timeline:  timeline,
 						Telemetry: true,
+						Shards:    spec.ShardCount(),
+						ShardModel: func() (traffic.InfoModel, error) {
+							return traffic.BuildModel(model.Name, core.NewModel(m), model.Args())
+						},
 					})
 					if r := e.Run(seed); r.Err == nil && r.Telemetry != nil {
 						res.Telemetry = r.Telemetry.Snapshot()
@@ -333,8 +349,40 @@ func ChurnBenchSpec() Spec {
 	}
 }
 
+// ShardedBenchSpec returns the sharded-execution benchmark spec
+// (Hotspot32MCCShards4): one MCC hotspot cell on a 32x32x32 mesh with the
+// trial split across 4 slab shards. Its events/sec is the parallel speed-up
+// PR 10 targets (>= 2x the sequential 32-cube rate at 4 shards); the cell is
+// informational in `-baseline` — speed-up moves with the runner's cores, so
+// it is tracked, never gated.
+func ShardedBenchSpec() Spec {
+	return Spec{
+		Name: "shards4",
+		Mesh: Cube(32),
+		Faults: FaultSpec{
+			Inject: C("uniform"),
+			Counts: []int{400},
+		},
+		Models: Components{C("mcc")},
+		Workload: WorkloadSpec{
+			Patterns: Components{C("hotspot")},
+			Rates:    []float64{0.02},
+		},
+		Measure: MeasureSpec{
+			Kind:      MeasureBench,
+			Warmup:    50,
+			Window:    200,
+			MaxEvents: 100_000_000,
+		},
+		Seed:   20050507,
+		Trials: 1,
+		Exec:   &ExecSpec{Shards: 4},
+	}
+}
+
 // BenchSpecs returns the benchmark specs `mcc bench -json` runs by default,
-// in output order: the churn-free reference workload and the churn workload.
+// in output order: the churn-free reference workload, the churn workload and
+// the sharded-execution workload.
 func BenchSpecs() []Spec {
-	return []Spec{BenchSpec(), ChurnBenchSpec()}
+	return []Spec{BenchSpec(), ChurnBenchSpec(), ShardedBenchSpec()}
 }

@@ -16,22 +16,28 @@ func TestChurnGoldenOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Full cross of trial workers × intra-trial shards: churn events run at
+	// the shard barrier (coordinator side), so this pins the sharded engine's
+	// churn ordering against the sequential golden too.
 	for _, workers := range []int{1, 8} {
-		f, err := os.Open("../../specs/churn.json")
-		if err != nil {
-			t.Fatal(err)
-		}
-		sc, err := Load(f)
-		f.Close()
-		if err != nil {
-			t.Fatal(err)
-		}
-		spec := sc.Spec()
-		spec.Workers = workers
-		rep := mustRun(t, mustNew(t, spec))
-		if got := rep.Table.CSV(); got != string(golden) {
-			t.Errorf("specs/churn.json output drifted from the golden at %d workers:\n--- got\n%s--- want\n%s",
-				workers, got, golden)
+		for _, shards := range []int{1, 2, 8} {
+			f, err := os.Open("../../specs/churn.json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Load(f)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := sc.Spec()
+			spec.SetWorkers(workers)
+			spec.SetShards(shards)
+			rep := mustRun(t, mustNew(t, spec))
+			if got := rep.Table.CSV(); got != string(golden) {
+				t.Errorf("specs/churn.json output drifted from the golden at %d workers, %d shards:\n--- got\n%s--- want\n%s",
+					workers, shards, got, golden)
+			}
 		}
 	}
 }

@@ -13,16 +13,24 @@ import (
 // and only if they describe the same experiment, so the digest keys the
 // `mcc serve` result cache and tags every job.
 //
-// Workers and Timeout are cleared before hashing: both are execution knobs,
-// not part of the result — the same spec produces bit-identical reports at
-// any worker count, and a deadline changes when a run is abandoned, never
-// what a completed run reports — so submissions differing only in those
-// knobs must share a cache entry.
+// The exec block is cleared before hashing (execExcluded): workers, shards
+// and timeout are execution knobs, not part of the result — the same spec
+// produces bit-identical reports at any worker or shard count, and a deadline
+// changes when a run is abandoned, never what a completed run reports — so
+// submissions differing only in those knobs must share a cache entry.
 func (s Spec) Digest() string {
-	s = s.withDefaults()
+	s = execExcluded(s.withDefaults())
+	return hexSHA256(canonicalDump(s))
+}
+
+// execExcluded strips every execution-resource knob — the exec block and its
+// deprecated top-level spellings — from a copy of the spec. It is the single
+// definition of "digest-excluded": anything an ExecSpec carries is out.
+func execExcluded(s Spec) Spec {
+	s.Exec = nil
 	s.Workers = 0
 	s.Timeout = 0
-	return hexSHA256(canonicalDump(s))
+	return s
 }
 
 // TopoKey returns the hash identifying the spec's mesh/fault configuration:

@@ -19,7 +19,12 @@ func TestE7GoldenOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{1, 3} {
+	// The sweep crosses trial-level parallelism (workers) with intra-trial
+	// spatial sharding (PR 10): every combination must reproduce the same
+	// bytes the sequential single-worker run produces.
+	for _, exec := range []struct{ workers, shards int }{
+		{1, 1}, {3, 1}, {3, 2}, {1, 8},
+	} {
 		f, err := os.Open("../../specs/e7.json")
 		if err != nil {
 			t.Fatal(err)
@@ -30,11 +35,12 @@ func TestE7GoldenOutput(t *testing.T) {
 			t.Fatal(err)
 		}
 		spec := sc.Spec()
-		spec.Workers = workers
+		spec.SetWorkers(exec.workers)
+		spec.SetShards(exec.shards)
 		rep := mustRun(t, mustNew(t, spec))
 		if got := rep.Table.CSV(); got != string(golden) {
-			t.Errorf("specs/e7.json output drifted from the pre-refactor golden at %d workers:\n--- got\n%s--- want\n%s",
-				workers, got, golden)
+			t.Errorf("specs/e7.json output drifted from the pre-refactor golden at %d workers, %d shards:\n--- got\n%s--- want\n%s",
+				exec.workers, exec.shards, got, golden)
 		}
 	}
 }

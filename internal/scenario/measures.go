@@ -541,7 +541,7 @@ func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 				label := fmt.Sprintf("%s/%s/%.3f", pattern.Name, model.Name, rate)
 				sc.emit(Event{Cell: cell, Total: total, Label: label})
 				cellSeed := rng.Derive(spec.Seed, uint64(cell))
-				results := traffic.RunTrials(spec.Workers, spec.Trials, cellSeed, func(trial int, seed uint64) (res *traffic.Result) {
+				results := traffic.RunTrials(spec.WorkerCount(), spec.Trials, cellSeed, func(trial int, seed uint64) (res *traffic.Result) {
 					// A panicking trial must fail its cell, not the process:
 					// trial goroutines are outside any caller's recover, so the
 					// boundary recover lives here. The captured stack rides
@@ -579,6 +579,10 @@ func measureTraffic(ctx context.Context, sc *Scenario) (*Report, error) {
 						Telemetry:  sc.telemetry,
 						TraceEvery: sc.traceEvery,
 						TraceCap:   sc.traceCap,
+						Shards:     spec.ShardCount(),
+						ShardModel: func() (traffic.InfoModel, error) {
+							return traffic.BuildModel(model.Name, core.NewModel(m), model.Args())
+						},
 					})
 					return e.Run(seed)
 				})

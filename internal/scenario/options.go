@@ -127,10 +127,27 @@ func WithTrials(trials int) Option {
 	return func(sc *Scenario) { sc.spec.Trials = trials }
 }
 
-// WithWorkers shards trials across goroutines (<= 0 selects GOMAXPROCS);
-// results are bit-identical for any value.
+// Execution resources. WithWorkers, WithShards and WithTimeout set the
+// spec's exec block — how a scenario runs, never what it computes. All three
+// are digest-excluded and results are bit-identical for any values.
+
+// WithWorkers fans trials out across goroutines (<= 0 selects GOMAXPROCS).
 func WithWorkers(workers int) Option {
-	return func(sc *Scenario) { sc.spec.Workers = workers }
+	return func(sc *Scenario) { sc.spec.SetWorkers(workers) }
+}
+
+// WithShards splits every single trial spatially into up to n slab shards,
+// each with its own event queue and packet pool, synchronised at a per-tick
+// barrier (traffic measure; 0 or 1 runs the sequential engine). Composes
+// with WithWorkers: workers × shards goroutines at peak.
+func WithShards(n int) Option {
+	return func(sc *Scenario) { sc.spec.SetShards(n) }
+}
+
+// WithTimeout bounds the run's wall-clock time in seconds (0 = unbounded);
+// runners enforce it via context cancellation.
+func WithTimeout(secs float64) Option {
+	return func(sc *Scenario) { sc.spec.SetTimeout(secs) }
 }
 
 // WithMeshSource installs a trial-mesh factory (see Scenario.SetMeshSource):

@@ -78,6 +78,12 @@ func (sc *Scenario) EnableTracing(n int) {
 	}
 }
 
+// SetShards overrides the resolved per-trial shard count of a validated
+// scenario — the hook `mcc serve -max-shards` uses to clamp what submitted
+// specs request. Shards are digest-excluded, so the override never changes
+// the scenario's identity or its results.
+func (sc *Scenario) SetShards(n int) { sc.spec.SetShards(n) }
+
 // Option configures a Scenario under construction; see the With* functions.
 type Option func(*Scenario)
 

@@ -91,7 +91,7 @@ func TestJSONRoundTripIdenticalReport(t *testing.T) {
 	}
 	// Workers is part of the spec but must not be part of the result:
 	// run the original serially and the decoded copy on eight workers.
-	decoded.spec.Workers = 8
+	decoded.spec.SetWorkers(8)
 
 	repA := mustRun(t, orig)
 	repB := mustRun(t, decoded)
@@ -576,7 +576,7 @@ func TestOptionsBuildScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := sc.Spec()
-	if spec.Name != "opt" || spec.Mesh != Cube(7) || spec.Seed != 9 || spec.Trials != 2 || spec.Workers != 3 {
+	if spec.Name != "opt" || spec.Mesh != Cube(7) || spec.Seed != 9 || spec.Trials != 2 || spec.WorkerCount() != 3 {
 		t.Errorf("scalar options not applied: %+v", spec)
 	}
 	if spec.Faults.Inject.Name != "clustered" || len(spec.Faults.Schedule) != 1 {

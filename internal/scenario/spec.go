@@ -40,17 +40,94 @@ type Spec struct {
 	Seed uint64 `json:"seed"`
 	// Trials is the number of random fault configurations per cell.
 	Trials int `json:"trials"`
-	// Workers shards trials across goroutines where the measure supports it
-	// (<= 0 selects GOMAXPROCS). Results are bit-identical for any value.
+	// Exec groups the execution-resource knobs: workers, shards and timeout.
+	// None of them affects the measured result — results are bit-identical
+	// for any values — so the whole block is digest-excluded (execExcluded).
+	// Normalisation (withDefaults, hence New, Load and every dump) folds the
+	// deprecated top-level fields below into this block; read the resolved
+	// values through WorkerCount, ShardCount and TimeoutSeconds.
+	Exec *ExecSpec `json:"exec,omitempty"`
+	// Workers is the deprecated top-level spelling of Exec.Workers; it still
+	// parses and canonicalises into the exec block on dump. When both are
+	// set, the exec block wins.
 	Workers int `json:"workers,omitempty"`
-	// Timeout bounds the run's wall-clock time in seconds (0 = unbounded).
-	// Like Workers it is an execution knob, not part of the result: it is
-	// excluded from the digest, and runners enforce it via
-	// context.WithTimeout — `mcc serve` seals an expired job as TIMEOUT with
-	// its completed cells preserved (`mcc serve -job-timeout` supplies the
-	// default and caps spec-requested values).
+	// Timeout is the deprecated top-level spelling of Exec.Timeout, with the
+	// same fold-into-exec behaviour as Workers.
 	Timeout float64 `json:"timeout,omitempty"`
 }
+
+// ExecSpec is the execution-resource block of a spec: how a scenario runs,
+// never what it computes. Every field is digest-excluded.
+type ExecSpec struct {
+	// Workers fans trials out across goroutines where the measure supports it
+	// (<= 0 selects GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Shards splits each single trial spatially into up to Shards slab shards
+	// (see mesh.SlabPartition), each with its own event queue and packet
+	// pool, synchronised at a per-tick barrier (traffic measure; meshes with
+	// fewer layers than shards split per layer). 0 or 1 runs the sequential
+	// engine. Composes with Workers: Workers × Shards goroutines at peak.
+	Shards int `json:"shards,omitempty"`
+	// Timeout bounds the run's wall-clock time in seconds (0 = unbounded).
+	// Runners enforce it via context.WithTimeout — `mcc serve` seals an
+	// expired job as TIMEOUT with its completed cells preserved (`mcc serve
+	// -job-timeout` supplies the default and caps spec-requested values).
+	Timeout float64 `json:"timeout,omitempty"`
+}
+
+// zero reports whether the block carries no information (and is therefore
+// normalised away to keep dumps minimal).
+func (e *ExecSpec) zero() bool {
+	return e == nil || (e.Workers == 0 && e.Shards == 0 && e.Timeout == 0)
+}
+
+// WorkerCount returns the resolved worker count, honouring both the exec
+// block and the deprecated top-level field (exec wins).
+func (s *Spec) WorkerCount() int {
+	if s.Exec != nil && s.Exec.Workers != 0 {
+		return s.Exec.Workers
+	}
+	return s.Workers
+}
+
+// ShardCount returns the resolved per-trial shard count (0 = sequential).
+func (s *Spec) ShardCount() int {
+	if s.Exec != nil {
+		return s.Exec.Shards
+	}
+	return 0
+}
+
+// TimeoutSeconds returns the resolved wall-clock budget in seconds
+// (0 = unbounded), honouring both spellings (exec wins).
+func (s *Spec) TimeoutSeconds() float64 {
+	if s.Exec != nil && s.Exec.Timeout != 0 {
+		return s.Exec.Timeout
+	}
+	return s.Timeout
+}
+
+// execPatch applies fn to a copy of the exec block and installs it, clearing
+// the deprecated spellings so there is exactly one place the value lives.
+func (s *Spec) execPatch(fn func(*ExecSpec)) {
+	e := ExecSpec{Workers: s.WorkerCount(), Shards: s.ShardCount(), Timeout: s.TimeoutSeconds()}
+	fn(&e)
+	s.Workers, s.Timeout = 0, 0
+	if e.zero() {
+		s.Exec = nil
+		return
+	}
+	s.Exec = &e
+}
+
+// SetWorkers sets the resolved worker count (canonicalising into Exec).
+func (s *Spec) SetWorkers(n int) { s.execPatch(func(e *ExecSpec) { e.Workers = n }) }
+
+// SetShards sets the resolved shard count (canonicalising into Exec).
+func (s *Spec) SetShards(n int) { s.execPatch(func(e *ExecSpec) { e.Shards = n }) }
+
+// SetTimeout sets the resolved timeout in seconds (canonicalising into Exec).
+func (s *Spec) SetTimeout(secs float64) { s.execPatch(func(e *ExecSpec) { e.Timeout = secs }) }
 
 // MeshSpec names a 2-D or 3-D mesh topology. Z == 0 selects a 2-D mesh.
 type MeshSpec struct {
@@ -366,6 +443,10 @@ type MeasureSpec struct {
 // withDefaults returns a copy of the spec with every defaultable field
 // filled, so a minimal hand-written spec runs and a dumped spec is explicit.
 func (s Spec) withDefaults() Spec {
+	// Canonicalise the execution knobs: the deprecated top-level spellings
+	// fold into the exec block (exec wins on conflict), and an all-zero block
+	// normalises away so minimal specs dump without an empty "exec": {}.
+	s.execPatch(func(*ExecSpec) {})
 	if s.Measure.Kind == "" {
 		s.Measure.Kind = MeasureTraffic
 	}
@@ -439,9 +520,12 @@ func (s Spec) Validate() error {
 	if _, err := Measures.Lookup(s.Measure.Kind); err != nil {
 		return err
 	}
-	// The inverted comparison rejects NaN, which satisfies neither bound.
-	if !(s.Timeout >= 0) {
-		return fmt.Errorf("timeout: %v out of range (want seconds >= 0)", s.Timeout)
+	// The inverted comparisons reject NaN, which satisfies neither bound.
+	if secs := s.TimeoutSeconds(); !(secs >= 0) {
+		return fmt.Errorf("exec: timeout %v out of range (want seconds >= 0)", secs)
+	}
+	if n := s.ShardCount(); n < 0 {
+		return fmt.Errorf("exec: shards %d out of range (want >= 0; 0 or 1 runs sequentially)", n)
 	}
 	probe := s.Mesh.New()
 	total := s.Mesh.NodeCount()

@@ -93,6 +93,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if withTelemetry {
 		sc.EnableTelemetry()
 	}
+	if lim := s.cfg.MaxShards; lim > 0 {
+		// Clamp, don't reject: shards are an execution knob (digest-excluded),
+		// so the clamped job still answers the submitted spec exactly.
+		if spec := sc.Spec(); spec.ShardCount() > lim {
+			sc.SetShards(lim)
+		}
+	}
 	job, err := s.submit(sc, withTelemetry)
 	if err != nil {
 		writeUnavailable(w, s.retryAfterSeconds(), "%v", err)

@@ -8,10 +8,11 @@ import (
 
 // resultCache is the server's report cache, keyed by the canonical spec
 // digest: a resubmission of a byte-equal spec (after normalisation, and
-// ignoring the Workers execution knob — see scenario.Spec.Digest) is answered
-// with the stored report and replayed event log instead of recomputing.
-// Results are workers-invariant by construction, so a cached report is
-// bit-identical to what a fresh run would produce. Only telemetry-free runs
+// ignoring the exec block — workers, shards, timeout; see
+// scenario.Spec.Digest) is answered with the stored report and replayed event
+// log instead of recomputing. Results are workers- and shards-invariant by
+// construction, so a cached report is bit-identical to what a fresh run would
+// produce. Only telemetry-free runs
 // are cached: telemetry changes report content without changing the digest.
 type resultCache struct {
 	mu      sync.Mutex

@@ -54,6 +54,11 @@ type Config struct {
 	// specs that set no timeout of their own (0 = unbounded). A spec timeout
 	// above the cap is clamped to it.
 	JobTimeout time.Duration
+	// MaxShards caps the per-trial shard count a submitted spec may request
+	// (its exec block's "shards"; 0 = uncapped). Requests above the cap are
+	// clamped, mirroring JobTimeout — shards are an execution knob, so the
+	// clamp changes resource use, never results or cache identity.
+	MaxShards int
 	// DrainTimeout is how long Close waits for running jobs to finish before
 	// hard-cancelling them (default 5s; negative = hard-cancel immediately).
 	DrainTimeout time.Duration
@@ -374,7 +379,7 @@ func (s *Server) evictJob(job *Job) {
 // jobDeadline resolves a job's effective wall-clock budget: the spec's own
 // timeout, defaulted and capped by the server-wide JobTimeout (0 = unbounded).
 func (s *Server) jobDeadline(spec scenario.Spec) time.Duration {
-	d := time.Duration(spec.Timeout * float64(time.Second))
+	d := time.Duration(spec.TimeoutSeconds() * float64(time.Second))
 	if lim := s.cfg.JobTimeout; lim > 0 && (d <= 0 || d > lim) {
 		d = lim
 	}

@@ -148,6 +148,14 @@ type Network struct {
 	boxed     []any
 	boxedFree []int32
 
+	// shardLo/shardHi bound the node IDs this network owns when it runs as one
+	// shard of a ShardedNetwork; events addressed outside the slab divert to
+	// outbox (in send order) instead of the local queue, and the coordinator
+	// exchanges them at the tick barrier. shardHi == 0 — the default — disables
+	// the diversion entirely: a standalone Network owns every node.
+	shardLo, shardHi int32
+	outbox           []event
+
 	store []map[string]any
 	ctxs  []Context
 }
@@ -325,30 +333,58 @@ func (n *Network) Run() (Stats, error) {
 // with an error wrapping ErrEventBudget.
 func (n *Network) Drain() (Stats, error) {
 	for n.queue.pending() {
-		t := n.queue.nextTime(n.now)
-		n.queue.migrate(t, n.opts.farThreshold)
-		bucket := &n.queue.ring[t&wheelMask]
-		// The bucket may grow while it is drained: same-tick events appended
-		// during processing (After(0), At(now), Post) carry larger sequence
-		// numbers and belong at the tail, so re-reading len each iteration
-		// preserves the (time, seq) order exactly.
-		for i := 0; i < len(*bucket); i++ {
-			if n.stats.Events >= n.opts.MaxEvents {
-				// Drop the processed prefix so a (hypothetical) further Drain
-				// does not replay it.
-				n.queue.consume(bucket, i)
-				return n.Stats(), fmt.Errorf("%w: budget %d at t=%d (protocol livelock or undersized MaxEvents?)",
-					ErrEventBudget, n.opts.MaxEvents, n.now)
-			}
-			ev := (*bucket)[i] // copy: the append above may move the slice
-			n.now = t
-			n.stats.Events++
-			n.stats.FinalTime = t
-			n.process(&ev)
+		if err := n.runTick(n.queue.nextTime(n.now)); err != nil {
+			return n.Stats(), err
 		}
-		n.queue.consume(bucket, len(*bucket))
 	}
 	return n.Stats(), nil
+}
+
+// runTick processes every event scheduled at exactly tick t — the per-tick
+// unit a ShardedNetwork drives under its barrier; Drain is the degenerate
+// single-shard loop over it. The caller guarantees t is the earliest queued
+// tick (or that the tick is empty, which is a no-op).
+func (n *Network) runTick(t Time) error {
+	n.queue.migrate(t, n.opts.farThreshold)
+	bucket := &n.queue.ring[t&wheelMask]
+	// The bucket may grow while it is drained: same-tick events appended
+	// during processing (After(0), At(now), Post) carry larger sequence
+	// numbers and belong at the tail, so re-reading len each iteration
+	// preserves the (time, seq) order exactly.
+	for i := 0; i < len(*bucket); i++ {
+		if n.stats.Events >= n.opts.MaxEvents {
+			// Drop the processed prefix so a (hypothetical) further Drain
+			// does not replay it.
+			n.queue.consume(bucket, i)
+			return fmt.Errorf("%w: budget %d at t=%d (protocol livelock or undersized MaxEvents?)",
+				ErrEventBudget, n.opts.MaxEvents, n.now)
+		}
+		ev := (*bucket)[i] // copy: the append above may move the slice
+		n.now = t
+		n.stats.Events++
+		n.stats.FinalTime = t
+		n.process(&ev)
+	}
+	n.queue.consume(bucket, len(*bucket))
+	return nil
+}
+
+// peekTime returns the earliest queued tick without consuming anything; ok is
+// false when the queue is empty.
+func (n *Network) peekTime() (t Time, ok bool) {
+	if !n.queue.pending() {
+		return 0, false
+	}
+	return n.queue.nextTime(n.now), true
+}
+
+// advanceTo moves the clock forward to t without processing — an idle shard
+// keeping pace with the barrier. The caller guarantees no queued event is
+// earlier than t, so the ring's [now, now+window) invariant is preserved.
+func (n *Network) advanceTo(t Time) {
+	if t > n.now {
+		n.now = t
+	}
 }
 
 // process dispatches one dequeued event.
@@ -391,10 +427,18 @@ func (n *Network) pointOf(id int32) grid.Point {
 	return n.mesh.Point(int(id))
 }
 
-// enqueue assigns the next sequence number and buckets the event.
+// enqueue assigns the next sequence number and buckets the event. In sharded
+// mode, events addressed to a node outside this shard's slab are diverted to
+// the outbox instead; the coordinator re-enqueues them into the owning shard
+// at the tick barrier (which assigns that shard's own sequence numbers, so
+// destination buckets stay seq-sorted).
 func (n *Network) enqueue(ev event) {
 	n.seq++
 	ev.seq = n.seq
+	if n.shardHi != 0 && ev.to != mesh.NoNeighbor && (ev.to < n.shardLo || ev.to >= n.shardHi) {
+		n.outbox = append(n.outbox, ev)
+		return
+	}
 	n.queue.push(ev, n.now, n.opts.farThreshold)
 }
 

@@ -99,6 +99,50 @@ func BenchmarkHotspot16MCC(b *testing.B) { benchHotspot16(b, "mcc") }
 // constant-time check.
 func BenchmarkHotspot16Local(b *testing.B) { benchHotspot16(b, "local") }
 
+// benchHotspot32 is the sharding A/B workload: the 32x32x32 cell of the
+// "shards4" bench spec (400 uniform faults, hotspot at rate 0.02, window
+// 200), run sequentially (shards <= 1) or across slab shards. Both variants
+// produce bit-identical results; only events/sec moves.
+func benchHotspot32(b *testing.B, shards int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := mesh.New3D(32, 32, 32)
+		fault.Uniform{Count: 400}.Inject(m, rng.New(rng.Derive(7, 1<<48)))
+		im, err := traffic.ModelByName("mcc", core.NewModel(m))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := traffic.PatternByName("hotspot", m, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := traffic.NewEngine(m, im, p, traffic.Options{
+			Rate: 0.02, Warmup: 50, Window: 200, MaxEvents: 100_000_000,
+			Shards: shards,
+			ShardModel: func() (traffic.InfoModel, error) {
+				return traffic.ModelByName("mcc", core.NewModel(m))
+			},
+		})
+		res := e.Run(7)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Delivered == 0 {
+			b.Fatal("no traffic delivered")
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+	}
+}
+
+// BenchmarkHotspot32MCC is the sequential side of the sharding A/B.
+func BenchmarkHotspot32MCC(b *testing.B) { benchHotspot32(b, 1) }
+
+// BenchmarkHotspot32MCCShards4 runs the same trial across 4 slab shards —
+// the Go-benchmark twin of the BENCH_traffic.json "shards4" cell (which is
+// informational in `mcc bench -baseline`: parallel speed-up moves with the
+// runner's cores, so it is tracked, never gated).
+func BenchmarkHotspot32MCCShards4(b *testing.B) { benchHotspot32(b, 4) }
+
 // BenchmarkHotspot16MCCTelemetry is BenchmarkHotspot16MCC with the telemetry
 // counters live — the on/off pair that pins the instrumentation overhead
 // (<5% events/s; see PERFORMANCE.md).

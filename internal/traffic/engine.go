@@ -75,6 +75,19 @@ type Options struct {
 	// TraceCap bounds the trace ring buffer (default 256); older traces are
 	// evicted when it overflows.
 	TraceCap int
+	// Shards splits the trial spatially into up to Shards slab shards (see
+	// mesh.SlabPartition), each owning its own event queue and packet pool,
+	// synchronised conservatively at a per-tick barrier. The measured results
+	// are bit-identical to the sequential path at any shard count. 0 or 1 —
+	// the default — runs the sequential engine with zero overhead; so does
+	// tracing (TraceEvery > 0), because packet traces are defined over the
+	// global delivery order a single queue provides. Requires ShardModel.
+	Shards int
+	// ShardModel builds one information model instance per shard: model state
+	// (labellings, routing field caches) is not concurrency-safe, so each
+	// shard routes against a private copy. Required when Shards > 1; when nil
+	// the engine stays sequential.
+	ShardModel func() (InfoModel, error)
 }
 
 // Result aggregates one engine run.
@@ -208,7 +221,11 @@ func NewEngine(m *mesh.Mesh, model InfoModel, pattern Pattern, opts Options) *En
 
 // run is the per-Run state shared by the handler callbacks.
 type run struct {
-	e       *Engine
+	e *Engine
+	// model is the information model this state routes against: e.model in the
+	// sequential engine, a private per-shard instance (Options.ShardModel) in
+	// the sharded one.
+	model   InfoModel
 	res     *Result
 	nodeRng []rng.Rand
 	policy  routing.Policy
@@ -300,6 +317,12 @@ func (st *run) release(ref int32) { st.free = append(st.free, ref) }
 // results wherever the trial runs. A trial that exhausts the simulator's
 // event budget reports the failure in Result.Err instead of panicking.
 func (e *Engine) Run(seed uint64) *Result {
+	if e.opts.Shards > 1 && e.opts.ShardModel != nil && e.opts.TraceEvery == 0 {
+		if res := e.runSharded(seed); res != nil {
+			return res
+		}
+		// nil: the mesh has too few layers to split — fall through sequential.
+	}
 	res := &Result{
 		Model:        e.model.Name(),
 		Pattern:      e.pattern.Name(),
@@ -310,6 +333,7 @@ func (e *Engine) Run(seed uint64) *Result {
 	}
 	st := &run{
 		e:       e,
+		model:   e.model,
 		res:     res,
 		nodeRng: make([]rng.Rand, e.mesh.NodeCount()),
 		policy:  e.opts.Policy,
@@ -426,10 +450,10 @@ const (
 // applyFaults pushes freshly placed faults through the model's incremental
 // path (or a wholesale invalidation) and flushes the cached provider table.
 func (st *run) applyFaults(placed []grid.Point) {
-	if fa, ok := st.e.model.(FaultApplier); ok {
+	if fa, ok := st.model.(FaultApplier); ok {
 		fa.ApplyFaults(placed)
 	} else {
-		st.e.model.Invalidate()
+		st.model.Invalidate()
 	}
 	st.provs = [8]provEntry{}
 }
@@ -446,10 +470,10 @@ func (st *run) churnStep(net *simnet.Network, stp fault.Step, placeRng *rng.Rand
 		}
 		st.groups[stp.Group] = nil
 		st.e.mesh.RemoveFaults(pts...)
-		if fr, ok := st.e.model.(FaultRepairer); ok {
+		if fr, ok := st.model.(FaultRepairer); ok {
 			fr.RepairFaults(pts)
 		} else {
-			st.e.model.Invalidate()
+			st.model.Invalidate()
 		}
 		st.provs = [8]provEntry{}
 		st.res.Repairs++
@@ -609,7 +633,7 @@ func (st *run) forward(ctx *simnet.Context, ref int32) {
 	pk := &st.pool[ref]
 	pe := &st.provs[pk.orient.Index()]
 	if pe.prov == nil {
-		pe.prov = st.e.model.Provider(pk.orient)
+		pe.prov = st.model.Provider(pk.orient)
 		pe.id, pe.fast = pe.prov.(routing.IDProvider)
 		pe.dec, pe.masked = pe.prov.(routing.DecisionProvider)
 	}

@@ -111,11 +111,21 @@ const (
 //   - WithWarmup(ticks)    — unmeasured traffic warmup
 //   - WithWindow(ticks)    — traffic measurement window
 //
-// Reproducibility and execution:
+// Reproducibility:
 //   - WithSeed(seed)     — every trial seed derives from it
 //   - WithTrials(n)      — fault configurations per sweep cell
-//   - WithWorkers(n)     — parallel trial workers (<= 0 → GOMAXPROCS);
-//     results are bit-identical for any value
+//
+// Execution resources (the spec's exec block; digest-excluded, so none of
+// these changes a scenario's identity, and results are bit-identical for any
+// setting):
+//   - WithWorkers(n)     — parallel trial workers (<= 0 → GOMAXPROCS)
+//   - WithShards(n)      — spatial shards per trial: the mesh splits into n
+//     slabs simulated on parallel cores with conservative barrier
+//     synchronisation (<= 1 → sequential)
+//   - WithTimeout(secs)  — wall-clock budget for the whole run; on expiry
+//     the completed cells are kept and the rest marked TIMEOUT
+//
+// Observation:
 //   - WithObserver(f)    — stream per-cell progress events
 //   - WithTelemetry()    — collect hot-path counters into Report.Telemetry
 //     and stream per-trial Progress events to the observer
@@ -157,6 +167,8 @@ func WithWindow(ticks int) ScenarioOption          { return scenario.WithWindow(
 func WithSeed(seed uint64) ScenarioOption          { return scenario.WithSeed(seed) }
 func WithTrials(trials int) ScenarioOption         { return scenario.WithTrials(trials) }
 func WithWorkers(workers int) ScenarioOption       { return scenario.WithWorkers(workers) }
+func WithShards(shards int) ScenarioOption         { return scenario.WithShards(shards) }
+func WithTimeout(secs float64) ScenarioOption      { return scenario.WithTimeout(secs) }
 func WithObserver(f Observer) ScenarioOption       { return scenario.WithObserver(f) }
 func WithTelemetry() ScenarioOption                { return scenario.WithTelemetry() }
 func WithTracing(n int) ScenarioOption             { return scenario.WithTracing(n) }
